@@ -1,0 +1,131 @@
+// Command repro regenerates the paper's evaluation: every figure and table
+// of Section 5 (plus the Table 1 semantics and the Figure 3/4 rule files,
+// which are executable artifacts elsewhere in the repository).
+//
+// Usage:
+//
+//	repro -exp all            # everything
+//	repro -exp fig5           # rescheduler overhead (load / CPU)
+//	repro -exp fig6           # rescheduler overhead (communication)
+//	repro -exp fig7           # efficiency timeline (CPU)
+//	repro -exp fig8           # efficiency timeline (communication)
+//	repro -exp table1         # system state semantics
+//	repro -exp table2         # comparison of policies
+//	repro -scale 100          # virtual-time compression factor
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"autoresched/internal/experiments"
+	"autoresched/internal/metrics"
+	"autoresched/internal/rules"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment: fig5|fig6|fig7|fig8|table1|table2|all")
+	scale := flag.Float64("scale", 100, "virtual-time compression (virtual seconds per wall second)")
+	seed := flag.Int64("seed", 1, "workload seed")
+	series := flag.Bool("series", false, "also print the sampled series tables")
+	csvDir := flag.String("csv", "", "directory to write the sampled series as CSV files")
+	flag.Parse()
+
+	params := experiments.Params{Scale: *scale, Seed: *seed}
+	want := func(name string) bool { return *exp == "all" || *exp == name }
+	ran := false
+
+	if want("table1") {
+		ran = true
+		printTable1()
+	}
+	if want("fig5") || want("fig6") {
+		ran = true
+		res, err := experiments.RunOverhead(experiments.OverheadConfig{Params: params})
+		fatal(err)
+		fmt.Print(res.Render())
+		if *series {
+			fmt.Println(metrics.Table(res.Recorder.Start(),
+				res.Recorder.Series("ws2/load1"),
+				res.Recorder.Series("ws2/cpu"),
+				res.Recorder.Series("ws2/sentKBs"),
+				res.Recorder.Series("ws2/recvKBs")))
+		}
+		writeCSV(*csvDir, "fig5_with.csv", res.Recorder,
+			"ws2/load1", "ws2/load5", "ws2/cpu", "ws2/sentKBs", "ws2/recvKBs")
+		writeCSV(*csvDir, "fig5_without.csv", res.WithoutRecorder,
+			"ws2/load1", "ws2/load5", "ws2/cpu", "ws2/sentKBs", "ws2/recvKBs")
+		fmt.Println()
+	}
+	if want("fig7") || want("fig8") {
+		ran = true
+		res, err := experiments.RunEfficiency(experiments.EfficiencyConfig{Params: params})
+		fatal(err)
+		fmt.Print(res.Render())
+		if *series {
+			fmt.Println(metrics.Table(res.Recorder.Start(),
+				res.Recorder.Series("ws1/cpu"),
+				res.Recorder.Series("ws2/cpu"),
+				res.Recorder.Series("ws1/sentKBs"),
+				res.Recorder.Series("ws2/recvKBs")))
+		}
+		writeCSV(*csvDir, "fig7_fig8.csv", res.Recorder,
+			"ws1/cpu", "ws2/cpu", "ws1/load1", "ws2/load1",
+			"ws1/sentKBs", "ws1/recvKBs", "ws2/sentKBs", "ws2/recvKBs")
+		fmt.Println()
+	}
+	if want("table2") {
+		ran = true
+		rows, err := experiments.RunPolicies(experiments.PoliciesConfig{Params: params})
+		fatal(err)
+		fmt.Print(experiments.RenderPolicies(rows))
+		fmt.Println()
+	}
+	if !ran {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func printTable1() {
+	var b strings.Builder
+	b.WriteString("Table 1 — system state description\n")
+	b.WriteString("state       loaded  migrate-in  migrate-out\n")
+	for _, s := range []rules.State{rules.Free, rules.Busy, rules.Overloaded} {
+		fmt.Fprintf(&b, "%-11s %-7v %-11v %v\n",
+			s, s.Loaded(), s.AcceptsMigration(), s.WantsOffload())
+	}
+	b.WriteString("\n")
+	fmt.Print(b.String())
+}
+
+func fatal(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "repro:", err)
+		os.Exit(1)
+	}
+}
+
+// writeCSV exports named series from a recorder into dir/name (no-op when
+// no -csv directory was given).
+func writeCSV(dir, name string, rec *metrics.Recorder, seriesNames ...string) {
+	if dir == "" || rec == nil {
+		return
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		fatal(err)
+	}
+	f, err := os.Create(filepath.Join(dir, name))
+	fatal(err)
+	defer f.Close()
+	series := make([]*metrics.Series, 0, len(seriesNames))
+	for _, n := range seriesNames {
+		series = append(series, rec.Series(n))
+	}
+	fatal(metrics.WriteCSV(f, rec.Start(), series...))
+	fmt.Printf("  wrote %s\n", filepath.Join(dir, name))
+}

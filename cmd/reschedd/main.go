@@ -1,0 +1,184 @@
+// Command reschedd runs the rescheduling runtime's entities over real
+// TCP/IP with the XML protocol, the way the paper deployed them across its
+// cluster: a registry/scheduler on one machine, and a monitor plus
+// commander on every other machine, reading real system information from
+// /proc.
+//
+// Registry (central host):
+//
+//	reschedd -role registry -listen :7070
+//
+// Monitor (every monitored host):
+//
+//	reschedd -role monitor -registry central:7070 -rules my.rules -interval 10s
+//
+// The monitor gathers from the local /proc, evaluates its rule file and
+// pushes soft-state refreshes; the registry prints decisions. Process
+// migration itself needs migration-enabled applications (see the examples);
+// this daemon demonstrates the monitoring/registration/decision plane on
+// real hosts.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"autoresched/internal/monitor"
+	"autoresched/internal/proto"
+	"autoresched/internal/registry"
+	"autoresched/internal/rules"
+	"autoresched/internal/sysinfo"
+)
+
+func main() {
+	role := flag.String("role", "", "registry | monitor")
+	listen := flag.String("listen", ":7070", "registry: listen address")
+	policyPath := flag.String("policy", "", "registry: migration policy file (pl_* format); empty uses the state-based default")
+	regAddr := flag.String("registry", "", "monitor: registry address host:port")
+	rulesPath := flag.String("rules", "", "monitor: rule file (rl_* format); empty uses built-in load/proc rules")
+	interval := flag.Duration("interval", 10*time.Second, "monitor: monitoring frequency")
+	procRoot := flag.String("proc", "/proc", "monitor: proc filesystem root")
+	flag.Parse()
+
+	switch *role {
+	case "registry":
+		runRegistry(*listen, *policyPath)
+	case "monitor":
+		runMonitor(*regAddr, *rulesPath, *interval, *procRoot)
+	default:
+		fmt.Fprintln(os.Stderr, "reschedd: -role must be registry or monitor")
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func runRegistry(listen, policyPath string) {
+	var policy *rules.MigrationPolicy
+	if policyPath != "" {
+		parsed, err := rules.ParsePolicyFile(policyPath)
+		if err != nil {
+			log.Fatalf("reschedd: policy: %v", err)
+		}
+		if len(parsed) == 0 {
+			log.Fatalf("reschedd: policy file %s holds no policies", policyPath)
+		}
+		policy = parsed[len(parsed)-1] // the last policy in the file rules
+		log.Printf("using migration policy %q", policy.Name)
+	}
+	reg := registry.New(registry.Config{
+		Name:   "registry",
+		Policy: policy,
+		OnEvent: func(e registry.Event) {
+			log.Printf("decision: %s", e)
+		},
+	})
+	srv, err := proto.NewServer("registry", listen, loggingHandler(reg.Handler()))
+	if err != nil {
+		log.Fatalf("reschedd: listen: %v", err)
+	}
+	defer srv.Close()
+	log.Printf("registry/scheduler listening on %s", srv.Addr())
+
+	tick := time.NewTicker(30 * time.Second)
+	defer tick.Stop()
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	for {
+		select {
+		case <-tick.C:
+			for _, h := range reg.Hosts() {
+				log.Printf("  host %-16s state=%-11s load1=%.2f procs=%d last-seen=%s",
+					h.Name, h.State, h.Status.Load1, h.Status.NumProcs,
+					h.LastSeen.Format(time.TimeOnly))
+			}
+		case <-sig:
+			log.Print("registry shutting down")
+			return
+		}
+	}
+}
+
+func loggingHandler(next proto.Handler) proto.Handler {
+	return func(m *proto.Message) (*proto.Message, error) {
+		if m.Type != proto.TypeStatus {
+			log.Printf("<- %s from %s", m.Type, m.From)
+		}
+		return next(m)
+	}
+}
+
+// clientReporter adapts a proto client to the monitor's Reporter.
+type clientReporter struct {
+	cli *proto.Client
+}
+
+func (c *clientReporter) RegisterHost(host string, static proto.StaticInfo) error {
+	_, err := c.cli.Call(&proto.Message{Type: proto.TypeRegister, Static: &static})
+	return err
+}
+
+func (c *clientReporter) ReportStatus(host string, status proto.Status) error {
+	_, err := c.cli.Call(&proto.Message{Type: proto.TypeStatus, Status: &status})
+	return err
+}
+
+func (c *clientReporter) UnregisterHost(host string) error {
+	_, err := c.cli.Call(&proto.Message{Type: proto.TypeUnregister})
+	return err
+}
+
+func runMonitor(regAddr, rulesPath string, interval time.Duration, procRoot string) {
+	if regAddr == "" {
+		log.Fatal("reschedd: -registry is required for the monitor role")
+	}
+	host, _ := os.Hostname()
+	cli, err := proto.Dial(host, regAddr)
+	if err != nil {
+		log.Fatalf("reschedd: dial registry: %v", err)
+	}
+	defer cli.Close()
+
+	engine := rules.NewEngine(nil)
+	if rulesPath != "" {
+		if _, err := engine.LoadFile(rulesPath); err != nil {
+			log.Fatalf("reschedd: rules: %v", err)
+		}
+	} else {
+		for _, r := range []*rules.Rule{
+			{Number: 1, Name: "loadAverage", Type: rules.Simple, Script: "loadAvg.sh",
+				Param: "1", Operator: rules.OpGreater, Busy: 1, OverLd: 2},
+			{Number: 2, Name: "numProcs", Type: rules.Simple, Script: "numProcs.sh",
+				Operator: rules.OpGreater, Busy: 400, OverLd: 600},
+		} {
+			if err := engine.Add(r); err != nil {
+				log.Fatalf("reschedd: rules: %v", err)
+			}
+		}
+	}
+
+	mon, err := monitor.New(monitor.Config{
+		Host:             host,
+		Source:           sysinfo.NewProcSource(procRoot),
+		Engine:           engine,
+		Reporter:         &clientReporter{cli: cli},
+		DefaultFrequency: interval,
+	})
+	if err != nil {
+		log.Fatalf("reschedd: monitor: %v", err)
+	}
+	if err := mon.Start(); err != nil {
+		log.Fatalf("reschedd: start: %v", err)
+	}
+	log.Printf("monitor on %s reporting to %s every %s", host, regAddr, interval)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	mon.Stop()
+	log.Print("monitor shutting down")
+}

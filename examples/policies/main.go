@@ -1,0 +1,36 @@
+// Policies: the Table 2 comparison as a runnable program. Three runs of
+// the same overloaded workstation under the paper's three migration
+// policies — no migration, load-only, and load+communication — printing the
+// table the paper reports.
+//
+//	go run ./examples/policies [-scale 150]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"autoresched/internal/experiments"
+)
+
+func main() {
+	scale := flag.Float64("scale", 150, "virtual seconds per wall second")
+	flag.Parse()
+
+	fmt.Println("running the Section 5.3 policy comparison (three full runs) ...")
+	rows, err := experiments.RunPolicies(experiments.PoliciesConfig{
+		Params: experiments.Params{Scale: *scale, Seed: 1},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(experiments.RenderPolicies(rows))
+
+	p1, p3 := rows[0], rows[2]
+	if p3.TotalSec > 0 {
+		fmt.Printf("\nwith the communication-aware policy the application finished in %.1f%% "+
+			"of the no-migration time (the paper reports 33.5%%)\n",
+			100*p3.TotalSec/p1.TotalSec)
+	}
+}

@@ -1,0 +1,3 @@
+module autoresched
+
+go 1.22

@@ -1,0 +1,144 @@
+// Package cluster assembles simulated hosts and a simulated interconnect
+// into the testbed the experiments run on — the stand-in for the paper's
+// 64-node Sun Blade 100 cluster on 100 Mbps Ethernet. It also adapts the
+// host model to the interfaces the upper layers consume: sysinfo sources
+// for the monitors and an hpcm.HostBinder for migration-enabled processes.
+package cluster
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"autoresched/internal/hpcm"
+	"autoresched/internal/simnet"
+	"autoresched/internal/simnode"
+	"autoresched/internal/sysinfo"
+	"autoresched/internal/vclock"
+)
+
+// SunBlade100 approximates the paper's workstation: one 500 MHz
+// UltraSPARC-IIe with 128 MB of memory. Speed is in abstract work units per
+// second; 500e6 makes one unit one cycle.
+var SunBlade100 = simnode.Config{
+	Speed:    500e6,
+	MemTotal: 128 << 20,
+	MemBase:  24 << 20,
+}
+
+// Options configures a cluster.
+type Options struct {
+	// Clock drives all hosts and the network; nil selects the real clock.
+	Clock vclock.Clock
+	// Bandwidth is the NIC capacity in bytes/s; zero selects 100 Mbps.
+	Bandwidth float64
+	// Latency is the network one-way latency.
+	Latency time.Duration
+}
+
+// Cluster is a set of simulated hosts joined by a simulated network.
+type Cluster struct {
+	clock vclock.Clock
+	net   *simnet.Network
+
+	mu      sync.Mutex
+	hosts   map[string]*simnode.Host
+	sources map[string]*sysinfo.SimSource
+}
+
+// New creates an empty cluster.
+func New(opts Options) *Cluster {
+	if opts.Clock == nil {
+		opts.Clock = vclock.Real()
+	}
+	return &Cluster{
+		clock: opts.Clock,
+		net: simnet.New(opts.Clock, simnet.Options{
+			DefaultBandwidth: opts.Bandwidth,
+			Latency:          opts.Latency,
+		}),
+		hosts:   make(map[string]*simnode.Host),
+		sources: make(map[string]*sysinfo.SimSource),
+	}
+}
+
+// Clock returns the cluster clock.
+func (c *Cluster) Clock() vclock.Clock { return c.clock }
+
+// Net returns the simulated network.
+func (c *Cluster) Net() *simnet.Network { return c.net }
+
+// AddHost creates a host. A zero Config gets Sun Blade 100 characteristics.
+func (c *Cluster) AddHost(name string, cfg simnode.Config) (*simnode.Host, error) {
+	if cfg == (simnode.Config{}) {
+		cfg = SunBlade100
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.hosts[name]; ok {
+		return nil, fmt.Errorf("cluster: host %q already exists", name)
+	}
+	if err := c.net.AddHost(name); err != nil {
+		return nil, err
+	}
+	h := simnode.NewHost(c.clock, name, cfg)
+	c.hosts[name] = h
+	c.sources[name] = sysinfo.NewSimSource(h, c.net)
+	return h, nil
+}
+
+// AddHosts creates n hosts named prefix1..prefixN with identical
+// characteristics and returns their names.
+func (c *Cluster) AddHosts(prefix string, n int, cfg simnode.Config) ([]string, error) {
+	names := make([]string, 0, n)
+	for i := 1; i <= n; i++ {
+		name := fmt.Sprintf("%s%d", prefix, i)
+		if _, err := c.AddHost(name, cfg); err != nil {
+			return nil, err
+		}
+		names = append(names, name)
+	}
+	return names, nil
+}
+
+// Host returns a host by name.
+func (c *Cluster) Host(name string) (*simnode.Host, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	h, ok := c.hosts[name]
+	return h, ok
+}
+
+// Hosts returns all host names, sorted.
+func (c *Cluster) Hosts() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	names := make([]string, 0, len(c.hosts))
+	for name := range c.hosts {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Source returns the host's system-information source. The source is
+// shared, so windowed sensors on top of it see consistent counters.
+func (c *Cluster) Source(name string) (*sysinfo.SimSource, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s, ok := c.sources[name]
+	return s, ok
+}
+
+// Attach implements hpcm.HostBinder: migration-enabled processes join the
+// simulated host's process table and charge CPU through it.
+func (c *Cluster) Attach(host, procName string, memory int64) (hpcm.HostProc, error) {
+	h, ok := c.Host(host)
+	if !ok {
+		return nil, fmt.Errorf("cluster: unknown host %q", host)
+	}
+	return h.Spawn(procName, memory), nil
+}
+
+var _ hpcm.HostBinder = (*Cluster)(nil)

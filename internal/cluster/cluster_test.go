@@ -1,0 +1,116 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"autoresched/internal/simnode"
+	"autoresched/internal/sysinfo"
+	"autoresched/internal/vclock"
+)
+
+func TestAddHostAndLookup(t *testing.T) {
+	c := New(Options{Clock: vclock.NewManual(vclock.Epoch)})
+	h, err := c.AddHost("ws1", simnode.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Speed() != SunBlade100.Speed {
+		t.Fatalf("default speed = %v", h.Speed())
+	}
+	if _, err := c.AddHost("ws1", simnode.Config{}); err == nil {
+		t.Fatal("duplicate host accepted")
+	}
+	got, ok := c.Host("ws1")
+	if !ok || got != h {
+		t.Fatal("Host lookup failed")
+	}
+	if _, ok := c.Host("nope"); ok {
+		t.Fatal("phantom host found")
+	}
+}
+
+func TestAddHostsBatch(t *testing.T) {
+	c := New(Options{Clock: vclock.NewManual(vclock.Epoch)})
+	names, err := c.AddHosts("ws", 5, simnode.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 5 || names[0] != "ws1" || names[4] != "ws5" {
+		t.Fatalf("names = %v", names)
+	}
+	if got := c.Hosts(); len(got) != 5 || got[0] != "ws1" {
+		t.Fatalf("Hosts() = %v", got)
+	}
+}
+
+func TestSourceSharedAndGathering(t *testing.T) {
+	c := New(Options{Clock: vclock.NewManual(vclock.Epoch)})
+	if _, err := c.AddHost("ws1", simnode.Config{}); err != nil {
+		t.Fatal(err)
+	}
+	src, ok := c.Source("ws1")
+	if !ok {
+		t.Fatal("no source")
+	}
+	src2, _ := c.Source("ws1")
+	if src != src2 {
+		t.Fatal("sources not shared")
+	}
+	snap, err := sysinfo.NewSensor(src).Gather()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Host != "ws1" || snap.MemTotal != SunBlade100.MemTotal {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+	if _, ok := c.Source("ghost"); ok {
+		t.Fatal("phantom source")
+	}
+}
+
+func TestAttachBindsProcesses(t *testing.T) {
+	c := New(Options{Clock: vclock.Scaled(vclock.Epoch, 200)})
+	h, err := c.AddHost("ws1", simnode.Config{Speed: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hp, err := c.Attach("ws1", "app", 4<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hp.PID() == 0 || hp.Started().Before(vclock.Epoch) {
+		t.Fatalf("proc identity: pid=%d started=%v", hp.PID(), hp.Started())
+	}
+	if h.NumProcs() != 1 {
+		t.Fatalf("NumProcs = %d", h.NumProcs())
+	}
+	start := c.Clock().Now()
+	if err := hp.Compute(1000); err != nil { // one virtual second
+		t.Fatal(err)
+	}
+	if d := c.Clock().Since(start); d < 500*time.Millisecond {
+		t.Fatalf("compute charged only %v", d)
+	}
+	hp.Exit()
+	if h.NumProcs() != 0 {
+		t.Fatalf("NumProcs after exit = %d", h.NumProcs())
+	}
+	if _, err := c.Attach("ghost", "app", 0); err == nil {
+		t.Fatal("attach to unknown host succeeded")
+	}
+}
+
+func TestNetworkWired(t *testing.T) {
+	c := New(Options{Clock: vclock.Scaled(vclock.Epoch, 200), Bandwidth: 1e6})
+	if _, err := c.AddHosts("ws", 2, simnode.Config{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Net().Transfer("ws1", "ws2", 1000); err != nil {
+		t.Fatal(err)
+	}
+	sent, _, err := c.Net().Counters("ws1")
+	if err != nil || sent != 1000 {
+		t.Fatalf("sent = %d, %v", sent, err)
+	}
+}

@@ -1,0 +1,130 @@
+// Package commander implements the per-host commander entity (Section 3):
+// it receives migrate orders from the registry/scheduler and starts the
+// migration by signalling the local migrating process. Following the
+// paper's mechanism, the destination address and port are written to a
+// temporary file and the process is poked with the user-defined signal; the
+// signal payload carries the same information for the in-process path.
+package commander
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"autoresched/internal/hpcm"
+	"autoresched/internal/proto"
+)
+
+// Target is a managed migration-enabled process; *hpcm.Process satisfies
+// it.
+type Target interface {
+	PID() int
+	Signal(cmd hpcm.Command)
+}
+
+// Commander is one host's commander entity.
+type Commander struct {
+	host string
+	dir  string // where migrate-address temp files are written; "" disables
+
+	mu     sync.Mutex
+	procs  map[int]Target
+	orders int
+}
+
+// New creates a commander for host. dir, when non-empty, receives the
+// temporary address files the paper's mechanism uses; it must exist.
+func New(host, dir string) *Commander {
+	return &Commander{host: host, dir: dir, procs: make(map[int]Target)}
+}
+
+// Host returns the host this commander serves.
+func (c *Commander) Host() string { return c.host }
+
+// Manage starts tracking a process under its current pid.
+func (c *Commander) Manage(p Target) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.procs[p.PID()] = p
+}
+
+// ManageAs tracks a process under an explicit pid (used when re-homing a
+// migrated process whose pid changed with its incarnation).
+func (c *Commander) ManageAs(pid int, p Target) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.procs[pid] = p
+}
+
+// Forget stops tracking a pid.
+func (c *Commander) Forget(pid int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.procs, pid)
+}
+
+// Managed reports how many processes are tracked.
+func (c *Commander) Managed() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.procs)
+}
+
+// Orders reports how many migrate orders were executed.
+func (c *Commander) Orders() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.orders
+}
+
+// Migrate executes a migrate order: write the address file, then deliver
+// the user-defined signal to the migrating process.
+func (c *Commander) Migrate(order proto.MigrateOrder) error {
+	if order.DestHost == "" {
+		return errors.New("commander: order without destination")
+	}
+	c.mu.Lock()
+	p, ok := c.procs[order.PID]
+	c.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("commander: no managed process with pid %d on %s", order.PID, c.host)
+	}
+	if c.dir != "" {
+		// The paper: "the address and the port of the destination machine
+		// are written to a temporary file and are read by the migrating
+		// process".
+		path := filepath.Join(c.dir, fmt.Sprintf("hpcm-migrate-%d", order.PID))
+		content := fmt.Sprintf("%s %s\n", order.DestHost, order.DestAddr)
+		if err := os.WriteFile(path, []byte(content), 0o600); err != nil {
+			return fmt.Errorf("commander: address file: %w", err)
+		}
+	}
+	p.Signal(hpcm.Command{DestHost: order.DestHost, DestAddr: order.DestAddr, Policy: order.Policy})
+	c.mu.Lock()
+	c.orders++
+	c.mu.Unlock()
+	return nil
+}
+
+// Handler serves migrate orders arriving over the XML protocol.
+func (c *Commander) Handler() proto.Handler {
+	return func(m *proto.Message) (*proto.Message, error) {
+		switch m.Type {
+		case proto.TypeMigrate:
+			return nil, c.Migrate(*m.Migrate)
+		default:
+			return nil, fmt.Errorf("commander: unexpected message type %q", m.Type)
+		}
+	}
+}
+
+// AddressFile returns the path of the temp file a migrate order for pid
+// writes (for tests and for migrating processes reading it back).
+func (c *Commander) AddressFile(pid int) string {
+	if c.dir == "" {
+		return ""
+	}
+	return filepath.Join(c.dir, fmt.Sprintf("hpcm-migrate-%d", pid))
+}

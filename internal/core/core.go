@@ -1,0 +1,426 @@
+// Package core assembles the runtime system of the paper: per-host monitors
+// and commanders, a (possibly hierarchical) registry/scheduler, the HPCM
+// migration middleware and the MPI-2 layer, wired into the autonomic loop —
+// monitors classify their hosts through rules and push soft-state to the
+// registry; when a host needs offloading the registry selects the process
+// with the latest completion time and a first-fit destination, and orders
+// the source commander to start the migration; the process moves at its
+// next poll-point and is re-registered under its new host.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"autoresched/internal/cluster"
+	"autoresched/internal/commander"
+	"autoresched/internal/hpcm"
+	"autoresched/internal/monitor"
+	"autoresched/internal/mpi"
+	"autoresched/internal/proto"
+	"autoresched/internal/registry"
+	"autoresched/internal/rules"
+	"autoresched/internal/schema"
+	"autoresched/internal/vclock"
+)
+
+// Options configures a System.
+type Options struct {
+	// Cluster supplies hosts, network and host binding. Required.
+	Cluster *cluster.Cluster
+	// Policy drives migration decisions; nil selects the state-based
+	// default (migrate off Overloaded hosts onto Free ones).
+	Policy *rules.MigrationPolicy
+	// EngineFor builds each host's rule engine; nil selects DefaultEngine.
+	EngineFor func(host string) *rules.Engine
+	// MonitorInterval is the default monitoring frequency; zero selects
+	// 10 s (the paper's sampling interval).
+	MonitorInterval time.Duration
+	// Frequencies optionally overrides the monitoring frequency per state.
+	Frequencies map[rules.State]time.Duration
+	// GatherCost charges each monitoring cycle's CPU cost to the host, in
+	// work units; zero disables (and makes the rescheduler free, which is
+	// not what the paper measured — Figure 5's overhead comes from here).
+	GatherCost float64
+	// Warmup and Cooldown damp the scheduler (see registry.Config).
+	Warmup   int
+	Cooldown time.Duration
+	// Lease is the soft-state lifetime.
+	Lease time.Duration
+	// SpawnLatency models LAM/MPI's slow dynamic process creation; zero
+	// selects 300 ms (Section 5.2).
+	SpawnLatency time.Duration
+	// ChunkBytes is the lazy state streaming chunk size.
+	ChunkBytes int
+	// CommandDir, when set, receives the commanders' migrate-address temp
+	// files.
+	CommandDir string
+	// Parent chains this system's registry under an upper-level one.
+	Parent *registry.Registry
+	// RegistryHost, when set, names the host the registry/scheduler runs
+	// on; status refreshes from other hosts are then charged to the
+	// network as StatusBytes-sized transfers, making the rescheduler's
+	// control traffic visible in the NIC counters (Figure 6).
+	RegistryHost string
+	// StatusBytes is the wire size of one status refresh; zero selects
+	// 600 bytes (a typical XML status message).
+	StatusBytes int64
+	// Checkpoints enables the checkpointing extension (see internal/hpcm):
+	// applications periodically persist their state and can be recovered
+	// on another host after a crash — the paper's fault-tolerance
+	// motivation ("reschedule when the machine will shut down").
+	Checkpoints hpcm.CheckpointStore
+	// CheckpointEvery is the automatic checkpoint interval.
+	CheckpointEvery time.Duration
+}
+
+// DefaultEngine returns a rule engine encoding the paper's running
+// thresholds: a host is busy above load 1 and overloaded above load 2, or
+// busy above 100 processes and overloaded above 150.
+func DefaultEngine() *rules.Engine {
+	e := rules.NewEngine(nil)
+	must := func(r *rules.Rule) {
+		if err := e.Add(r); err != nil {
+			panic(err)
+		}
+	}
+	must(&rules.Rule{
+		Number: 1, Name: "loadAverage", Type: rules.Simple,
+		Script: "loadAvg.sh", Param: "1", Operator: rules.OpGreater,
+		Busy: 1, OverLd: 2,
+		Desc: "one-minute load average",
+	})
+	must(&rules.Rule{
+		Number: 2, Name: "numProcs", Type: rules.Simple,
+		Script: "numProcs.sh", Operator: rules.OpGreater,
+		Busy: 100, OverLd: 150,
+		Desc: "active process count",
+	})
+	return e
+}
+
+// Node is one host's runtime presence: its monitor and commander.
+type Node struct {
+	Host      string
+	Monitor   *monitor.Monitor
+	Commander *commander.Commander
+
+	charger hpcm.HostProc // the monitor's own process-table entry
+}
+
+// App is a launched migration-enabled application.
+type App struct {
+	Proc   *hpcm.Process
+	Schema *schema.Schema
+
+	sys        *System
+	settled    chan struct{} // closed after completion bookkeeping
+	mu         sync.Mutex
+	pid        int
+	host       string
+	launchHost string
+	launched   time.Time
+}
+
+// Settled is closed once the app has finished AND the runtime has completed
+// its bookkeeping: deregistration and the schema statistics feedback.
+func (app *App) Settled() <-chan struct{} { return app.settled }
+
+// System is the assembled runtime.
+type System struct {
+	opts     Options
+	clock    vclock.Clock
+	cluster  *cluster.Cluster
+	universe *mpi.Universe
+	mw       *hpcm.Middleware
+	reg      *registry.Registry
+
+	mu    sync.Mutex
+	nodes map[string]*Node
+	apps  []*App
+}
+
+// New assembles a System over a cluster.
+func New(opts Options) (*System, error) {
+	if opts.Cluster == nil {
+		return nil, errors.New("core: Options.Cluster is required")
+	}
+	if opts.MonitorInterval <= 0 {
+		opts.MonitorInterval = 10 * time.Second
+	}
+	if opts.SpawnLatency == 0 {
+		opts.SpawnLatency = 300 * time.Millisecond
+	}
+	clock := opts.Cluster.Clock()
+	universe := mpi.NewUniverse(mpi.Options{
+		Clock:        clock,
+		Transport:    mpi.SimTransport{Net: opts.Cluster.Net()},
+		SpawnLatency: opts.SpawnLatency,
+	})
+	mw, err := hpcm.New(hpcm.Options{
+		Universe:        universe,
+		Hosts:           opts.Cluster,
+		ChunkBytes:      opts.ChunkBytes,
+		Checkpoints:     opts.Checkpoints,
+		CheckpointEvery: opts.CheckpointEvery,
+	})
+	if err != nil {
+		return nil, err
+	}
+	s := &System{
+		opts:     opts,
+		clock:    clock,
+		cluster:  opts.Cluster,
+		universe: universe,
+		mw:       mw,
+		nodes:    make(map[string]*Node),
+	}
+	s.reg = registry.New(registry.Config{
+		Clock:    clock,
+		Lease:    opts.Lease,
+		Policy:   opts.Policy,
+		Commands: s,
+		Warmup:   opts.Warmup,
+		Cooldown: opts.Cooldown,
+		Parent:   opts.Parent,
+	})
+	return s, nil
+}
+
+// Clock returns the system clock.
+func (s *System) Clock() vclock.Clock { return s.clock }
+
+// Cluster returns the underlying cluster.
+func (s *System) Cluster() *cluster.Cluster { return s.cluster }
+
+// Registry returns the registry/scheduler.
+func (s *System) Registry() *registry.Registry { return s.reg }
+
+// Middleware returns the HPCM middleware.
+func (s *System) Middleware() *hpcm.Middleware { return s.mw }
+
+// Universe returns the MPI universe.
+func (s *System) Universe() *mpi.Universe { return s.universe }
+
+// Migrate implements registry.CommandSink by routing orders to the source
+// host's commander.
+func (s *System) Migrate(host string, order proto.MigrateOrder) error {
+	node, ok := s.Node(host)
+	if !ok {
+		return fmt.Errorf("core: no node on host %q", host)
+	}
+	return node.Commander.Migrate(order)
+}
+
+// Node returns the runtime node on a host.
+func (s *System) Node(host string) (*Node, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n, ok := s.nodes[host]
+	return n, ok
+}
+
+// AddNode deploys a monitor and a commander on a cluster host and starts
+// monitoring. The monitor registers the host with the registry/scheduler.
+func (s *System) AddNode(host string) (*Node, error) {
+	if _, ok := s.cluster.Host(host); !ok {
+		return nil, fmt.Errorf("core: unknown cluster host %q", host)
+	}
+	s.mu.Lock()
+	if _, ok := s.nodes[host]; ok {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("core: node already deployed on %q", host)
+	}
+	s.mu.Unlock()
+
+	source, _ := s.cluster.Source(host)
+	engine := DefaultEngine()
+	if s.opts.EngineFor != nil {
+		engine = s.opts.EngineFor(host)
+	}
+	cmd := commander.New(host, s.opts.CommandDir)
+
+	var charger hpcm.HostProc
+	if s.opts.GatherCost > 0 {
+		hp, err := s.cluster.Attach(host, "hpcm-monitor", 4<<20)
+		if err != nil {
+			return nil, err
+		}
+		charger = hp
+	}
+	var reporter monitor.Reporter = s.reg
+	if s.opts.RegistryHost != "" && host != s.opts.RegistryHost {
+		bytes := s.opts.StatusBytes
+		if bytes <= 0 {
+			bytes = 600
+		}
+		reporter = &chargedReporter{
+			inner: s.reg,
+			net:   s.cluster.Net(),
+			to:    s.opts.RegistryHost,
+			bytes: bytes,
+		}
+	}
+	monCfg := monitor.Config{
+		Host:             host,
+		Source:           source,
+		Engine:           engine,
+		Reporter:         reporter,
+		Clock:            s.clock,
+		Frequencies:      s.opts.Frequencies,
+		DefaultFrequency: s.opts.MonitorInterval,
+		GatherCost:       s.opts.GatherCost,
+		CommandAddr:      "cmd://" + host,
+		Software:         []string{"hpcm", "lam-mpi"},
+	}
+	if charger != nil {
+		monCfg.Charger = charger
+	}
+	mon, err := monitor.New(monCfg)
+	if err != nil {
+		return nil, err
+	}
+	node := &Node{Host: host, Monitor: mon, Commander: cmd, charger: charger}
+	s.mu.Lock()
+	s.nodes[host] = node
+	s.mu.Unlock()
+	if err := mon.Start(); err != nil {
+		return nil, err
+	}
+	return node, nil
+}
+
+// AddNodes deploys nodes on every named host.
+func (s *System) AddNodes(hosts ...string) error {
+	for _, h := range hosts {
+		if _, err := s.AddNode(h); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Stop halts all monitors (and their host charging).
+func (s *System) Stop() {
+	s.mu.Lock()
+	nodes := make([]*Node, 0, len(s.nodes))
+	for _, n := range s.nodes {
+		nodes = append(nodes, n)
+	}
+	s.mu.Unlock()
+	for _, n := range nodes {
+		n.Monitor.Stop()
+		if n.charger != nil {
+			n.charger.Exit()
+		}
+	}
+}
+
+// Launch starts a migration-enabled application on a host, registers it
+// with the local commander and the registry/scheduler, and keeps the
+// registration current as the process migrates. On completion the actual
+// runtime is folded back into the schema (the self-adjustment feedback).
+func (s *System) Launch(name, host string, sch *schema.Schema, main hpcm.Main) (*App, error) {
+	node, ok := s.Node(host)
+	if !ok {
+		return nil, fmt.Errorf("core: no node on host %q", host)
+	}
+	p, err := s.mw.Start(name, host, main)
+	if err != nil {
+		return nil, err
+	}
+	app := &App{
+		Proc:       p,
+		Schema:     sch,
+		sys:        s,
+		settled:    make(chan struct{}),
+		pid:        p.PID(),
+		host:       host,
+		launchHost: host,
+		launched:   s.clock.Now(),
+	}
+	node.Commander.Manage(p)
+	if err := s.registerProc(app); err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	s.apps = append(s.apps, app)
+	s.mu.Unlock()
+	go app.follow()
+	return app, nil
+}
+
+// registerProc (re-)registers the app's current incarnation.
+func (s *System) registerProc(app *App) error {
+	app.mu.Lock()
+	host, pid := app.host, app.pid
+	app.mu.Unlock()
+	info := proto.ProcessInfo{
+		PID:   pid,
+		Name:  app.Proc.Name(),
+		Start: app.Proc.Started().UnixNano(),
+	}
+	if app.Schema != nil {
+		data, err := app.Schema.Marshal()
+		if err != nil {
+			return err
+		}
+		info.SchemaXML = string(data)
+	}
+	return s.reg.RegisterProcess(host, info)
+}
+
+// follow tracks migrations and completion, keeping commanders and the
+// registry consistent with where the process actually runs.
+func (app *App) follow() {
+	s := app.sys
+	for {
+		select {
+		case rec := <-app.Proc.Events():
+			app.mu.Lock()
+			oldHost, oldPID := app.host, app.pid
+			app.host = rec.To
+			app.pid = app.Proc.PID()
+			app.mu.Unlock()
+
+			if node, ok := s.Node(oldHost); ok {
+				node.Commander.Forget(oldPID)
+			}
+			_ = s.reg.ProcessExit(oldHost, oldPID)
+			if node, ok := s.Node(rec.To); ok {
+				node.Commander.ManageAs(app.Proc.PID(), app.Proc)
+			}
+			_ = s.registerProc(app)
+		case <-app.Proc.Done():
+			app.mu.Lock()
+			host, pid := app.host, app.pid
+			app.mu.Unlock()
+			if node, ok := s.Node(host); ok {
+				node.Commander.Forget(pid)
+			}
+			_ = s.reg.ProcessExit(host, pid)
+			if app.Schema != nil {
+				if h, ok := s.cluster.Host(app.LaunchHost()); ok {
+					app.Schema.RecordRun(s.clock.Since(app.launched), h.Speed())
+				}
+			}
+			close(app.settled)
+			return
+		}
+	}
+}
+
+// Host returns where the app currently runs (tracked via events).
+func (app *App) Host() string {
+	app.mu.Lock()
+	defer app.mu.Unlock()
+	return app.host
+}
+
+// LaunchHost returns where the app was originally launched.
+func (app *App) LaunchHost() string { return app.launchHost }
+
+// Wait blocks until the application finishes and returns its error.
+func (app *App) Wait() error { return app.Proc.Wait() }

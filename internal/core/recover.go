@@ -1,0 +1,68 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"autoresched/internal/hpcm"
+	"autoresched/internal/registry"
+	"autoresched/internal/schema"
+)
+
+// Recover restores an application from its latest checkpoint onto a host —
+// the rescheduling-for-fault-tolerance path of Section 6: when a host dies
+// instead of being gracefully drained, its processes restart elsewhere from
+// persisted state instead of from the beginning.
+//
+// host may be empty, in which case the registry/scheduler's first-fit
+// search picks the destination (excluding the host the app last ran on).
+// main must be the same program that wrote the checkpoint, and sch its
+// schema (may be nil).
+func (s *System) Recover(name, host string, sch *schema.Schema, main hpcm.Main) (*App, error) {
+	if s.opts.Checkpoints == nil {
+		return nil, errors.New("core: no checkpoint store configured")
+	}
+	exclude := ""
+	s.mu.Lock()
+	for _, app := range s.apps {
+		if app.Proc.Name() == name {
+			exclude = app.Host()
+		}
+	}
+	s.mu.Unlock()
+
+	if host == "" {
+		cand, ok := s.reg.FirstFit(exclude, registry.ProcInfo{Name: name, Schema: sch})
+		if !ok {
+			return nil, fmt.Errorf("core: no host fits to recover %q", name)
+		}
+		host = cand.Host
+	}
+	node, ok := s.Node(host)
+	if !ok {
+		return nil, fmt.Errorf("core: no node on host %q", host)
+	}
+	p, err := s.mw.Restore(s.opts.Checkpoints, name, host, main)
+	if err != nil {
+		return nil, err
+	}
+	app := &App{
+		Proc:       p,
+		Schema:     sch,
+		sys:        s,
+		settled:    make(chan struct{}),
+		pid:        p.PID(),
+		host:       host,
+		launchHost: host,
+		launched:   s.clock.Now(),
+	}
+	node.Commander.Manage(p)
+	if err := s.registerProc(app); err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	s.apps = append(s.apps, app)
+	s.mu.Unlock()
+	go app.follow()
+	return app, nil
+}

@@ -1,0 +1,191 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"time"
+
+	"autoresched/internal/core"
+	"autoresched/internal/hpcm"
+	"autoresched/internal/metrics"
+	"autoresched/internal/workload"
+)
+
+// EfficiencyConfig tunes the Figure 7/8 scenario.
+type EfficiencyConfig struct {
+	Params
+	// AppStart is when the migration-enabled process launches; zero
+	// selects the paper's 280 s.
+	AppStart time.Duration
+	// LoadStart is when the additional tasks arrive on the source host;
+	// zero selects 360 s.
+	LoadStart time.Duration
+	// Warmup is the scheduler's consecutive-report damping; zero selects
+	// 7 (with 10 s monitoring, roughly the paper's 72 s reaction).
+	Warmup int
+	// BallastBytes sizes the migrated state; zero selects 40 MB (about
+	// 6-8 s of migration on contended 100 Mbps Ethernet, the paper's
+	// 7.5 s).
+	BallastBytes int64
+}
+
+// EfficiencyResult holds the Figure 7/8 reproduction.
+type EfficiencyResult struct {
+	// Recorder carries ws1/... and ws2/... series (load1, load5, cpu,
+	// sentKBs, recvKBs) sampled every Interval.
+	Recorder *metrics.Recorder
+
+	// The migration's phase timeline, relative to experiment start.
+	AppStart    time.Duration // process launch
+	LoadStart   time.Duration // additional tasks loaded
+	CommandAt   time.Duration // migrate command delivered
+	PollPointAt time.Duration // poll-point reached
+	InitDone    time.Duration // initialized process created (spawn)
+	ResumeAt    time.Duration // destination resumed execution
+	RestoreDone time.Duration // restoration complete
+	AppDone     time.Duration // application finished
+	Record      hpcm.Record
+	// Derived durations (the numbers Section 5.2 walks through). The
+	// decision itself is sub-millisecond (the paper's 0.002 s): the
+	// command is issued within the status-report handling.
+	ReactionTime  time.Duration // LoadStart -> CommandAt ("72 seconds")
+	TimeToPoll    time.Duration // CommandAt -> PollPointAt ("1.4 seconds")
+	InitTime      time.Duration // PollPointAt -> InitDone ("within 0.3 seconds")
+	ResumeTime    time.Duration // InitDone -> ResumeAt ("within 1 second")
+	MigrationTime time.Duration // CommandAt -> RestoreDone ("7.5 seconds")
+}
+
+// RunEfficiency reproduces the Section 5.2 experiment: two workstations, a
+// migration-enabled test_tree started at AppStart on ws1, additional load
+// at LoadStart, autonomic migration to ws2, with both hosts sampled every
+// Interval for the CPU (Figure 7) and communication (Figure 8) timelines.
+func RunEfficiency(cfg EfficiencyConfig) (*EfficiencyResult, error) {
+	cfg.Params = cfg.Params.withDefaults()
+	if cfg.AppStart <= 0 {
+		cfg.AppStart = 280 * time.Second
+	}
+	if cfg.LoadStart <= 0 {
+		cfg.LoadStart = 360 * time.Second
+	}
+	if cfg.Warmup <= 0 {
+		cfg.Warmup = 7
+	}
+	if cfg.BallastBytes <= 0 {
+		cfg.BallastBytes = 40 << 20
+	}
+	if cfg.LoadStart <= cfg.AppStart {
+		return nil, errors.New("experiments: LoadStart must follow AppStart")
+	}
+
+	cl, names, err := newCluster(cfg.Params, 2)
+	if err != nil {
+		return nil, err
+	}
+	clock := cl.Clock()
+	start := clock.Now()
+	rec := metrics.NewRecorder(clock)
+
+	sys, err := core.New(core.Options{
+		Cluster:         cl,
+		MonitorInterval: cfg.Interval,
+		GatherCost:      0.05 * hostSpeed,
+		Warmup:          cfg.Warmup,
+		Cooldown:        5 * time.Minute,
+		RegistryHost:    names[0],
+		// Large streaming chunks: every chunk costs a scheduler wake-up,
+		// which scaled virtual time multiplies.
+		ChunkBytes: 8 << 20,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := sys.AddNodes(names...); err != nil {
+		return nil, err
+	}
+	defer sys.Stop()
+
+	s1 := newSampler(rec, cl, "ws1", "ws1", cfg.Interval)
+	s2 := newSampler(rec, cl, "ws2", "ws2", cfg.Interval)
+	defer s1.Stop()
+	defer s2.Stop()
+
+	clock.Sleep(cfg.AppStart)
+
+	// test_tree sized so a sort phase (the longest inter-poll-point gap)
+	// takes ~1 s solo and total solo execution ~9 minutes.
+	tree := workload.TreeConfig{
+		Levels: 13, Rounds: 460, Seed: cfg.Seed + 7,
+		WorkPerNode:  9,
+		BytesPerNode: 8,
+		BallastBytes: cfg.BallastBytes,
+	}
+	app, err := sys.Launch("test_tree", "ws1", tree.Schema(hostSpeed), workload.TestTree(tree))
+	if err != nil {
+		return nil, err
+	}
+
+	clock.Sleep(cfg.LoadStart - cfg.AppStart)
+	loadAt := clock.Now()
+	ws1, _ := cl.Host("ws1")
+	extra := workload.NewLoadGen(ws1, workload.LoadOptions{
+		Workers: 3, Duty: 1.0, Period: 4 * time.Second, Seed: cfg.Seed + 11,
+	})
+	extra.Start()
+	defer extra.Stop()
+
+	if err := app.Wait(); err != nil {
+		return nil, err
+	}
+	doneAt := clock.Now()
+	recs := app.Proc.Records()
+	if len(recs) == 0 {
+		return nil, errors.New("experiments: the process never migrated")
+	}
+	r := recs[0]
+
+	rel := func(t time.Time) time.Duration { return t.Sub(start) }
+	res := &EfficiencyResult{
+		Recorder:      rec,
+		AppStart:      cfg.AppStart,
+		LoadStart:     rel(loadAt),
+		CommandAt:     rel(r.CommandAt),
+		PollPointAt:   rel(r.PollPointAt),
+		InitDone:      rel(r.InitDone),
+		ResumeAt:      rel(r.ResumeAt),
+		RestoreDone:   rel(r.RestoreDone),
+		AppDone:       rel(doneAt),
+		Record:        r,
+		ReactionTime:  r.CommandAt.Sub(loadAt),
+		InitTime:      r.InitDone.Sub(r.PollPointAt),
+		TimeToPoll:    r.PollPointAt.Sub(r.CommandAt),
+		ResumeTime:    r.ResumeAt.Sub(r.InitDone),
+		MigrationTime: r.RestoreDone.Sub(r.CommandAt),
+	}
+	return res, nil
+}
+
+// Render prints the Figure 7/8 reproduction as text.
+func (r *EfficiencyResult) Render() string {
+	var b strings.Builder
+	sec := func(d time.Duration) float64 { return d.Seconds() }
+	fmt.Fprintf(&b, "Figures 7/8 — efficiency timeline (seconds from start)\n")
+	fmt.Fprintf(&b, "  app start:            %8.1f\n", sec(r.AppStart))
+	fmt.Fprintf(&b, "  additional load:      %8.1f\n", sec(r.LoadStart))
+	fmt.Fprintf(&b, "  migration decision:   %8.1f  (reaction %0.1fs after load)\n",
+		sec(r.CommandAt), sec(r.ReactionTime))
+	fmt.Fprintf(&b, "  poll-point reached:   %8.1f  (+%0.2fs)\n", sec(r.PollPointAt), sec(r.TimeToPoll))
+	fmt.Fprintf(&b, "  process initialized:  %8.1f  (+%0.2fs spawn)\n", sec(r.InitDone), sec(r.InitTime))
+	fmt.Fprintf(&b, "  execution resumed:    %8.1f  (+%0.2fs restore of eager state)\n", sec(r.ResumeAt), sec(r.ResumeTime))
+	fmt.Fprintf(&b, "  restoration complete: %8.1f  (migration total %0.2fs)\n", sec(r.RestoreDone), sec(r.MigrationTime))
+	fmt.Fprintf(&b, "  app done:             %8.1f\n", sec(r.AppDone))
+	fmt.Fprintf(&b, "  state moved: %d KB eager + %d KB lazy (restore overlapped execution)\n",
+		r.Record.EagerBytes/1024, r.Record.LazyBytes/1024)
+	fmt.Fprintf(&b, "  Figure 7 (CPU %%):\n")
+	fmt.Fprintf(&b, "    ws1: %s\n", metrics.Sparkline(r.Recorder.Series("ws1/cpu")))
+	fmt.Fprintf(&b, "    ws2: %s\n", metrics.Sparkline(r.Recorder.Series("ws2/cpu")))
+	fmt.Fprintf(&b, "  Figure 8 (KB/s):\n")
+	fmt.Fprintf(&b, "    ws1 send: %s\n", metrics.Sparkline(r.Recorder.Series("ws1/sentKBs")))
+	fmt.Fprintf(&b, "    ws2 recv: %s\n", metrics.Sparkline(r.Recorder.Series("ws2/recvKBs")))
+	return b.String()
+}

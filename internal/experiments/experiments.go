@@ -1,0 +1,115 @@
+// Package experiments reproduces the paper's evaluation (Section 5):
+// Figures 5 and 6 (rescheduler overhead on load, CPU and communication),
+// Figures 7 and 8 (the efficiency timeline of one autonomic migration), and
+// Table 2 (the three migration policies on the five-workstation scenario).
+//
+// Absolute numbers come from a simulated cluster, not the paper's Sun Blade
+// testbed, so each experiment reports the quantities the paper's claims are
+// about — overhead percentages, phase durations, per-policy completion
+// times and destinations — and EXPERIMENTS.md compares their shape with the
+// published values.
+package experiments
+
+import (
+	"time"
+
+	"autoresched/internal/cluster"
+	"autoresched/internal/metrics"
+	"autoresched/internal/simnode"
+	"autoresched/internal/sysinfo"
+	"autoresched/internal/vclock"
+)
+
+// Params are the common experiment knobs.
+type Params struct {
+	// Scale compresses virtual time: a 1000-second experiment at scale 100
+	// takes ten wall seconds. Zero selects 100. Very large scales distort
+	// rates: goroutine wake-up latency is multiplied into virtual time.
+	Scale float64
+	// Interval is the sampling interval; zero selects the paper's 10 s.
+	Interval time.Duration
+	// Seed feeds the load generators.
+	Seed int64
+}
+
+func (p Params) withDefaults() Params {
+	if p.Scale <= 0 {
+		p.Scale = 100
+	}
+	if p.Interval <= 0 {
+		p.Interval = 10 * time.Second
+	}
+	return p
+}
+
+// hostSpeed is the CPU capacity used by all experiment hosts, in work units
+// per second. The unit is arbitrary; workload sizes below are calibrated
+// against it.
+const hostSpeed = 1e6
+
+// newCluster builds a fresh cluster with n Sun-Blade-like hosts named
+// ws1..wsN on 100 Mbps Ethernet.
+func newCluster(p Params, n int) (*cluster.Cluster, []string, error) {
+	clock := vclock.Scaled(vclock.Epoch, p.Scale)
+	cl := cluster.New(cluster.Options{Clock: clock, Bandwidth: 12.5e6})
+	names, err := cl.AddHosts("ws", n, simnode.Config{Speed: hostSpeed, MemTotal: 128 << 20, MemBase: 24 << 20})
+	if err != nil {
+		return nil, nil, err
+	}
+	return cl, names, nil
+}
+
+// sampler periodically gathers a host's windowed snapshot and records the
+// figure series: 1- and 5-minute load, CPU utilisation, and send/receive
+// rates in KB/s. It is the stand-in for the paper's standalone "sysinfo"
+// performance sensor.
+type sampler struct {
+	rec    *metrics.Recorder
+	prefix string
+	sensor *sysinfo.Sensor
+	stop   chan struct{}
+	done   chan struct{}
+}
+
+func newSampler(rec *metrics.Recorder, cl *cluster.Cluster, host, prefix string, interval time.Duration) *sampler {
+	src, _ := cl.Source(host)
+	s := &sampler{
+		rec:    rec,
+		prefix: prefix,
+		sensor: sysinfo.NewSensor(src),
+		stop:   make(chan struct{}),
+		done:   make(chan struct{}),
+	}
+	clock := cl.Clock()
+	go func() {
+		defer close(s.done)
+		// Prime the window.
+		if _, err := s.sensor.Gather(); err != nil {
+			return
+		}
+		for {
+			timer := clock.NewTimer(interval)
+			select {
+			case <-timer.C:
+			case <-s.stop:
+				timer.Stop()
+				return
+			}
+			snap, err := s.sensor.Gather()
+			if err != nil {
+				return
+			}
+			s.rec.Record(s.prefix+"/load1", snap.Load1)
+			s.rec.Record(s.prefix+"/load5", snap.Load5)
+			s.rec.Record(s.prefix+"/cpu", snap.CPUUtilPct)
+			s.rec.Record(s.prefix+"/sentKBs", snap.NetSentBps/1e3)
+			s.rec.Record(s.prefix+"/recvKBs", snap.NetRecvBps/1e3)
+		}
+	}()
+	return s
+}
+
+func (s *sampler) Stop() {
+	close(s.stop)
+	<-s.done
+}

@@ -1,0 +1,174 @@
+package hpcm
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"autoresched/internal/mpi"
+	"autoresched/internal/simnet"
+	"autoresched/internal/vclock"
+)
+
+// BenchmarkMigration measures one complete migration (spawn, execution +
+// eager state, lazy streaming, restore) of a process carrying the given
+// state size, over a simulated 100 Mbps link at 500x wall compression.
+func BenchmarkMigration(b *testing.B) {
+	for _, mb := range []int{1, 16, 64} {
+		b.Run(fmt.Sprintf("%dMB", mb), func(b *testing.B) {
+			size := int64(mb) << 20
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				clock := vclock.Scaled(vclock.Epoch, 500)
+				net := simnet.New(clock, simnet.Options{DefaultBandwidth: 12.5e6})
+				if err := net.AddHost("a"); err != nil {
+					b.Fatal(err)
+				}
+				if err := net.AddHost("b"); err != nil {
+					b.Fatal(err)
+				}
+				u := mpi.NewUniverse(mpi.Options{
+					Clock:        clock,
+					Transport:    mpi.SimTransport{Net: net},
+					SpawnLatency: 300 * time.Millisecond,
+				})
+				mw, err := New(Options{Universe: u, ChunkBytes: 8 << 20})
+				if err != nil {
+					b.Fatal(err)
+				}
+				main := func(ctx *Context) error {
+					ballast := make([]byte, size)
+					if err := ctx.RegisterLazy("ballast", &ballast); err != nil {
+						return err
+					}
+					if !ctx.Resumed() {
+						return ctx.PollPoint("go")
+					}
+					return ctx.Await("ballast")
+				}
+				b.StartTimer()
+				p, err := mw.Start("bench", "a", main)
+				if err != nil {
+					b.Fatal(err)
+				}
+				p.Signal(Command{DestHost: "b"})
+				if err := p.Wait(); err != nil {
+					b.Fatal(err)
+				}
+				b.StopTimer()
+				rec := p.Records()[0]
+				b.ReportMetric(rec.MigrationTime().Seconds(), "virtual-s")
+				b.ReportMetric(rec.Downtime().Seconds(), "downtime-virtual-s")
+				b.StartTimer()
+			}
+			b.SetBytes(size)
+		})
+	}
+}
+
+// BenchmarkPreInitAblation compares migration downtime with and without
+// the Section 5.2 pre-initialization optimisation under a LAM-like 300 ms
+// spawn latency — the ablation for the design choice DESIGN.md calls out.
+func BenchmarkPreInitAblation(b *testing.B) {
+	run := func(b *testing.B, preinit bool) {
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			clock := vclock.Scaled(vclock.Epoch, 500)
+			net := simnet.New(clock, simnet.Options{DefaultBandwidth: 12.5e6})
+			if err := net.AddHost("a"); err != nil {
+				b.Fatal(err)
+			}
+			if err := net.AddHost("b"); err != nil {
+				b.Fatal(err)
+			}
+			u := mpi.NewUniverse(mpi.Options{
+				Clock:        clock,
+				Transport:    mpi.SimTransport{Net: net},
+				SpawnLatency: 300 * time.Millisecond,
+			})
+			mw, err := New(Options{Universe: u, ChunkBytes: 8 << 20})
+			if err != nil {
+				b.Fatal(err)
+			}
+			main := func(ctx *Context) error {
+				bulk := make([]byte, 1<<20)
+				if err := ctx.RegisterLazy("bulk", &bulk); err != nil {
+					return err
+				}
+				if !ctx.Resumed() {
+					return ctx.PollPoint("go")
+				}
+				return ctx.Await("bulk")
+			}
+			b.StartTimer()
+			p, err := mw.Start("bench", "a", main)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if preinit {
+				if err := p.PreInit("b"); err != nil {
+					b.Fatal(err)
+				}
+			}
+			p.Signal(Command{DestHost: "b"})
+			if err := p.Wait(); err != nil {
+				b.Fatal(err)
+			}
+			b.StopTimer()
+			rec := p.Records()[0]
+			b.ReportMetric(rec.Downtime().Seconds(), "downtime-virtual-s")
+			b.ReportMetric(rec.InitDone.Sub(rec.PollPointAt).Seconds(), "init-virtual-s")
+			b.StartTimer()
+		}
+	}
+	b.Run("spawn", func(b *testing.B) { run(b, false) })
+	b.Run("preinit", func(b *testing.B) { run(b, true) })
+}
+
+// BenchmarkPollPointNoCommand measures the cost of an idle poll-point — the
+// overhead an instrumented application pays when no migration is pending.
+func BenchmarkPollPointNoCommand(b *testing.B) {
+	u := mpi.NewUniverse(mpi.Options{})
+	mw, err := New(Options{Universe: u})
+	if err != nil {
+		b.Fatal(err)
+	}
+	done := make(chan error, 1)
+	p, err := mw.Start("bench", "a", func(ctx *Context) error {
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := ctx.PollPoint("x"); err != nil {
+				return err
+			}
+		}
+		b.StopTimer()
+		return nil
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	done <- p.Wait()
+	if err := <-done; err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkStateCollection measures collecting (serialising) a registered
+// state set, the source-side cost at a firing poll-point.
+func BenchmarkStateCollection(b *testing.B) {
+	reg := newRegistry(nil)
+	counters := make([]int64, 1024)
+	blob := make([]byte, 4<<20)
+	if err := reg.register("counters", &counters, false); err != nil {
+		b.Fatal(err)
+	}
+	if err := reg.register("blob", &blob, true); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := reg.collect(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

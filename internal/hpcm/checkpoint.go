@@ -1,0 +1,214 @@
+package hpcm
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"autoresched/internal/mpi"
+)
+
+// The paper positions its design as extensible "for checkpointing-based or
+// mobile computing systems" and lists fault tolerance ("reschedule when the
+// machine will shut down") among the Grid motivations (Sections 1 and 6).
+// This file adds that extension: at a poll-point a process can write its
+// execution and memory state to a checkpoint store instead of (or in
+// addition to) migrating, and a new incarnation can later be restored from
+// the store on any host — the recovery path when a host dies instead of
+// being gracefully drained.
+
+// ErrKilled reports that the incarnation was terminated by Kill — the
+// simulated host crash.
+var ErrKilled = errors.New("hpcm: process killed")
+
+// CheckpointStore persists checkpoint images by application name.
+type CheckpointStore interface {
+	Save(app string, data []byte) error
+	// Load returns the most recent image, or ok=false if none exists.
+	Load(app string) (data []byte, ok bool, err error)
+}
+
+// MemStore is an in-memory CheckpointStore.
+type MemStore struct {
+	mu sync.Mutex
+	m  map[string][]byte
+}
+
+// NewMemStore creates an empty in-memory store.
+func NewMemStore() *MemStore { return &MemStore{m: make(map[string][]byte)} }
+
+// Save implements CheckpointStore.
+func (s *MemStore) Save(app string, data []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.m[app] = append([]byte(nil), data...)
+	return nil
+}
+
+// Load implements CheckpointStore.
+func (s *MemStore) Load(app string) ([]byte, bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	data, ok := s.m[app]
+	return data, ok, nil
+}
+
+// FileStore keeps one checkpoint file per application under a directory.
+type FileStore struct{ Dir string }
+
+func (s FileStore) path(app string) string {
+	return filepath.Join(s.Dir, app+".ckpt")
+}
+
+// Save implements CheckpointStore with an atomic rename.
+func (s FileStore) Save(app string, data []byte) error {
+	tmp := s.path(app) + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o600); err != nil {
+		return err
+	}
+	return os.Rename(tmp, s.path(app))
+}
+
+// Load implements CheckpointStore.
+func (s FileStore) Load(app string) ([]byte, bool, error) {
+	data, err := os.ReadFile(s.path(app))
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, false, nil
+	}
+	if err != nil {
+		return nil, false, err
+	}
+	return data, true, nil
+}
+
+// image is the serialised checkpoint: the same execution + memory state a
+// migration transfers, in one blob.
+type image struct {
+	Label string
+	Eager map[string][]byte
+	Lazy  map[string][]byte
+}
+
+// RequestCheckpoint asks the process to write a checkpoint at its next
+// poll-point (it keeps running afterwards). Requires a store configured on
+// the middleware.
+func (p *Process) RequestCheckpoint() error {
+	if p.mw.ckptStore == nil {
+		return errors.New("hpcm: no checkpoint store configured")
+	}
+	p.ckptReq.Store(true)
+	return nil
+}
+
+// LastCheckpoint returns when the last checkpoint completed (zero time if
+// none).
+func (p *Process) LastCheckpoint() time.Time {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.lastCkpt
+}
+
+// maybeCheckpoint runs at poll-points: on request or when the automatic
+// interval has elapsed, collect and persist the state.
+func (c *Context) maybeCheckpoint(label string) error {
+	p := c.proc
+	mw := p.mw
+	if mw.ckptStore == nil {
+		return nil
+	}
+	requested := p.ckptReq.CompareAndSwap(true, false)
+	if !requested && mw.ckptEvery > 0 {
+		p.mu.Lock()
+		due := mw.clock.Since(p.lastCkpt) >= mw.ckptEvery
+		p.mu.Unlock()
+		requested = due
+	}
+	if !requested {
+		return nil
+	}
+	eager, lazy, err := c.state.collect()
+	if err != nil {
+		return fmt.Errorf("hpcm: checkpoint collection: %w", err)
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(image{Label: label, Eager: eager, Lazy: lazy}); err != nil {
+		return fmt.Errorf("hpcm: checkpoint encoding: %w", err)
+	}
+	if err := mw.ckptStore.Save(p.name, buf.Bytes()); err != nil {
+		return fmt.Errorf("hpcm: checkpoint save: %w", err)
+	}
+	p.mu.Lock()
+	p.lastCkpt = mw.clock.Now()
+	p.ckpts++
+	p.mu.Unlock()
+	return nil
+}
+
+// Checkpoints reports how many checkpoints have been written.
+func (p *Process) Checkpoints() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.ckpts
+}
+
+// Kill terminates the process's current incarnation — the stand-in for a
+// host crash. Outstanding and future Compute calls and poll-points fail
+// with ErrKilled, and Wait returns ErrKilled.
+func (p *Process) Kill() {
+	p.killed.Store(true)
+	p.mu.Lock()
+	hp := p.hostProc
+	p.mu.Unlock()
+	hp.Exit() // unblock an in-flight Compute
+}
+
+// Restore starts a new process from the latest checkpoint of app in store:
+// the recovery path after Kill (or a lost host). The application main must
+// be the same program that wrote the checkpoint.
+func (m *Middleware) Restore(store CheckpointStore, app, host string, main Main) (*Process, error) {
+	data, ok, err := store.Load(app)
+	if err != nil {
+		return nil, fmt.Errorf("hpcm: checkpoint load: %w", err)
+	}
+	if !ok {
+		return nil, fmt.Errorf("hpcm: no checkpoint for %q", app)
+	}
+	var img image
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&img); err != nil {
+		return nil, fmt.Errorf("hpcm: checkpoint decoding: %w", err)
+	}
+	saved := newSavedState()
+	saved.eager = img.Eager
+	for name, blob := range img.Lazy {
+		saved.completeLazy(name, blob)
+	}
+
+	p := &Process{
+		mw:     m,
+		name:   app,
+		main:   main,
+		signal: make(chan pendingCmd, 1),
+		events: make(chan Record, 16),
+		mbox:   newMailbox(),
+		host:   host,
+		done:   make(chan struct{}),
+	}
+	if err := m.register(p); err != nil {
+		return nil, err
+	}
+	hp, err := m.hosts.Attach(host, app, 0)
+	if err != nil {
+		m.deregister(p)
+		return nil, fmt.Errorf("hpcm: attach %q to %q: %w", app, host, err)
+	}
+	p.hostProc = hp
+	m.universe.Start([]string{host}, func(env *mpi.Env) error {
+		return p.incarnation(env, img.Label, saved)
+	})
+	return p, nil
+}

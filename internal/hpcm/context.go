@@ -1,0 +1,103 @@
+package hpcm
+
+import (
+	"time"
+
+	"autoresched/internal/mpi"
+	"autoresched/internal/vclock"
+)
+
+// Context is the view an application body has of the middleware: state
+// registration, poll-points, CPU and memory charging, and resume
+// information. A fresh Context is passed to Main on every incarnation.
+type Context struct {
+	proc  *Process
+	env   *mpi.Env
+	label string
+	state *registry
+}
+
+// Name returns the application name.
+func (c *Context) Name() string { return c.proc.name }
+
+// Host returns the host this incarnation runs on.
+func (c *Context) Host() string { return c.env.Host }
+
+// Clock returns the middleware clock.
+func (c *Context) Clock() vclock.Clock { return c.proc.mw.clock }
+
+// Resumed reports whether this incarnation continues a migrated execution.
+func (c *Context) Resumed() bool { return c.label != "" }
+
+// ResumeLabel returns the poll-point label execution should continue from
+// ("" on a fresh start). The application dispatches on it, exactly as
+// HPCM's precompiler-generated restart code does.
+func (c *Context) ResumeLabel() string { return c.label }
+
+// Register declares an eager memory-state variable: collected at migration
+// and restored before the resumed incarnation starts. ptr must be a pointer
+// to a gob-serialisable value.
+func (c *Context) Register(name string, ptr any) error {
+	return c.state.register(name, ptr, false)
+}
+
+// RegisterLazy declares a bulk memory-state variable: streamed to the
+// destination in chunks while the resumed incarnation already executes
+// (the restoration/execution overlap of Section 5.2). Call Await before
+// touching it on a resumed incarnation.
+func (c *Context) RegisterLazy(name string, ptr any) error {
+	return c.state.register(name, ptr, true)
+}
+
+// Await blocks until the named lazy state is restored. On fresh
+// incarnations it returns immediately.
+func (c *Context) Await(name string) error { return c.state.await(name) }
+
+// Compute charges work CPU work-units on the current host, blocking in
+// virtual time for however long the host's scheduler takes to deliver them.
+// It fails with ErrKilled when the incarnation's host has "crashed".
+func (c *Context) Compute(work float64) error {
+	if c.proc.killed.Load() {
+		return ErrKilled
+	}
+	c.proc.mu.Lock()
+	hp := c.proc.hostProc
+	c.proc.mu.Unlock()
+	if err := hp.Compute(work); err != nil {
+		return err
+	}
+	if c.proc.killed.Load() {
+		return ErrKilled
+	}
+	return nil
+}
+
+// SetMemory updates the incarnation's resident memory accounting.
+func (c *Context) SetMemory(bytes int64) {
+	c.proc.mu.Lock()
+	hp := c.proc.hostProc
+	c.proc.mu.Unlock()
+	hp.SetMemory(bytes)
+}
+
+// Sleep blocks the application in virtual time.
+func (c *Context) Sleep(d time.Duration) { c.proc.mw.clock.Sleep(d) }
+
+// PollPoint is a migration point. If no migrate command is pending it
+// returns quickly (writing a checkpoint first when one is due); otherwise
+// it carries out the migration to the commanded destination and returns
+// ErrMigrated, which Main must propagate. A migration failure is returned
+// as an ordinary error and execution may continue locally.
+func (c *Context) PollPoint(label string) error {
+	if c.proc.killed.Load() {
+		return ErrKilled
+	}
+	select {
+	case sig := <-c.proc.signal:
+		c.proc.xfer.Add(1)
+		defer c.proc.xfer.Done()
+		return c.migrate(label, sig)
+	default:
+		return c.maybeCheckpoint(label)
+	}
+}

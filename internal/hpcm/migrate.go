@@ -1,0 +1,267 @@
+package hpcm
+
+import (
+	"fmt"
+	"sort"
+
+	"autoresched/internal/mpi"
+)
+
+// Wire tags of the state-transfer protocol on the parent/child
+// intercommunicator.
+const (
+	tagHeader   = 1 // execution state: label, lazy inventory, memory size
+	tagEager    = 2 // eager memory image
+	tagLazy     = 3 // lazy state chunks
+	tagResumed  = 4 // child -> parent: execution resumed
+	tagRestored = 5 // child -> parent: all lazy state restored
+)
+
+// header is the execution-state message: everything the initialized process
+// needs before it can take over the computation.
+type header struct {
+	Label     string
+	LazyNames []string
+	LazySizes []int64
+	Memory    int64
+}
+
+// chunkMeta announces one lazy-state fragment; the fragment's bytes follow
+// as a raw message (the mpi []byte fast path), so large memory images move
+// with a single copy end to end.
+type chunkMeta struct {
+	Name string
+	Size int64
+	Last bool
+}
+
+// resumeStatus reports whether the initialized process took over. The child
+// always sends one before doing anything else that can block the source, so
+// a destination-side failure never wedges the migrating process.
+type resumeStatus struct {
+	OK  bool
+	Err string
+}
+
+// migrate ships this incarnation to sig.cmd's destination. It runs at a
+// poll-point on the source and returns ErrMigrated on success.
+func (c *Context) migrate(label string, sig pendingCmd) error {
+	p := c.proc
+	mw := p.mw
+	clock := mw.clock
+	cmd := sig.cmd
+
+	rec := Record{
+		From:        c.env.Host,
+		To:          cmd.DestHost,
+		Label:       label,
+		CommandAt:   sig.at,
+		PollPointAt: clock.Now(),
+	}
+
+	eager, lazy, err := c.state.collect()
+	if err != nil {
+		return fmt.Errorf("hpcm: state collection: %w", err)
+	}
+	hdr := header{Label: label}
+	for name := range lazy {
+		hdr.LazyNames = append(hdr.LazyNames, name)
+	}
+	// Stream smallest blobs first: the quickly-restored variables are the
+	// ones a resumed application is most likely to Await, so this maximises
+	// the restoration/execution overlap (HPCM's restoration likewise
+	// prioritises eagerly needed data).
+	sort.Slice(hdr.LazyNames, func(i, j int) bool {
+		a, b := hdr.LazyNames[i], hdr.LazyNames[j]
+		if len(lazy[a]) != len(lazy[b]) {
+			return len(lazy[a]) < len(lazy[b])
+		}
+		return a < b
+	})
+	for _, name := range hdr.LazyNames {
+		hdr.LazySizes = append(hdr.LazySizes, int64(len(lazy[name])))
+		rec.LazyBytes += int64(len(lazy[name]))
+	}
+	for _, data := range eager {
+		rec.EagerBytes += int64(len(data))
+	}
+
+	p.mu.Lock()
+	oldHP := p.hostProc
+	p.mu.Unlock()
+
+	// Obtain the initialized process on the destination: connect to a
+	// pre-initialized one if available (the Section 5.2 optimisation),
+	// otherwise create it now through dynamic process creation
+	// (MPI_Comm_spawn; charged with the LAM-like spawn latency). Either
+	// way an intercommunicator carries the state.
+	var inter *mpi.Comm
+	if port, ok := p.takePreinit(cmd.DestHost); ok {
+		var cerr error
+		inter, cerr = c.env.Connect(port, c.env.World)
+		if cerr != nil {
+			inter = nil // pre-initialized process gone; fall back to spawn
+		}
+	}
+	if inter == nil {
+		var serr error
+		inter, serr = c.env.Spawn([]string{cmd.DestHost}, func(child *mpi.Env) error {
+			return p.bootstrap(child, child.Parent)
+		})
+		if serr != nil {
+			return fmt.Errorf("hpcm: dynamic process creation on %q: %w", cmd.DestHost, serr)
+		}
+	}
+	rec.InitDone = clock.Now()
+
+	// The communication state — queued undelivered messages — moves with
+	// the process; the mailbox lives with the process identity, so only
+	// the wire time is charged.
+	if pending := p.pendingBytes(); pending > 0 {
+		rec.CommBytes = pending
+		if err := mw.universe.Transport().Send(c.env.Host, cmd.DestHost, pending); err != nil {
+			return fmt.Errorf("hpcm: communication state transfer: %w", err)
+		}
+	}
+
+	// Execution state and eager memory state transfer synchronously; the
+	// destination resumes as soon as it has them.
+	if err := inter.Send(hdr, 0, tagHeader); err != nil {
+		return fmt.Errorf("hpcm: execution state transfer: %w", err)
+	}
+	if err := inter.Send(eager, 0, tagEager); err != nil {
+		return fmt.Errorf("hpcm: eager state transfer: %w", err)
+	}
+	var resumed resumeStatus
+	if _, err := inter.Recv(&resumed, 0, tagResumed); err != nil {
+		return fmt.Errorf("hpcm: resume handshake: %w", err)
+	}
+	if !resumed.OK {
+		return fmt.Errorf("hpcm: destination %q failed to initialize: %s", cmd.DestHost, resumed.Err)
+	}
+	rec.ResumeAt = clock.Now()
+
+	// The migration is committed: the destination owns the process. Record
+	// it now (RestoreDone is filled in below) so observers that synchronise
+	// on process completion always see the count.
+	p.mu.Lock()
+	p.records = append(p.records, rec)
+	recIdx := len(p.records) - 1
+	p.migrs++
+	p.mu.Unlock()
+	select {
+	case p.events <- rec:
+	default:
+	}
+
+	// Lazy (bulk) state streams in chunks while the destination already
+	// executes — the data restoration / execution overlap of Section 5.2.
+	for _, name := range hdr.LazyNames {
+		data := lazy[name]
+		for off := 0; ; off += mw.chunk {
+			end := off + mw.chunk
+			last := end >= len(data)
+			if last {
+				end = len(data)
+			}
+			meta := chunkMeta{Name: name, Size: int64(end - off), Last: last}
+			if err := inter.Send(meta, 0, tagLazy); err != nil {
+				return fmt.Errorf("hpcm: lazy state transfer of %q: %w", name, err)
+			}
+			if err := inter.Send(data[off:end], 0, tagLazy); err != nil {
+				return fmt.Errorf("hpcm: lazy state transfer of %q: %w", name, err)
+			}
+			if last {
+				break
+			}
+		}
+	}
+	var restored bool
+	if _, err := inter.Recv(&restored, 0, tagRestored); err != nil {
+		return fmt.Errorf("hpcm: restore handshake: %w", err)
+	}
+
+	// Source-side cleanup: leave the source host's process table.
+	oldHP.Exit()
+
+	p.mu.Lock()
+	p.records[recIdx].RestoreDone = clock.Now()
+	p.mu.Unlock()
+	return ErrMigrated
+}
+
+// bootstrap is the initialized process: it restores execution and eager
+// memory state, takes over the computation, and keeps restoring lazy state
+// in the background. parent is the intercommunicator to the migrating
+// process (the spawn parent, or the connection a pre-initialized process
+// accepted).
+func (p *Process) bootstrap(env *mpi.Env, parent *mpi.Comm) error {
+	var hdr header
+	if _, err := parent.Recv(&hdr, 0, tagHeader); err != nil {
+		return fmt.Errorf("hpcm: receive execution state: %w", err)
+	}
+	saved := newSavedState()
+	if _, err := parent.Recv(&saved.eager, 0, tagEager); err != nil {
+		return fmt.Errorf("hpcm: receive eager state: %w", err)
+	}
+
+	// The initialized process joins the destination host's process table
+	// before taking over. Failures are reported back so the source can
+	// resume locally instead of hanging.
+	hp, err := p.mw.hosts.Attach(env.Host, p.name, hdr.Memory)
+	if err != nil {
+		_ = parent.Send(resumeStatus{Err: err.Error()}, 0, tagResumed)
+		return fmt.Errorf("hpcm: attach on destination %q: %w", env.Host, err)
+	}
+	p.mu.Lock()
+	p.host = env.Host
+	p.hostProc = hp
+	p.mu.Unlock()
+
+	if err := parent.Send(resumeStatus{OK: true}, 0, tagResumed); err != nil {
+		return err
+	}
+
+	// Background restoration of lazy state, overlapping execution. Buffers
+	// are preallocated from the header's size inventory so reassembly is a
+	// single sequential copy per blob.
+	restoreErr := make(chan error, 1)
+	go func() {
+		sizes := make(map[string]int64, len(hdr.LazyNames))
+		for i, name := range hdr.LazyNames {
+			sizes[name] = hdr.LazySizes[i]
+		}
+		pending := make(map[string][]byte, len(hdr.LazyNames))
+		remaining := len(hdr.LazyNames)
+		for remaining > 0 {
+			var meta chunkMeta
+			if _, err := parent.Recv(&meta, 0, tagLazy); err != nil {
+				restoreErr <- err
+				return
+			}
+			var data []byte
+			if _, err := parent.Recv(&data, 0, tagLazy); err != nil {
+				restoreErr <- err
+				return
+			}
+			buf, ok := pending[meta.Name]
+			if !ok {
+				buf = make([]byte, 0, sizes[meta.Name])
+			}
+			buf = append(buf, data...)
+			pending[meta.Name] = buf
+			if meta.Last {
+				saved.completeLazy(meta.Name, buf)
+				delete(pending, meta.Name)
+				remaining--
+			}
+		}
+		restoreErr <- parent.Send(true, 0, tagRestored)
+	}()
+
+	err = p.incarnation(env, hdr.Label, saved)
+	if rerr := <-restoreErr; rerr != nil && err == nil {
+		err = fmt.Errorf("hpcm: lazy restoration: %w", rerr)
+	}
+	return err
+}

@@ -1,0 +1,296 @@
+// Package monitor implements the per-host monitoring entity (Sections 3.1
+// and 4, Figure 2): a system-information gathering engine, the monitoring
+// information database, the rule evaluator, and the local state machine
+// with a per-state monitoring frequency. Each cycle the monitor gathers a
+// snapshot, decides the host state through its rule engine, stores the
+// sample, and pushes a soft-state refresh to its registry/scheduler.
+package monitor
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"autoresched/internal/proto"
+	"autoresched/internal/rules"
+	"autoresched/internal/sysinfo"
+	"autoresched/internal/vclock"
+)
+
+// Reporter is where registrations and status refreshes go: the in-process
+// registry, or a proto client speaking the XML protocol to a remote one.
+type Reporter interface {
+	RegisterHost(host string, static proto.StaticInfo) error
+	ReportStatus(host string, status proto.Status) error
+	UnregisterHost(host string) error
+}
+
+// Charger optionally charges the monitor's own gathering cost to the host
+// it runs on, so the rescheduler's overhead is visible in the host's load —
+// the quantity Figure 5 measures.
+type Charger interface {
+	Compute(work float64) error
+}
+
+// Config configures a monitor.
+type Config struct {
+	// Host is the monitored host's name. Required.
+	Host string
+	// Source provides raw system information. Required.
+	Source sysinfo.Source
+	// Engine evaluates the host state; nil uses a permanently-free engine.
+	Engine *rules.Engine
+	// Reporter receives registration and refreshes; nil disables reporting
+	// (the monitor still maintains local state).
+	Reporter Reporter
+	// Clock drives the cycle; nil selects the real clock.
+	Clock vclock.Clock
+	// Frequencies maps each state to its monitoring frequency (Section 4:
+	// "We configure a time interval as Monitoring Frequency for each
+	// state"). Missing states use DefaultFrequency.
+	Frequencies map[rules.State]time.Duration
+	// DefaultFrequency is the fallback cycle period; zero selects 10 s,
+	// the sampling interval of the paper's experiments.
+	DefaultFrequency time.Duration
+	// HistorySize bounds the monitoring information database; zero
+	// selects 256 samples.
+	HistorySize int
+	// Charger, if set, is charged GatherCost work units per cycle.
+	Charger Charger
+	// GatherCost is the CPU cost of one gathering cycle in host work
+	// units (the scripts the paper fires are not free).
+	GatherCost float64
+	// CommandAddr is the local commander's endpoint, sent at registration
+	// so the registry can order migrations.
+	CommandAddr string
+	// Software lists locally installed packages for requirement matching.
+	Software []string
+}
+
+// Sample is one monitoring-database record.
+type Sample struct {
+	Snap  sysinfo.Snapshot
+	Grade rules.Grade
+	State rules.State
+}
+
+// Monitor is the monitoring entity of one host.
+type Monitor struct {
+	cfg    Config
+	sensor *sysinfo.Sensor
+	clock  vclock.Clock
+
+	mu      sync.Mutex
+	state   rules.State
+	history []Sample
+	cycles  int
+	lastErr error
+	stop    chan struct{}
+	stopped chan struct{}
+}
+
+// New creates a monitor.
+func New(cfg Config) (*Monitor, error) {
+	if cfg.Host == "" {
+		return nil, errors.New("monitor: Config.Host is required")
+	}
+	if cfg.Source == nil {
+		return nil, errors.New("monitor: Config.Source is required")
+	}
+	if cfg.Engine == nil {
+		cfg.Engine = rules.NewEngine(nil)
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = vclock.Real()
+	}
+	if cfg.DefaultFrequency <= 0 {
+		cfg.DefaultFrequency = 10 * time.Second
+	}
+	if cfg.HistorySize <= 0 {
+		cfg.HistorySize = 256
+	}
+	return &Monitor{
+		cfg:    cfg,
+		sensor: sysinfo.NewSensor(cfg.Source),
+		clock:  cfg.Clock,
+		state:  rules.Free,
+	}, nil
+}
+
+// Start registers the host (one-time static information) and begins the
+// monitoring loop.
+func (m *Monitor) Start() error {
+	m.mu.Lock()
+	if m.stop != nil {
+		m.mu.Unlock()
+		return errors.New("monitor: already started")
+	}
+	m.stop = make(chan struct{})
+	m.stopped = make(chan struct{})
+	stop := m.stop
+	m.mu.Unlock()
+
+	if m.cfg.Reporter != nil {
+		st := m.cfg.Source.Static()
+		static := proto.StaticInfo{
+			Addr:     m.cfg.CommandAddr,
+			OS:       st.OS,
+			Arch:     st.Arch,
+			CPUSpeed: st.CPUSpeed,
+			MemTotal: st.MemTotal,
+			Software: m.cfg.Software,
+		}
+		if err := m.cfg.Reporter.RegisterHost(m.cfg.Host, static); err != nil {
+			return fmt.Errorf("monitor: registration: %w", err)
+		}
+	}
+	go m.loop(stop)
+	return nil
+}
+
+// Stop halts the loop and unregisters the host.
+func (m *Monitor) Stop() {
+	m.mu.Lock()
+	stop := m.stop
+	stopped := m.stopped
+	m.stop = nil
+	m.mu.Unlock()
+	if stop == nil {
+		return
+	}
+	close(stop)
+	<-stopped
+	if m.cfg.Reporter != nil {
+		_ = m.cfg.Reporter.UnregisterHost(m.cfg.Host)
+	}
+}
+
+func (m *Monitor) loop(stop chan struct{}) {
+	defer close(m.stopped)
+	for {
+		m.Cycle()
+		timer := m.clock.NewTimer(m.frequency())
+		select {
+		case <-timer.C:
+		case <-stop:
+			timer.Stop()
+			return
+		}
+	}
+}
+
+// frequency returns the monitoring frequency of the current state.
+func (m *Monitor) frequency() time.Duration {
+	m.mu.Lock()
+	state := m.state
+	m.mu.Unlock()
+	if d, ok := m.cfg.Frequencies[state]; ok && d > 0 {
+		return d
+	}
+	return m.cfg.DefaultFrequency
+}
+
+// Cycle performs one gather-evaluate-report cycle and returns the sample.
+// The loop calls it periodically; tests and the pull-mode registry may call
+// it directly.
+func (m *Monitor) Cycle() (Sample, error) {
+	if m.cfg.Charger != nil && m.cfg.GatherCost > 0 {
+		// The gathering scripts consume CPU on the monitored host; this is
+		// the rescheduler overhead of Figure 5.
+		if err := m.cfg.Charger.Compute(m.cfg.GatherCost); err != nil {
+			return Sample{}, fmt.Errorf("monitor: charge: %w", err)
+		}
+	}
+	snap, err := m.sensor.Gather()
+	if err != nil {
+		m.recordErr(err)
+		return Sample{}, err
+	}
+	grade, err := m.cfg.Engine.Evaluate(snap)
+	if err != nil {
+		m.recordErr(err)
+		return Sample{}, err
+	}
+	sample := Sample{Snap: snap, Grade: grade, State: grade.State()}
+
+	m.mu.Lock()
+	m.state = sample.State
+	m.cycles++
+	m.history = append(m.history, sample)
+	if len(m.history) > m.cfg.HistorySize {
+		m.history = m.history[len(m.history)-m.cfg.HistorySize:]
+	}
+	m.lastErr = nil
+	m.mu.Unlock()
+
+	if m.cfg.Reporter != nil {
+		status := StatusFromSample(sample)
+		if err := m.cfg.Reporter.ReportStatus(m.cfg.Host, status); err != nil {
+			m.recordErr(err)
+			return sample, err
+		}
+	}
+	return sample, nil
+}
+
+func (m *Monitor) recordErr(err error) {
+	m.mu.Lock()
+	m.lastErr = err
+	m.mu.Unlock()
+}
+
+// State returns the current locally decided state.
+func (m *Monitor) State() rules.State {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.state
+}
+
+// History returns the monitoring information database (oldest first).
+func (m *Monitor) History() []Sample {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]Sample(nil), m.history...)
+}
+
+// Last returns the most recent sample.
+func (m *Monitor) Last() (Sample, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if len(m.history) == 0 {
+		return Sample{}, false
+	}
+	return m.history[len(m.history)-1], true
+}
+
+// Cycles reports how many gather cycles have completed.
+func (m *Monitor) Cycles() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.cycles
+}
+
+// Err returns the most recent cycle error, if the last cycle failed.
+func (m *Monitor) Err() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.lastErr
+}
+
+// StatusFromSample converts a sample into the protocol's status payload.
+func StatusFromSample(s Sample) proto.Status {
+	return proto.Status{
+		State:       s.State.String(),
+		Grade:       float64(s.Grade),
+		Load1:       s.Snap.Load1,
+		Load5:       s.Snap.Load5,
+		CPUUtilPct:  s.Snap.CPUUtilPct,
+		NumProcs:    s.Snap.NumProcs,
+		Sockets:     s.Snap.Sockets,
+		NetInMBps:   s.Snap.NetRecvBps / 1e6,
+		NetOutMBps:  s.Snap.NetSentBps / 1e6,
+		MemAvailPct: s.Snap.MemAvailPct,
+		MemAvail:    s.Snap.MemAvail,
+	}
+}

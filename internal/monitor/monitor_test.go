@@ -1,0 +1,387 @@
+package monitor
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"autoresched/internal/proto"
+	"autoresched/internal/rules"
+	"autoresched/internal/simnode"
+	"autoresched/internal/sysinfo"
+	"autoresched/internal/vclock"
+)
+
+// fakeReporter records what the monitor pushes.
+type fakeReporter struct {
+	mu         sync.Mutex
+	registered []string
+	statuses   []proto.Status
+	unregs     []string
+	failNext   error
+}
+
+func (f *fakeReporter) RegisterHost(host string, static proto.StaticInfo) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.registered = append(f.registered, host+"@"+static.Addr)
+	return nil
+}
+
+func (f *fakeReporter) ReportStatus(host string, st proto.Status) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.failNext != nil {
+		err := f.failNext
+		f.failNext = nil
+		return err
+	}
+	f.statuses = append(f.statuses, st)
+	return nil
+}
+
+func (f *fakeReporter) UnregisterHost(host string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.unregs = append(f.unregs, host)
+	return nil
+}
+
+func (f *fakeReporter) statusCount() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.statuses)
+}
+
+func monRig(t *testing.T) (*simnode.Host, *fakeReporter, *Monitor, *vclock.Manual) {
+	t.Helper()
+	clock := vclock.NewManual(vclock.Epoch)
+	host := simnode.NewHost(clock, "ws1", simnode.Config{Speed: 1000})
+	rep := &fakeReporter{}
+	m, err := New(Config{
+		Host:        "ws1",
+		Source:      sysinfo.NewSimSource(host, nil),
+		Engine:      loadEngine(t),
+		Reporter:    rep,
+		Clock:       clock,
+		CommandAddr: "cmd://ws1",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return host, rep, m, clock
+}
+
+func loadEngine(t *testing.T) *rules.Engine {
+	t.Helper()
+	e := rules.NewEngine(nil)
+	err := e.Add(&rules.Rule{
+		Number: 1, Name: "load", Type: rules.Simple,
+		Script: "loadAvg.sh", Param: "1", Operator: rules.OpGreater,
+		Busy: 1, OverLd: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Fatal("empty config accepted")
+	}
+	if _, err := New(Config{Host: "x"}); err == nil {
+		t.Fatal("config without source accepted")
+	}
+}
+
+func TestCycleGathersEvaluatesStores(t *testing.T) {
+	_, _, m, _ := monRig(t)
+	sample, err := m.Cycle()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sample.State != rules.Free {
+		t.Fatalf("state = %v", sample.State)
+	}
+	if m.Cycles() != 1 {
+		t.Fatalf("cycles = %d", m.Cycles())
+	}
+	last, ok := m.Last()
+	if !ok || last.Snap.Host != "ws1" {
+		t.Fatalf("last = %+v, %v", last, ok)
+	}
+	if len(m.History()) != 1 {
+		t.Fatal("history empty")
+	}
+}
+
+func TestStateFollowsLoad(t *testing.T) {
+	host, _, m, clock := monRig(t)
+	// Drive load above 2 with three always-runnable procs.
+	var procs []*simnode.Proc
+	for i := 0; i < 3; i++ {
+		p := host.Spawn("burn", 0)
+		procs = append(procs, p)
+		go func(p *simnode.Proc) { _ = p.Compute(1e12) }(p)
+	}
+	defer func() {
+		for _, p := range procs {
+			p.Exit()
+		}
+	}()
+	for host.RunQueue() < 3 {
+		time.Sleep(time.Millisecond)
+	}
+	clock.Advance(10 * time.Minute)
+	if _, err := m.Cycle(); err != nil {
+		t.Fatal(err)
+	}
+	if m.State() != rules.Overloaded {
+		t.Fatalf("state = %v, want overloaded at load ~3", m.State())
+	}
+}
+
+func TestStartLoopReportsPeriodically(t *testing.T) {
+	_, rep, m, clock := monRig(t)
+	if err := m.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Start(); err == nil {
+		t.Fatal("double start accepted")
+	}
+	defer m.Stop()
+	// First cycle runs immediately.
+	deadline := time.Now().Add(5 * time.Second)
+	for rep.statusCount() < 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("no initial report")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// Each 10s advance produces one more report.
+	for i := 2; i <= 4; i++ {
+		clock.WaitUntilWaiters(1)
+		clock.Advance(10 * time.Second)
+		for rep.statusCount() < i {
+			if time.Now().After(deadline) {
+				t.Fatalf("report %d missing (have %d)", i, rep.statusCount())
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	m.Stop()
+	m.Stop() // idempotent
+	rep.mu.Lock()
+	defer rep.mu.Unlock()
+	if len(rep.registered) != 1 || !strings.Contains(rep.registered[0], "ws1@cmd://ws1") {
+		t.Fatalf("registered = %v", rep.registered)
+	}
+	if len(rep.unregs) != 1 || rep.unregs[0] != "ws1" {
+		t.Fatalf("unregs = %v", rep.unregs)
+	}
+	if rep.statuses[0].State != "free" {
+		t.Fatalf("status = %+v", rep.statuses[0])
+	}
+}
+
+func TestPerStateFrequency(t *testing.T) {
+	clock := vclock.NewManual(vclock.Epoch)
+	host := simnode.NewHost(clock, "ws1", simnode.Config{Speed: 1000})
+	m, err := New(Config{
+		Host:   "ws1",
+		Source: sysinfo.NewSimSource(host, nil),
+		Engine: loadEngine(t),
+		Clock:  clock,
+		Frequencies: map[rules.State]time.Duration{
+			rules.Free: 30 * time.Second,
+			rules.Busy: 5 * time.Second,
+		},
+		DefaultFrequency: 10 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Cycle(); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.frequency(); got != 30*time.Second {
+		t.Fatalf("free frequency = %v", got)
+	}
+}
+
+func TestChargerChargedPerCycle(t *testing.T) {
+	clock := vclock.NewManual(vclock.Epoch)
+	host := simnode.NewHost(clock, "ws1", simnode.Config{Speed: 1000})
+	charger := host.Spawn("monitor", 0)
+	m, err := New(Config{
+		Host:       "ws1",
+		Source:     sysinfo.NewSimSource(host, nil),
+		Clock:      clock,
+		Charger:    charger,
+		GatherCost: 50, // 50ms of CPU at speed 1000
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := m.Cycle()
+		done <- err
+	}()
+	// The cycle blocks on the charge; advancing releases it.
+	clock.WaitUntilWaiters(1)
+	clock.Advance(time.Second)
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if ct := charger.CPUTime(); ct < 40*time.Millisecond {
+		t.Fatalf("charger CPU time = %v, want ~50ms", ct)
+	}
+}
+
+func TestHistoryBounded(t *testing.T) {
+	clock := vclock.NewManual(vclock.Epoch)
+	host := simnode.NewHost(clock, "ws1", simnode.Config{Speed: 1000})
+	m, err := New(Config{
+		Host:        "ws1",
+		Source:      sysinfo.NewSimSource(host, nil),
+		Clock:       clock,
+		HistorySize: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if _, err := m.Cycle(); err != nil {
+			t.Fatal(err)
+		}
+		clock.Advance(10 * time.Second)
+	}
+	if got := len(m.History()); got != 4 {
+		t.Fatalf("history size = %d, want 4", got)
+	}
+}
+
+func TestReporterErrorSurfaced(t *testing.T) {
+	_, rep, m, _ := monRig(t)
+	rep.failNext = errors.New("registry down")
+	if _, err := m.Cycle(); err == nil {
+		t.Fatal("reporter error swallowed")
+	}
+	if m.Err() == nil {
+		t.Fatal("Err() empty after failure")
+	}
+	if _, err := m.Cycle(); err != nil {
+		t.Fatal(err)
+	}
+	if m.Err() != nil {
+		t.Fatalf("Err() = %v after success", m.Err())
+	}
+}
+
+// TestDiskRuleEndToEnd covers the paper's disk-usage monitoring category:
+// a df-style rule over the host's mount table drives the state machine.
+func TestDiskRuleEndToEnd(t *testing.T) {
+	clock := vclock.NewManual(vclock.Epoch)
+	host := simnode.NewHost(clock, "ws1", simnode.Config{Speed: 1000})
+	host.SetMounts([]simnode.Mount{{Path: "/export", Total: 1000, Used: 400}})
+	engine := rules.NewEngine(nil)
+	if err := engine.Add(&rules.Rule{
+		Number: 1, Name: "diskExport", Type: rules.Simple,
+		Script: "diskUsedPct.sh", Param: "/export",
+		Operator: rules.OpGreater, Busy: 80, OverLd: 95,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	m, err := New(Config{
+		Host:   "ws1",
+		Source: sysinfo.NewSimSource(host, nil),
+		Engine: engine,
+		Clock:  clock,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Cycle(); err != nil {
+		t.Fatal(err)
+	}
+	if m.State() != rules.Free {
+		t.Fatalf("state at 40%% disk = %v", m.State())
+	}
+	host.SetMounts([]simnode.Mount{{Path: "/export", Total: 1000, Used: 900}})
+	if _, err := m.Cycle(); err != nil {
+		t.Fatal(err)
+	}
+	if m.State() != rules.Busy {
+		t.Fatalf("state at 90%% disk = %v", m.State())
+	}
+	host.SetMounts([]simnode.Mount{{Path: "/export", Total: 1000, Used: 990}})
+	if _, err := m.Cycle(); err != nil {
+		t.Fatal(err)
+	}
+	if m.State() != rules.Overloaded {
+		t.Fatalf("state at 99%% disk = %v", m.State())
+	}
+}
+
+// TestMemoryRuleEndToEnd covers the memory-state monitoring category.
+func TestMemoryRuleEndToEnd(t *testing.T) {
+	clock := vclock.NewManual(vclock.Epoch)
+	host := simnode.NewHost(clock, "ws1", simnode.Config{Speed: 1000, MemTotal: 100 << 20, MemBase: 10 << 20})
+	engine := rules.NewEngine(nil)
+	if err := engine.Add(&rules.Rule{
+		Number: 1, Name: "memAvail", Type: rules.Simple,
+		Script: "memAvailPct.sh", Operator: rules.OpLess, Busy: 30, OverLd: 10,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	m, err := New(Config{
+		Host:   "ws1",
+		Source: sysinfo.NewSimSource(host, nil),
+		Engine: engine,
+		Clock:  clock,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Cycle(); err != nil {
+		t.Fatal(err)
+	}
+	if m.State() != rules.Free {
+		t.Fatalf("state with 90%% free memory = %v", m.State())
+	}
+	hog := host.Spawn("hog", 85<<20) // available drops to 5%
+	defer hog.Exit()
+	if _, err := m.Cycle(); err != nil {
+		t.Fatal(err)
+	}
+	if m.State() != rules.Overloaded {
+		t.Fatalf("state with 5%% free memory = %v", m.State())
+	}
+}
+
+func TestStatusFromSampleRoundTrip(t *testing.T) {
+	sample := Sample{
+		Snap: sysinfo.Snapshot{
+			Host: "ws1", Load1: 0.97, Load5: 0.5, CPUUtilPct: 26,
+			NumProcs: 42, Sockets: 7, NetSentBps: 7.2e6, NetRecvBps: 0.3e6,
+			MemAvailPct: 55, MemAvail: 64 << 20,
+		},
+		Grade: rules.GradeBusy,
+		State: rules.Busy,
+	}
+	st := StatusFromSample(sample)
+	if st.State != "busy" || st.Load1 != 0.97 || st.NetOutMBps != 7.2 {
+		t.Fatalf("status = %+v", st)
+	}
+	snap := st.Snapshot("ws1")
+	if snap.Load1 != 0.97 || snap.NetSentBps != 7.2e6 || snap.CPUIdlePct != 74 {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+	if snap.NumProcs != 42 || snap.MemAvail != 64<<20 {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+}

@@ -1,0 +1,151 @@
+package mpi
+
+import (
+	"fmt"
+	"testing"
+)
+
+// BenchmarkPingPong measures point-to-point round-trip cost through the
+// in-process message layer (Instant transport: pure library overhead).
+func BenchmarkPingPong(b *testing.B) {
+	for _, size := range []int{16, 1 << 10, 64 << 10} {
+		b.Run(fmt.Sprintf("%dB", size), func(b *testing.B) {
+			u := NewUniverse(Options{})
+			payload := make([]byte, size)
+			ready := make(chan *Comm, 1)
+			wait := u.Start(hosts(2), func(env *Env) error {
+				w := env.World
+				if w.Rank() == 1 {
+					for {
+						var buf []byte
+						if _, err := w.Recv(&buf, 0, 1); err != nil {
+							return nil
+						}
+						if len(buf) == 0 {
+							return nil // stop marker
+						}
+						if err := w.Send(buf, 0, 2); err != nil {
+							return err
+						}
+					}
+				}
+				ready <- w
+				var blocked chan struct{}
+				<-blocked // rank 0's sends happen on the bench goroutine
+				return nil
+			})
+			_ = wait
+			w := <-ready
+			b.SetBytes(int64(size))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := w.Send(payload, 1, 1); err != nil {
+					b.Fatal(err)
+				}
+				var buf []byte
+				if _, err := w.Recv(&buf, 1, 2); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			_ = w.Send([]byte{}, 1, 1)
+		})
+	}
+}
+
+// BenchmarkBcast measures the binomial broadcast across 8 ranks per
+// iteration.
+func BenchmarkBcast(b *testing.B) {
+	u := NewUniverse(Options{})
+	const n = 8
+	iters := make(chan int)
+	wait := u.Start(hosts(n), func(env *Env) error {
+		w := env.World
+		for count := range iters {
+			for i := 0; i < count; i++ {
+				v := w.Rank()
+				if err := w.Bcast(&v, 0); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	})
+	b.ResetTimer()
+	for i := 0; i < n; i++ {
+		iters <- b.N
+	}
+	close(iters)
+	for _, err := range wait() {
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAllreduce measures a full allreduce across 8 ranks per
+// iteration.
+func BenchmarkAllreduce(b *testing.B) {
+	u := NewUniverse(Options{})
+	const n = 8
+	iters := make(chan int)
+	wait := u.Start(hosts(n), func(env *Env) error {
+		w := env.World
+		for count := range iters {
+			for i := 0; i < count; i++ {
+				var sum int
+				if err := w.Allreduce(w.Rank(), &sum, Sum); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	})
+	b.ResetTimer()
+	// Broadcast the iteration budget to all ranks, then let them run.
+	for i := 0; i < n; i++ {
+		iters <- b.N
+	}
+	close(iters)
+	for _, err := range wait() {
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSpawnMerge measures the dynamic-process-management path the
+// migration protocol exercises: spawn + intercomm merge + one exchange.
+func BenchmarkSpawnMerge(b *testing.B) {
+	u := NewUniverse(Options{})
+	errs := u.Run([]string{"src"}, func(env *Env) error {
+		for i := 0; i < b.N; i++ {
+			inter, err := env.Spawn([]string{"dst"}, func(child *Env) error {
+				merged, err := child.Parent.Merge(true)
+				if err != nil {
+					return err
+				}
+				var v int
+				_, err = merged.Recv(&v, 0, 0)
+				return err
+			})
+			if err != nil {
+				return err
+			}
+			merged, err := inter.Merge(false)
+			if err != nil {
+				return err
+			}
+			if err := merged.Send(i, 1, 0); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	for _, err := range errs {
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	u.Wait()
+}

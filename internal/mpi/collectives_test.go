@@ -1,0 +1,304 @@
+package mpi
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestBarrierSynchronises(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 5, 8} {
+		var before, after atomic.Int32
+		runWorld(t, n, func(env *Env) error {
+			before.Add(1)
+			if err := env.World.Barrier(); err != nil {
+				return err
+			}
+			if got := before.Load(); got != int32(n) {
+				return fmt.Errorf("crossed barrier with only %d/%d arrived", got, n)
+			}
+			after.Add(1)
+			return nil
+		})
+		if after.Load() != int32(n) {
+			t.Fatalf("n=%d: after = %d", n, after.Load())
+		}
+	}
+}
+
+func TestBcastAllSizesAndRoots(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 4, 7} {
+		for root := 0; root < n; root++ {
+			var mu sync.Mutex
+			got := map[int]string{}
+			runWorld(t, n, func(env *Env) error {
+				w := env.World
+				msg := "default"
+				if w.Rank() == root {
+					msg = fmt.Sprintf("from-%d", root)
+				}
+				if err := w.Bcast(&msg, root); err != nil {
+					return err
+				}
+				mu.Lock()
+				got[w.Rank()] = msg
+				mu.Unlock()
+				return nil
+			})
+			want := fmt.Sprintf("from-%d", root)
+			for rank, msg := range got {
+				if msg != want {
+					t.Fatalf("n=%d root=%d rank=%d got %q", n, root, rank, msg)
+				}
+			}
+		}
+	}
+}
+
+func TestReduceSum(t *testing.T) {
+	for _, n := range []int{1, 2, 5} {
+		runWorld(t, n, func(env *Env) error {
+			w := env.World
+			var total int
+			if err := w.Reduce(w.Rank()+1, &total, Sum, 0); err != nil {
+				return err
+			}
+			if w.Rank() == 0 {
+				want := n * (n + 1) / 2
+				if total != want {
+					return fmt.Errorf("sum = %d, want %d", total, want)
+				}
+			}
+			return nil
+		})
+	}
+}
+
+func TestAllreduceMaxMinProd(t *testing.T) {
+	runWorld(t, 4, func(env *Env) error {
+		w := env.World
+		var hi, lo float64
+		if err := w.Allreduce(float64(w.Rank()), &hi, Max); err != nil {
+			return err
+		}
+		if err := w.Allreduce(float64(w.Rank()), &lo, Min); err != nil {
+			return err
+		}
+		if hi != 3 || lo != 0 {
+			return fmt.Errorf("max=%v min=%v", hi, lo)
+		}
+		var prod int64
+		if err := w.Allreduce(int64(w.Rank()+1), &prod, Prod); err != nil {
+			return err
+		}
+		if prod != 24 {
+			return fmt.Errorf("prod = %d", prod)
+		}
+		return nil
+	})
+}
+
+func TestReduceMixedTypesError(t *testing.T) {
+	if _, err := Sum(1, "x"); err == nil {
+		t.Fatal("Sum(int, string) succeeded")
+	}
+	if _, err := Sum("a", "b"); err == nil {
+		t.Fatal("Sum(string, string) succeeded")
+	}
+	if v, err := Max(int64(3), int64(9)); err != nil || v.(int64) != 9 {
+		t.Fatalf("Max int64 = %v, %v", v, err)
+	}
+	if v, err := Min(2, 7); err != nil || v.(int) != 2 {
+		t.Fatalf("Min int = %v, %v", v, err)
+	}
+}
+
+func TestGatherScatter(t *testing.T) {
+	runWorld(t, 4, func(env *Env) error {
+		w := env.World
+		vals, err := w.Gather(w.Rank()*10, 2)
+		if err != nil {
+			return err
+		}
+		if w.Rank() == 2 {
+			for i, v := range vals {
+				if v.(int) != i*10 {
+					return fmt.Errorf("gather[%d] = %v", i, v)
+				}
+			}
+		} else if vals != nil {
+			return errors.New("non-root got gather data")
+		}
+
+		var mine string
+		var toScatter []any
+		if w.Rank() == 1 {
+			for i := 0; i < 4; i++ {
+				toScatter = append(toScatter, fmt.Sprintf("piece-%d", i))
+			}
+		}
+		if err := w.Scatter(toScatter, &mine, 1); err != nil {
+			return err
+		}
+		if want := fmt.Sprintf("piece-%d", w.Rank()); mine != want {
+			return fmt.Errorf("scatter got %q want %q", mine, want)
+		}
+		return nil
+	})
+}
+
+func TestAllgather(t *testing.T) {
+	runWorld(t, 3, func(env *Env) error {
+		w := env.World
+		vals, err := w.Allgather(w.Rank() + 100)
+		if err != nil {
+			return err
+		}
+		for i, v := range vals {
+			if v.(int) != i+100 {
+				return fmt.Errorf("rank %d: allgather[%d] = %v", w.Rank(), i, v)
+			}
+		}
+		return nil
+	})
+}
+
+func TestAlltoall(t *testing.T) {
+	runWorld(t, 3, func(env *Env) error {
+		w := env.World
+		vals := make([]any, 3)
+		for i := range vals {
+			vals[i] = w.Rank()*10 + i
+		}
+		got, err := w.Alltoall(vals)
+		if err != nil {
+			return err
+		}
+		for src, v := range got {
+			if want := src*10 + w.Rank(); v.(int) != want {
+				return fmt.Errorf("alltoall[%d] = %v, want %d", src, v, want)
+			}
+		}
+		return nil
+	})
+}
+
+func TestScanPrefixSums(t *testing.T) {
+	runWorld(t, 5, func(env *Env) error {
+		w := env.World
+		var prefix int
+		if err := w.Scan(w.Rank()+1, &prefix, Sum); err != nil {
+			return err
+		}
+		r := w.Rank() + 1
+		want := r * (r + 1) / 2
+		if prefix != want {
+			return fmt.Errorf("rank %d prefix = %d, want %d", w.Rank(), prefix, want)
+		}
+		// A second collective on the same communicator stays in step.
+		var mx float64
+		if err := w.Scan(float64(w.Rank()), &mx, Max); err != nil {
+			return err
+		}
+		if mx != float64(w.Rank()) {
+			return fmt.Errorf("rank %d max prefix = %v", w.Rank(), mx)
+		}
+		return nil
+	})
+}
+
+func TestScanSingleRankAndErrors(t *testing.T) {
+	runWorld(t, 1, func(env *Env) error {
+		var out int
+		if err := env.World.Scan(42, &out, Sum); err != nil {
+			return err
+		}
+		if out != 42 {
+			return fmt.Errorf("out = %d", out)
+		}
+		if err := env.World.Scan(1, nil, Sum); err == nil {
+			return errors.New("nil result pointer accepted")
+		}
+		return nil
+	})
+}
+
+func TestScatterWrongCount(t *testing.T) {
+	runWorld(t, 2, func(env *Env) error {
+		w := env.World
+		var v int
+		if w.Rank() == 0 {
+			if err := w.Scatter([]any{1}, &v, 0); err == nil {
+				return errors.New("short scatter accepted")
+			}
+			// Unblock rank 1 with a real scatter.
+			return w.Scatter([]any{10, 20}, &v, 0)
+		}
+		if err := w.Scatter(nil, &v, 0); err != nil {
+			return err
+		}
+		if v != 20 {
+			return fmt.Errorf("v = %d", v)
+		}
+		return nil
+	})
+}
+
+func TestCollectiveBadRoot(t *testing.T) {
+	runWorld(t, 2, func(env *Env) error {
+		w := env.World
+		var v int
+		if err := w.Bcast(&v, 9); !errors.Is(err, ErrBadRank) {
+			return fmt.Errorf("bcast err = %v", err)
+		}
+		if err := w.Reduce(1, &v, Sum, -1); !errors.Is(err, ErrBadRank) {
+			return fmt.Errorf("reduce err = %v", err)
+		}
+		if _, err := w.Gather(1, 5); !errors.Is(err, ErrBadRank) {
+			return fmt.Errorf("gather err = %v", err)
+		}
+		return nil
+	})
+}
+
+// Property: Allreduce(Sum) over random integer vectors equals the local sum
+// computed directly, for several world sizes.
+func TestAllreduceSumProperty(t *testing.T) {
+	f := func(vals []int16, sizeSeed uint8) bool {
+		n := int(sizeSeed%6) + 1
+		if len(vals) < n {
+			return true
+		}
+		want := 0
+		for i := 0; i < n; i++ {
+			want += int(vals[i])
+		}
+		ok := true
+		var mu sync.Mutex
+		u := NewUniverse(Options{})
+		errs := u.Run(hosts(n), func(env *Env) error {
+			var got int
+			if err := env.World.Allreduce(int(vals[env.World.Rank()]), &got, Sum); err != nil {
+				return err
+			}
+			if got != want {
+				mu.Lock()
+				ok = false
+				mu.Unlock()
+			}
+			return nil
+		})
+		for _, err := range errs {
+			if err != nil {
+				return false
+			}
+		}
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

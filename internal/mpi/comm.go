@@ -1,0 +1,346 @@
+package mpi
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// group is a set of processes that can address one another by rank.
+type group struct {
+	ctx   string
+	hosts []string
+	eps   []*endpoint
+
+	// parentInterCtx carries the spawn intercommunicator context from
+	// launch back to the spawning process.
+	parentInterCtx string
+}
+
+// Comm is a communicator handle. Each rank holds its own handle; handles
+// share the underlying group. An intercommunicator additionally references
+// a remote group (MPI-2 dynamic process management produces these).
+type Comm struct {
+	u      *Universe
+	group  *group
+	remote *group // nil for an intracommunicator
+	ctx    string // message context; empty means group.ctx (intracomm)
+	rank   int
+	self   *endpoint
+
+	collMu  sync.Mutex
+	collSeq int
+}
+
+// Status describes a received or probed message.
+type Status struct {
+	Source int
+	Tag    int
+	Bytes  int
+}
+
+// context returns the matching context for this communicator's messages.
+func (c *Comm) context() string {
+	if c.ctx != "" {
+		return c.ctx
+	}
+	return c.group.ctx
+}
+
+// Rank returns the caller's rank in the local group.
+func (c *Comm) Rank() int { return c.rank }
+
+// Size returns the local group size.
+func (c *Comm) Size() int { return len(c.group.eps) }
+
+// RemoteSize returns the remote group size of an intercommunicator, or 0.
+func (c *Comm) RemoteSize() int {
+	if c.remote == nil {
+		return 0
+	}
+	return len(c.remote.eps)
+}
+
+// IsInter reports whether this is an intercommunicator.
+func (c *Comm) IsInter() bool { return c.remote != nil }
+
+// Host returns the host name a rank runs on. For an intercommunicator the
+// rank indexes the remote group, matching where sends go.
+func (c *Comm) Host(rank int) (string, error) {
+	g := c.destGroup()
+	if rank < 0 || rank >= len(g.hosts) {
+		return "", fmt.Errorf("%w: %d of %d", ErrBadRank, rank, len(g.hosts))
+	}
+	return g.hosts[rank], nil
+}
+
+// destGroup is where sends are addressed: the remote group for
+// intercommunicators, the local group otherwise.
+func (c *Comm) destGroup() *group {
+	if c.remote != nil {
+		return c.remote
+	}
+	return c.group
+}
+
+// Send sends v to dest with a non-negative tag, blocking until the payload
+// has been accepted (eager buffering: transport time is charged, then the
+// message is queued at the receiver).
+func (c *Comm) Send(v any, dest, tag int) error {
+	if tag < 0 {
+		return fmt.Errorf("%w: %d", ErrBadTag, tag)
+	}
+	return c.send(v, dest, tag)
+}
+
+func (c *Comm) send(v any, dest, tag int) error {
+	g := c.destGroup()
+	if dest < 0 || dest >= len(g.eps) {
+		return fmt.Errorf("%w: dest %d of %d", ErrBadRank, dest, len(g.eps))
+	}
+	// []byte payloads move without serialisation or copying (the zero-copy
+	// contract: the sender must not mutate the slice after Send). Large
+	// memory images — migration state — depend on this staying cheap.
+	var data []byte
+	raw := false
+	if b, ok := v.([]byte); ok {
+		data, raw = b, true
+	} else {
+		var err error
+		if data, err = encode(v); err != nil {
+			return err
+		}
+	}
+	dst := g.eps[dest]
+	if err := c.u.transport.Send(c.self.host, dst.host, int64(len(data))); err != nil {
+		return fmt.Errorf("mpi: transport %s->%s: %w", c.self.host, dst.host, err)
+	}
+	return dst.deliver(&message{ctx: c.context(), src: c.rank, tag: tag, data: data, raw: raw})
+}
+
+// Recv receives into ptr a message from src (or AnySource) with tag (or
+// AnyTag), blocking until one arrives.
+func (c *Comm) Recv(ptr any, src, tag int) (Status, error) {
+	m, err := c.self.match(c.context(), src, tag)
+	if err != nil {
+		return Status{}, err
+	}
+	if err := decodeMessage(m, ptr); err != nil {
+		return Status{}, err
+	}
+	return Status{Source: m.src, Tag: m.tag, Bytes: len(m.data)}, nil
+}
+
+// decodeMessage lands a message in ptr, honouring the raw []byte fast path.
+func decodeMessage(m *message, ptr any) error {
+	if m.raw {
+		bp, ok := ptr.(*[]byte)
+		if !ok {
+			return fmt.Errorf("mpi: raw []byte message received into %T", ptr)
+		}
+		*bp = m.data
+		return nil
+	}
+	return decode(m.data, ptr)
+}
+
+// Probe blocks until a matching message is available and describes it
+// without receiving it.
+func (c *Comm) Probe(src, tag int) (Status, error) {
+	m, err := c.self.peek(c.context(), src, tag)
+	if err != nil {
+		return Status{}, err
+	}
+	return Status{Source: m.src, Tag: m.tag, Bytes: len(m.data)}, nil
+}
+
+// Iprobe reports, without blocking, whether a matching message is
+// available (MPI_Iprobe).
+func (c *Comm) Iprobe(src, tag int) (bool, Status, error) {
+	m, ok, err := c.self.peekNow(c.context(), src, tag)
+	if err != nil || !ok {
+		return false, Status{}, err
+	}
+	return true, Status{Source: m.src, Tag: m.tag, Bytes: len(m.data)}, nil
+}
+
+// WaitAll waits for every request and returns the first error encountered
+// (MPI_Waitall).
+func WaitAll(reqs ...*Request) error {
+	var first error
+	for _, r := range reqs {
+		if _, err := r.Wait(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Request is a handle for a non-blocking operation.
+type Request struct {
+	done   chan struct{}
+	status Status
+	err    error
+}
+
+// Wait blocks until the operation completes and returns its status.
+func (r *Request) Wait() (Status, error) {
+	<-r.done
+	return r.status, r.err
+}
+
+// Test reports whether the operation has completed, without blocking.
+func (r *Request) Test() (bool, Status, error) {
+	select {
+	case <-r.done:
+		return true, r.status, r.err
+	default:
+		return false, Status{}, nil
+	}
+}
+
+// Isend starts a non-blocking send.
+func (c *Comm) Isend(v any, dest, tag int) *Request {
+	r := &Request{done: make(chan struct{})}
+	go func() {
+		defer close(r.done)
+		r.err = c.Send(v, dest, tag)
+	}()
+	return r
+}
+
+// Irecv starts a non-blocking receive into ptr. ptr must stay untouched
+// until Wait/Test reports completion.
+func (c *Comm) Irecv(ptr any, src, tag int) *Request {
+	r := &Request{done: make(chan struct{})}
+	go func() {
+		defer close(r.done)
+		r.status, r.err = c.Recv(ptr, src, tag)
+	}()
+	return r
+}
+
+// SendRecv performs a combined send and receive, safe against the
+// head-to-head exchange deadlock.
+func (c *Comm) SendRecv(sendV any, dest, sendTag int, recvPtr any, src, recvTag int) (Status, error) {
+	sr := c.Isend(sendV, dest, sendTag)
+	st, err := c.Recv(recvPtr, src, recvTag)
+	if err != nil {
+		return st, err
+	}
+	if _, serr := sr.Wait(); serr != nil {
+		return st, serr
+	}
+	return st, nil
+}
+
+// collTagBase offsets internal tags so they can never collide with the
+// AnyTag/AnySource wildcards (-1).
+const collTagBase = 1000
+
+// nextCollTag reserves a fresh internal (negative) tag for one collective
+// operation. All ranks call collectives in the same order on a
+// communicator (an MPI requirement), so per-rank counters agree.
+func (c *Comm) nextCollTag() int {
+	c.collMu.Lock()
+	defer c.collMu.Unlock()
+	c.collSeq++
+	return -(c.collSeq + collTagBase)
+}
+
+// nextDerivedSeq reserves a sequence number for derived-communicator
+// creation; again all ranks agree by calling order.
+func (c *Comm) nextDerivedSeq() int {
+	c.collMu.Lock()
+	defer c.collMu.Unlock()
+	c.collSeq++
+	return c.collSeq
+}
+
+// Dup returns a duplicate communicator with a disjoint message context
+// (collective).
+func (c *Comm) Dup() (*Comm, error) {
+	if c.remote != nil {
+		return nil, fmt.Errorf("mpi: Dup of intercommunicator not supported")
+	}
+	seq := c.nextDerivedSeq()
+	ctx := fmt.Sprintf("%s/dup-%d", c.group.ctx, seq)
+	ng := &group{ctx: ctx, hosts: c.group.hosts, eps: c.group.eps}
+	return &Comm{u: c.u, group: ng, rank: c.rank, self: c.self}, nil
+}
+
+// Split partitions the communicator by color; ranks within each new
+// communicator are ordered by (key, old rank). Collective: every rank must
+// call it. A negative color yields a nil communicator for that rank
+// (MPI_UNDEFINED).
+func (c *Comm) Split(color, key int) (*Comm, error) {
+	if c.remote != nil {
+		return nil, fmt.Errorf("mpi: Split of intercommunicator not supported")
+	}
+	seq := c.nextDerivedSeq()
+	tag := -(seq + collTagBase)
+
+	type entry struct {
+		Rank  int
+		Color int
+		Key   int
+	}
+	mine := entry{Rank: c.rank, Color: color, Key: key}
+
+	// Allgather the (color, key) table over point-to-point: everyone sends
+	// to rank 0, rank 0 broadcasts the table.
+	var table []entry
+	if c.rank == 0 {
+		table = make([]entry, c.Size())
+		table[0] = mine
+		for i := 1; i < c.Size(); i++ {
+			var e entry
+			m, err := c.self.match(c.context(), AnySource, tag)
+			if err != nil {
+				return nil, err
+			}
+			if err := decode(m.data, &e); err != nil {
+				return nil, err
+			}
+			table[e.Rank] = e
+		}
+		for i := 1; i < c.Size(); i++ {
+			if err := c.send(table, i, tag); err != nil {
+				return nil, err
+			}
+		}
+	} else {
+		if err := c.send(mine, 0, tag); err != nil {
+			return nil, err
+		}
+		if _, err := c.Recv(&table, 0, tag); err != nil {
+			return nil, err
+		}
+	}
+
+	if color < 0 {
+		return nil, nil
+	}
+	var members []entry
+	for _, e := range table {
+		if e.Color == color {
+			members = append(members, e)
+		}
+	}
+	sort.Slice(members, func(i, j int) bool {
+		if members[i].Key != members[j].Key {
+			return members[i].Key < members[j].Key
+		}
+		return members[i].Rank < members[j].Rank
+	})
+	ng := &group{ctx: fmt.Sprintf("%s/split-%d-c%d", c.group.ctx, seq, color)}
+	newRank := -1
+	for i, e := range members {
+		ng.eps = append(ng.eps, c.group.eps[e.Rank])
+		ng.hosts = append(ng.hosts, c.group.hosts[e.Rank])
+		if e.Rank == c.rank {
+			newRank = i
+		}
+	}
+	return &Comm{u: c.u, group: ng, rank: newRank, self: c.self}, nil
+}

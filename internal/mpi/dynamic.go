@@ -1,0 +1,231 @@
+package mpi
+
+import (
+	"fmt"
+	"sort"
+)
+
+// This file implements the MPI-2 dynamic process management the paper's
+// migration protocol is built on: MPI_Comm_spawn, MPI_Open_port /
+// MPI_Publish_name / MPI_Lookup_name, MPI_Comm_accept / MPI_Comm_connect,
+// and MPI_Intercomm_merge. In 2004 only LAM/MPI implemented these; the
+// paper notes MPICH-2 and Sun MPI could not be used for exactly this
+// reason.
+
+// Spawn launches len(hosts) new processes running main and returns the
+// intercommunicator whose remote group is the children. The children see
+// the parent through env.Parent (MPI_Comm_get_parent); their local world is
+// a fresh communicator of the siblings.
+//
+// Spawn charges the universe's SpawnLatency, modelling LAM/MPI's slow
+// dynamic process creation. It is called by a single process (the paper's
+// migrating process is a singleton communicator); the returned handle
+// belongs to the caller.
+func (env *Env) Spawn(hosts []string, main Main) (*Comm, error) {
+	if len(hosts) == 0 {
+		return nil, fmt.Errorf("mpi: Spawn with no hosts")
+	}
+	u := env.U
+	if u.spawnLatency > 0 {
+		u.clock.Sleep(u.spawnLatency)
+	}
+	parentGroup := &group{
+		ctx:   env.World.group.ctx,
+		hosts: env.World.group.hosts,
+		eps:   env.World.group.eps,
+	}
+	envs, _ := u.launch(hosts, parentGroup, main)
+	children := envs[0].World.group
+	return &Comm{
+		u:      u,
+		group:  env.World.group,
+		remote: children,
+		ctx:    children.parentInterCtx,
+		rank:   env.World.rank,
+		self:   env.ep,
+	}, nil
+}
+
+// port is a rendezvous point for Connect/Accept.
+type port struct {
+	name    string
+	accepts chan *connectReq
+	done    chan struct{} // closed by ClosePort to release blocked callers
+}
+
+type connectReq struct {
+	remote *group
+	rank   int
+	reply  chan *acceptReply
+}
+
+type acceptReply struct {
+	local *group
+	ctx   string
+}
+
+// OpenPort creates a named port another group can connect to
+// (MPI_Open_port).
+func (u *Universe) OpenPort() string {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	u.nextID++
+	name := fmt.Sprintf("port-%d", u.nextID)
+	u.ports[name] = &port{
+		name:    name,
+		accepts: make(chan *connectReq),
+		done:    make(chan struct{}),
+	}
+	return name
+}
+
+// ClosePort removes a port, releasing any Accept or Connect blocked on it
+// with an error.
+func (u *Universe) ClosePort(name string) {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	if p, ok := u.ports[name]; ok {
+		close(p.done)
+		delete(u.ports, name)
+	}
+}
+
+// Publish binds a service name to a port name (MPI_Publish_name).
+func (u *Universe) Publish(service, portName string) error {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	if _, ok := u.ports[portName]; !ok {
+		return fmt.Errorf("mpi: publish of unknown port %q", portName)
+	}
+	u.names[service] = portName
+	return nil
+}
+
+// Unpublish removes a service binding (MPI_Unpublish_name).
+func (u *Universe) Unpublish(service string) {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	delete(u.names, service)
+}
+
+// Lookup resolves a service name to a port name (MPI_Lookup_name).
+func (u *Universe) Lookup(service string) (string, error) {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	name, ok := u.names[service]
+	if !ok {
+		return "", fmt.Errorf("mpi: no service %q", service)
+	}
+	return name, nil
+}
+
+func (u *Universe) port(name string) (*port, error) {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	p, ok := u.ports[name]
+	if !ok {
+		return nil, fmt.Errorf("mpi: unknown port %q", name)
+	}
+	return p, nil
+}
+
+// Accept waits for a Connect on the port and returns the resulting
+// intercommunicator (MPI_Comm_accept). Root-only: the caller represents its
+// communicator.
+func (env *Env) Accept(portName string, comm *Comm) (*Comm, error) {
+	p, err := env.U.port(portName)
+	if err != nil {
+		return nil, err
+	}
+	var req *connectReq
+	select {
+	case req = <-p.accepts:
+	case <-p.done:
+		return nil, fmt.Errorf("mpi: port %q closed while accepting", portName)
+	}
+	ctx := env.U.nextCtx("intercomm")
+	req.reply <- &acceptReply{local: comm.group, ctx: ctx}
+	return &Comm{
+		u: env.U, group: comm.group, remote: req.remote, ctx: ctx,
+		rank: comm.rank, self: env.ep,
+	}, nil
+}
+
+// Connect joins a port opened by another group and returns the resulting
+// intercommunicator (MPI_Comm_connect). Root-only.
+func (env *Env) Connect(portName string, comm *Comm) (*Comm, error) {
+	p, err := env.U.port(portName)
+	if err != nil {
+		return nil, err
+	}
+	req := &connectReq{remote: comm.group, rank: comm.rank, reply: make(chan *acceptReply)}
+	select {
+	case p.accepts <- req:
+	case <-p.done:
+		return nil, fmt.Errorf("mpi: port %q closed while connecting", portName)
+	}
+	reply := <-req.reply
+	return &Comm{
+		u: env.U, group: comm.group, remote: reply.local, ctx: reply.ctx,
+		rank: comm.rank, self: env.ep,
+	}, nil
+}
+
+// mergeTag is the reserved internal tag of the Merge flag exchange.
+const mergeTag = -1 << 20
+
+// Merge turns an intercommunicator into an intracommunicator containing
+// both groups (MPI_Intercomm_merge). Processes passing high=false are
+// ordered before those passing high=true. Rank 0 of each side exchanges
+// flags so the ordering is consistent even if both sides pass the same
+// value (ties break on group context); non-zero ranks assume complementary
+// flags, so multi-rank groups must pass complementary values.
+func (c *Comm) Merge(high bool) (*Comm, error) {
+	if c.remote == nil {
+		return nil, fmt.Errorf("mpi: Merge of an intracommunicator")
+	}
+	local, remote := c.group, c.remote
+
+	remoteHigh := !high
+	if c.rank == 0 {
+		if err := c.send(high, 0, mergeTag); err != nil {
+			return nil, err
+		}
+		if _, err := c.recvInternal(&remoteHigh, 0, mergeTag); err != nil {
+			return nil, err
+		}
+	}
+	var first, second *group
+	switch {
+	case high != remoteHigh:
+		if high {
+			first, second = remote, local
+		} else {
+			first, second = local, remote
+		}
+	case local.ctx < remote.ctx:
+		first, second = local, remote
+	default:
+		first, second = remote, local
+	}
+	// Both sides derive the identical context from shared knowledge: the
+	// intercomm ctx plus the sorted pair of group ctxs.
+	pair := []string{local.ctx, remote.ctx}
+	sort.Strings(pair)
+	ctx := fmt.Sprintf("%s/merged-%s-%s", c.ctx, pair[0], pair[1])
+
+	ng := &group{ctx: ctx}
+	ng.eps = append(append([]*endpoint(nil), first.eps...), second.eps...)
+	ng.hosts = append(append([]string(nil), first.hosts...), second.hosts...)
+	rank := -1
+	for i, ep := range ng.eps {
+		if ep == c.self {
+			rank = i
+			break
+		}
+	}
+	if rank < 0 {
+		return nil, fmt.Errorf("mpi: caller not in merged group")
+	}
+	return &Comm{u: c.u, group: ng, rank: rank, self: c.self}, nil
+}

@@ -1,0 +1,449 @@
+package mpi
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"autoresched/internal/vclock"
+)
+
+func TestSpawnParentChildExchange(t *testing.T) {
+	u := NewUniverse(Options{})
+	errs := u.Run([]string{"src"}, func(env *Env) error {
+		inter, err := env.Spawn([]string{"dst"}, func(child *Env) error {
+			if child.Parent == nil {
+				return errors.New("child has no parent comm")
+			}
+			if child.Parent.RemoteSize() != 1 || !child.Parent.IsInter() {
+				return fmt.Errorf("parent comm shape: remote=%d", child.Parent.RemoteSize())
+			}
+			var q string
+			if _, err := child.Parent.Recv(&q, 0, 1); err != nil {
+				return err
+			}
+			if q != "state?" {
+				return fmt.Errorf("q = %q", q)
+			}
+			return child.Parent.Send("state!", 0, 2)
+		})
+		if err != nil {
+			return err
+		}
+		if inter.RemoteSize() != 1 || !inter.IsInter() {
+			return fmt.Errorf("intercomm shape: remote=%d", inter.RemoteSize())
+		}
+		if host, err := inter.Host(0); err != nil || host != "dst" {
+			return fmt.Errorf("remote host = %q, %v", host, err)
+		}
+		if err := inter.Send("state?", 0, 1); err != nil {
+			return err
+		}
+		var a string
+		if _, err := inter.Recv(&a, 0, 2); err != nil {
+			return err
+		}
+		if a != "state!" {
+			return fmt.Errorf("a = %q", a)
+		}
+		return nil
+	})
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	u.Wait()
+}
+
+func TestSpawnMultipleChildrenFormWorld(t *testing.T) {
+	u := NewUniverse(Options{})
+	errs := u.Run([]string{"root"}, func(env *Env) error {
+		inter, err := env.Spawn([]string{"c0", "c1", "c2"}, func(child *Env) error {
+			// Children have their own world and can run collectives in it.
+			var sum int
+			if err := child.World.Allreduce(child.World.Rank(), &sum, Sum); err != nil {
+				return err
+			}
+			if sum != 3 {
+				return fmt.Errorf("children allreduce = %d", sum)
+			}
+			if child.World.Rank() == 0 {
+				return child.Parent.Send(sum, 0, 0)
+			}
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		if inter.RemoteSize() != 3 {
+			return fmt.Errorf("remote size = %d", inter.RemoteSize())
+		}
+		var sum int
+		if _, err := inter.Recv(&sum, 0, 0); err != nil {
+			return err
+		}
+		if sum != 3 {
+			return fmt.Errorf("sum from children = %d", sum)
+		}
+		return nil
+	})
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	u.Wait()
+}
+
+func TestSpawnChargesLatency(t *testing.T) {
+	clock := vclock.NewManual(vclock.Epoch)
+	u := NewUniverse(Options{Clock: clock, SpawnLatency: 300 * time.Millisecond})
+	done := make(chan time.Time, 1)
+	wait := u.Start([]string{"a"}, func(env *Env) error {
+		_, err := env.Spawn([]string{"b"}, func(*Env) error { return nil })
+		done <- clock.Now()
+		return err
+	})
+	clock.WaitUntilWaiters(1) // spawn sleeping on latency
+	clock.Advance(300 * time.Millisecond)
+	at := <-done
+	if at.Before(vclock.Epoch.Add(300 * time.Millisecond)) {
+		t.Fatalf("spawn returned at %v, before latency elapsed", at)
+	}
+	for _, err := range wait() {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	u.Wait()
+}
+
+func TestSpawnNoHosts(t *testing.T) {
+	u := NewUniverse(Options{})
+	errs := u.Run([]string{"a"}, func(env *Env) error {
+		_, err := env.Spawn(nil, func(*Env) error { return nil })
+		if err == nil {
+			return errors.New("Spawn(nil) succeeded")
+		}
+		return nil
+	})
+	if errs[0] != nil {
+		t.Fatal(errs[0])
+	}
+}
+
+func TestPortsPublishLookupConnectAccept(t *testing.T) {
+	u := NewUniverse(Options{})
+	portReady := make(chan struct{})
+	wait := u.Start([]string{"server", "client"}, func(env *Env) error {
+		w := env.World
+		self, err := w.Split(w.Rank(), 0) // singleton comms
+		if err != nil {
+			return err
+		}
+		if w.Rank() == 0 {
+			port := env.U.OpenPort()
+			if err := env.U.Publish("migrate-svc", port); err != nil {
+				return err
+			}
+			close(portReady)
+			inter, err := env.Accept(port, self)
+			if err != nil {
+				return err
+			}
+			var v int
+			if _, err := inter.Recv(&v, 0, 0); err != nil {
+				return err
+			}
+			if v != 77 {
+				return fmt.Errorf("v = %d", v)
+			}
+			return inter.Send(v+1, 0, 1)
+		}
+		<-portReady
+		port, err := env.U.Lookup("migrate-svc")
+		if err != nil {
+			return err
+		}
+		inter, err := env.Connect(port, self)
+		if err != nil {
+			return err
+		}
+		if err := inter.Send(77, 0, 0); err != nil {
+			return err
+		}
+		var v int
+		if _, err := inter.Recv(&v, 0, 1); err != nil {
+			return err
+		}
+		if v != 78 {
+			return fmt.Errorf("reply = %d", v)
+		}
+		return nil
+	})
+	for _, err := range wait() {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestLookupUnknownServiceAndPort(t *testing.T) {
+	u := NewUniverse(Options{})
+	if _, err := u.Lookup("ghost"); err == nil {
+		t.Fatal("Lookup of unknown service succeeded")
+	}
+	if err := u.Publish("svc", "no-such-port"); err == nil {
+		t.Fatal("Publish of unknown port succeeded")
+	}
+	port := u.OpenPort()
+	if err := u.Publish("svc", port); err != nil {
+		t.Fatal(err)
+	}
+	u.Unpublish("svc")
+	if _, err := u.Lookup("svc"); err == nil {
+		t.Fatal("Lookup after Unpublish succeeded")
+	}
+	u.ClosePort(port)
+	if _, err := u.port(port); err == nil {
+		t.Fatal("port lookup after ClosePort succeeded")
+	}
+}
+
+// TestMergeProducesWorkingIntracomm exercises the migration pattern end to
+// end: spawn, merge, then communicate and run a collective in the merged
+// communicator.
+func TestMergeProducesWorkingIntracomm(t *testing.T) {
+	u := NewUniverse(Options{})
+	errs := u.Run([]string{"src"}, func(env *Env) error {
+		inter, err := env.Spawn([]string{"dst"}, func(child *Env) error {
+			merged, err := child.Parent.Merge(true) // child orders high
+			if err != nil {
+				return err
+			}
+			if merged.Size() != 2 || merged.Rank() != 1 {
+				return fmt.Errorf("child merged rank/size = %d/%d", merged.Rank(), merged.Size())
+			}
+			var v string
+			if _, err := merged.Recv(&v, 0, 0); err != nil {
+				return err
+			}
+			if v != "takeover" {
+				return fmt.Errorf("v = %q", v)
+			}
+			var sum int
+			return merged.Allreduce(1, &sum, Sum)
+		})
+		if err != nil {
+			return err
+		}
+		merged, err := inter.Merge(false) // parent orders low
+		if err != nil {
+			return err
+		}
+		if merged.Size() != 2 || merged.Rank() != 0 {
+			return fmt.Errorf("parent merged rank/size = %d/%d", merged.Rank(), merged.Size())
+		}
+		if err := merged.Send("takeover", 1, 0); err != nil {
+			return err
+		}
+		var sum int
+		if err := merged.Allreduce(1, &sum, Sum); err != nil {
+			return err
+		}
+		if sum != 2 {
+			return fmt.Errorf("merged allreduce = %d", sum)
+		}
+		return nil
+	})
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	u.Wait()
+}
+
+// TestMergeSameHighFlag: both sides passing the same flag still get a
+// consistent ordering (ties break on group context).
+func TestMergeSameHighFlag(t *testing.T) {
+	u := NewUniverse(Options{})
+	errs := u.Run([]string{"src"}, func(env *Env) error {
+		inter, err := env.Spawn([]string{"dst"}, func(child *Env) error {
+			merged, err := child.Parent.Merge(false)
+			if err != nil {
+				return err
+			}
+			peer := 1 - merged.Rank()
+			var v int
+			_, err = merged.SendRecv(merged.Rank(), peer, 0, &v, peer, 0)
+			if err != nil {
+				return err
+			}
+			if v != peer {
+				return fmt.Errorf("child exchanged %d, want %d", v, peer)
+			}
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		merged, err := inter.Merge(false)
+		if err != nil {
+			return err
+		}
+		peer := 1 - merged.Rank()
+		var v int
+		if _, err := merged.SendRecv(merged.Rank(), peer, 0, &v, peer, 0); err != nil {
+			return err
+		}
+		if v != peer {
+			return fmt.Errorf("parent exchanged %d, want %d", v, peer)
+		}
+		return nil
+	})
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	u.Wait()
+}
+
+func TestMergeOfIntracommFails(t *testing.T) {
+	runWorld(t, 1, func(env *Env) error {
+		if _, err := env.World.Merge(false); err == nil {
+			return errors.New("Merge of intracomm succeeded")
+		}
+		return nil
+	})
+}
+
+func TestCollectiveOnIntercommRejected(t *testing.T) {
+	u := NewUniverse(Options{})
+	errs := u.Run([]string{"a"}, func(env *Env) error {
+		inter, err := env.Spawn([]string{"b"}, func(child *Env) error {
+			// Keep the child alive until the parent has tested.
+			var v int
+			_, err := child.Parent.Recv(&v, 0, 9)
+			return err
+		})
+		if err != nil {
+			return err
+		}
+		if err := inter.Barrier(); err == nil {
+			return errors.New("Barrier on intercomm succeeded")
+		}
+		var x int
+		if err := inter.Bcast(&x, 0); err == nil {
+			return errors.New("Bcast on intercomm succeeded")
+		}
+		if _, err := inter.Dup(); err == nil {
+			return errors.New("Dup on intercomm succeeded")
+		}
+		if _, err := inter.Split(0, 0); err == nil {
+			return errors.New("Split on intercomm succeeded")
+		}
+		return inter.Send(0, 0, 9)
+	})
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	u.Wait()
+}
+
+func TestDupIsolatesTraffic(t *testing.T) {
+	runWorld(t, 2, func(env *Env) error {
+		w := env.World
+		dup, err := w.Dup()
+		if err != nil {
+			return err
+		}
+		if w.Rank() == 0 {
+			// Same tag on both communicators; contexts must keep them apart.
+			if err := w.Send("world", 1, 5); err != nil {
+				return err
+			}
+			return dup.Send("dup", 1, 5)
+		}
+		var fromDup, fromWorld string
+		if _, err := dup.Recv(&fromDup, 0, 5); err != nil {
+			return err
+		}
+		if _, err := w.Recv(&fromWorld, 0, 5); err != nil {
+			return err
+		}
+		if fromDup != "dup" || fromWorld != "world" {
+			return fmt.Errorf("dup=%q world=%q", fromDup, fromWorld)
+		}
+		return nil
+	})
+}
+
+func TestSplitGroupsAndOrder(t *testing.T) {
+	runWorld(t, 6, func(env *Env) error {
+		w := env.World
+		color := w.Rank() % 2
+		key := -w.Rank() // reverse order inside each half
+		sub, err := w.Split(color, key)
+		if err != nil {
+			return err
+		}
+		if sub.Size() != 3 {
+			return fmt.Errorf("sub size = %d", sub.Size())
+		}
+		// Reverse key order: world rank 4 (color 0) should be rank 0 of its
+		// sub-communicator.
+		var leader int
+		if sub.Rank() == 0 {
+			leader = w.Rank()
+		}
+		if err := sub.Bcast(&leader, 0); err != nil {
+			return err
+		}
+		wantLeader := 4 + color // 4 for evens, 5 for odds
+		if leader != wantLeader {
+			return fmt.Errorf("leader = %d, want %d", leader, wantLeader)
+		}
+		var sum int
+		if err := sub.Allreduce(w.Rank(), &sum, Sum); err != nil {
+			return err
+		}
+		want := 0 + 2 + 4
+		if color == 1 {
+			want = 1 + 3 + 5
+		}
+		if sum != want {
+			return fmt.Errorf("sub sum = %d, want %d", sum, want)
+		}
+		return nil
+	})
+}
+
+func TestSplitUndefinedColor(t *testing.T) {
+	runWorld(t, 3, func(env *Env) error {
+		w := env.World
+		color := 0
+		if w.Rank() == 2 {
+			color = -1 // MPI_UNDEFINED
+		}
+		sub, err := w.Split(color, 0)
+		if err != nil {
+			return err
+		}
+		if w.Rank() == 2 {
+			if sub != nil {
+				return errors.New("undefined color got a communicator")
+			}
+			return nil
+		}
+		if sub.Size() != 2 {
+			return fmt.Errorf("sub size = %d", sub.Size())
+		}
+		return nil
+	})
+}

@@ -1,0 +1,137 @@
+package mpi
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"sync"
+)
+
+// message is one delivered payload, matched by (communicator context,
+// source rank, tag). raw marks a []byte payload moved without gob framing.
+type message struct {
+	ctx  string
+	src  int
+	tag  int
+	data []byte
+	raw  bool
+}
+
+// endpoint is a process's mailbox. Sends enqueue eagerly (buffered,
+// non-blocking once transport time has been charged); receives match by
+// context, source and tag, with wildcard support, in arrival order.
+type endpoint struct {
+	host string
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []*message
+	closed bool
+}
+
+func newEndpoint(host string) *endpoint {
+	ep := &endpoint{host: host}
+	ep.cond = sync.NewCond(&ep.mu)
+	return ep
+}
+
+func (ep *endpoint) deliver(m *message) error {
+	ep.mu.Lock()
+	defer ep.mu.Unlock()
+	if ep.closed {
+		return ErrProcExited
+	}
+	ep.queue = append(ep.queue, m)
+	ep.cond.Broadcast()
+	return nil
+}
+
+// match removes and returns the first message matching (ctx, src, tag),
+// blocking until one arrives. src/tag may be AnySource/AnyTag.
+func (ep *endpoint) match(ctx string, src, tag int) (*message, error) {
+	ep.mu.Lock()
+	defer ep.mu.Unlock()
+	for {
+		for i, m := range ep.queue {
+			if m.matches(ctx, src, tag) {
+				ep.queue = append(ep.queue[:i], ep.queue[i+1:]...)
+				return m, nil
+			}
+		}
+		if ep.closed {
+			return nil, ErrProcExited
+		}
+		ep.cond.Wait()
+	}
+}
+
+// peekNow returns the first matching message without removing or blocking.
+func (ep *endpoint) peekNow(ctx string, src, tag int) (*message, bool, error) {
+	ep.mu.Lock()
+	defer ep.mu.Unlock()
+	for _, m := range ep.queue {
+		if m.matches(ctx, src, tag) {
+			return m, true, nil
+		}
+	}
+	if ep.closed {
+		return nil, false, ErrProcExited
+	}
+	return nil, false, nil
+}
+
+// peek returns the first matching message without removing it, blocking
+// until one arrives.
+func (ep *endpoint) peek(ctx string, src, tag int) (*message, error) {
+	ep.mu.Lock()
+	defer ep.mu.Unlock()
+	for {
+		for _, m := range ep.queue {
+			if m.matches(ctx, src, tag) {
+				return m, nil
+			}
+		}
+		if ep.closed {
+			return nil, ErrProcExited
+		}
+		ep.cond.Wait()
+	}
+}
+
+func (m *message) matches(ctx string, src, tag int) bool {
+	if m.ctx != ctx {
+		return false
+	}
+	if src != AnySource && m.src != src {
+		return false
+	}
+	if tag != AnyTag && m.tag != tag {
+		return false
+	}
+	return true
+}
+
+func (ep *endpoint) close() {
+	ep.mu.Lock()
+	defer ep.mu.Unlock()
+	ep.closed = true
+	ep.cond.Broadcast()
+}
+
+// encode serialises one value with gob. Each message carries its own stream
+// so arbitrary concrete types work without global registration.
+func encode(v any) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		return nil, fmt.Errorf("mpi: encode %T: %w", v, err)
+	}
+	return buf.Bytes(), nil
+}
+
+// decode deserialises into ptr.
+func decode(data []byte, ptr any) error {
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(ptr); err != nil {
+		return fmt.Errorf("mpi: decode into %T: %w", ptr, err)
+	}
+	return nil
+}

@@ -1,0 +1,198 @@
+// Package mpi is a message-passing library modelled on the MPI-2 subset the
+// paper's runtime depends on (Section 3.3): communicators with ranks, tagged
+// point-to-point communication with wildcards, non-blocking operations,
+// collective operations, communicator management (Dup/Split), and — the part
+// the paper singles out, available in 2004 only in LAM/MPI — dynamic process
+// management: Spawn, named ports (Open/Publish/Lookup), Connect/Accept, and
+// intercommunicator Merge. Those primitives are exactly what the migration
+// protocol uses to create a process on the destination machine and join the
+// communicators "so that the migrating process and initialized process can
+// communicate in one communicator".
+//
+// Ranks are goroutines; each is bound to a named host, and every payload
+// that crosses hosts is charged to the configured Transport (the simulated
+// network in experiments, a latency/bandwidth model, or nothing). Spawn
+// charges a configurable latency, modelling LAM/MPI's slow dynamic process
+// creation (~0.3 s in the paper's Section 5.2).
+package mpi
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"autoresched/internal/vclock"
+)
+
+// Errors returned by communication operations.
+var (
+	// ErrProcExited reports communication with a rank that has finished.
+	ErrProcExited = errors.New("mpi: peer process has exited")
+	// ErrBadRank reports a rank outside the communicator.
+	ErrBadRank = errors.New("mpi: rank out of range")
+	// ErrBadTag reports a negative user tag (negative tags are reserved for
+	// collectives).
+	ErrBadTag = errors.New("mpi: user tags must be non-negative")
+)
+
+// Wildcards for Recv and Probe.
+const (
+	// AnySource matches a message from any rank.
+	AnySource = -1
+	// AnyTag matches a message with any tag.
+	AnyTag = -1
+)
+
+// Options configures a Universe.
+type Options struct {
+	// Clock drives time charging; nil selects the real clock.
+	Clock vclock.Clock
+	// Transport charges cross-host payloads; nil selects Instant.
+	Transport Transport
+	// SpawnLatency is charged by every dynamic process creation.
+	SpawnLatency time.Duration
+}
+
+// Universe owns the processes, ports, and transport of one MPI world — the
+// analogue of an mpirun invocation plus its runtime environment.
+type Universe struct {
+	clock        vclock.Clock
+	transport    Transport
+	spawnLatency time.Duration
+
+	mu     sync.Mutex
+	nextID int64
+	ports  map[string]*port
+	names  map[string]string // published service name -> port name
+	wg     sync.WaitGroup
+}
+
+// NewUniverse creates a Universe.
+func NewUniverse(opts Options) *Universe {
+	if opts.Clock == nil {
+		opts.Clock = vclock.Real()
+	}
+	if opts.Transport == nil {
+		opts.Transport = Instant{}
+	}
+	return &Universe{
+		clock:        opts.Clock,
+		transport:    opts.Transport,
+		spawnLatency: opts.SpawnLatency,
+		ports:        make(map[string]*port),
+		names:        make(map[string]string),
+	}
+}
+
+// Clock returns the universe clock.
+func (u *Universe) Clock() vclock.Clock { return u.clock }
+
+// Transport returns the universe's payload transport.
+func (u *Universe) Transport() Transport { return u.transport }
+
+func (u *Universe) nextCtx(prefix string) string {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	u.nextID++
+	return fmt.Sprintf("%s-%d", prefix, u.nextID)
+}
+
+// Env is what a process main receives: its world communicator, the parent
+// intercommunicator when it was spawned (MPI_Comm_get_parent), and the host
+// it runs on.
+type Env struct {
+	U      *Universe
+	Host   string
+	World  *Comm
+	Parent *Comm
+
+	ep *endpoint
+}
+
+// Main is a process entry point.
+type Main func(env *Env) error
+
+// Run launches one process per host name, forming a world communicator of
+// size len(hosts), and waits for all of them. The returned slice holds each
+// rank's error (nil for success), indexed by rank.
+func (u *Universe) Run(hosts []string, main Main) []error {
+	envs, errs := u.launch(hosts, nil, main)
+	_ = envs
+	return errs.wait()
+}
+
+// Start launches like Run but returns immediately; the returned Wait
+// function blocks and yields per-rank errors.
+func (u *Universe) Start(hosts []string, main Main) (wait func() []error) {
+	_, errs := u.launch(hosts, nil, main)
+	return errs.wait
+}
+
+// Wait blocks until every process ever launched in the universe has
+// finished.
+func (u *Universe) Wait() { u.wg.Wait() }
+
+type errSet struct {
+	wg   sync.WaitGroup
+	mu   sync.Mutex
+	errs []error
+}
+
+func (e *errSet) wait() []error {
+	e.wg.Wait()
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.errs
+}
+
+// launch starts a group of processes sharing a fresh world; parent is the
+// spawning group (nil for a root world).
+func (u *Universe) launch(hosts []string, parent *group, main Main) ([]*Env, *errSet) {
+	world := &group{ctx: u.nextCtx("world"), hosts: append([]string(nil), hosts...)}
+	world.eps = make([]*endpoint, len(hosts))
+	for i := range hosts {
+		world.eps[i] = newEndpoint(hosts[i])
+	}
+
+	var interCtx string
+	if parent != nil {
+		interCtx = u.nextCtx("intercomm")
+	}
+
+	envs := make([]*Env, len(hosts))
+	errs := &errSet{errs: make([]error, len(hosts))}
+	for i := range hosts {
+		env := &Env{
+			U:     u,
+			Host:  hosts[i],
+			ep:    world.eps[i],
+			World: &Comm{u: u, group: world, rank: i, self: world.eps[i]},
+		}
+		if parent != nil {
+			env.Parent = &Comm{
+				u: u, group: world, remote: parent, ctx: interCtx,
+				rank: i, self: world.eps[i],
+			}
+		}
+		envs[i] = env
+		errs.wg.Add(1)
+		u.wg.Add(1)
+		go func(rank int, env *Env) {
+			defer u.wg.Done()
+			defer errs.wg.Done()
+			defer env.ep.close()
+			err := main(env)
+			errs.mu.Lock()
+			errs.errs[rank] = err
+			errs.mu.Unlock()
+		}(i, env)
+	}
+
+	if parent != nil {
+		// Hand the parent its side of the intercommunicator through the
+		// spawn result; see Env.Spawn.
+		world.parentInterCtx = interCtx
+	}
+	return envs, errs
+}

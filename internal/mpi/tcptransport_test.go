@@ -1,0 +1,123 @@
+package mpi
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func newTCPTransport(t *testing.T) *TCPTransport {
+	t.Helper()
+	tr, err := NewTCPTransport("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { tr.Close() })
+	return tr
+}
+
+func TestTCPTransportMovesBytes(t *testing.T) {
+	tr := newTCPTransport(t)
+	for _, size := range []int64{0, 1, 1000, 1 << 20} {
+		if err := tr.Send("a", "b", size); err != nil {
+			t.Fatalf("Send(%d): %v", size, err)
+		}
+	}
+	// Loopback is free.
+	if err := tr.Send("a", "a", 1<<30); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTCPTransportConcurrentPairs(t *testing.T) {
+	tr := newTCPTransport(t)
+	var wg sync.WaitGroup
+	errs := make(chan error, 32)
+	for i := 0; i < 8; i++ {
+		for j := 0; j < 4; j++ {
+			wg.Add(1)
+			go func(i, j int) {
+				defer wg.Done()
+				from := fmt.Sprintf("h%d", i)
+				to := fmt.Sprintf("h%d", (i+j+1)%8)
+				if err := tr.Send(from, to, 100<<10); err != nil {
+					errs <- err
+				}
+			}(i, j)
+		}
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+func TestTCPTransportConcurrentSamePair(t *testing.T) {
+	tr := newTCPTransport(t)
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := tr.Send("x", "y", 64<<10); err != nil {
+				errs <- err
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+func TestTCPTransportClosed(t *testing.T) {
+	tr := newTCPTransport(t)
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Close(); err != nil { // idempotent
+		t.Fatal(err)
+	}
+	if err := tr.Send("a", "b", 10); err == nil {
+		t.Fatal("Send after Close succeeded")
+	}
+}
+
+// TestUniverseOverTCPTransport runs a whole MPI world whose cross-host
+// messages traverse real loopback sockets.
+func TestUniverseOverTCPTransport(t *testing.T) {
+	tr := newTCPTransport(t)
+	u := NewUniverse(Options{Transport: tr})
+	errs := u.Run(hosts(4), func(env *Env) error {
+		w := env.World
+		var sum int
+		if err := w.Allreduce(w.Rank()+1, &sum, Sum); err != nil {
+			return err
+		}
+		if sum != 10 {
+			return fmt.Errorf("sum = %d", sum)
+		}
+		// A larger payload end to end.
+		if w.Rank() == 0 {
+			return w.Send(make([]byte, 2<<20), 1, 9)
+		}
+		if w.Rank() == 1 {
+			var buf []byte
+			if _, err := w.Recv(&buf, 0, 9); err != nil {
+				return err
+			}
+			if len(buf) != 2<<20 {
+				return fmt.Errorf("len = %d", len(buf))
+			}
+		}
+		return nil
+	})
+	for rank, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d: %v", rank, err)
+		}
+	}
+}

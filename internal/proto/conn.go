@@ -1,0 +1,259 @@
+package proto
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// maxFrame bounds a single message to keep a malformed peer from forcing a
+// huge allocation.
+const maxFrame = 16 << 20
+
+// WriteFrame writes one length-prefixed XML message.
+func WriteFrame(w io.Writer, data []byte) error {
+	if len(data) > maxFrame {
+		return fmt.Errorf("proto: frame of %d bytes exceeds limit", len(data))
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(data)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(data)
+	return err
+}
+
+// ReadFrame reads one length-prefixed XML message.
+func ReadFrame(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > maxFrame {
+		return nil, fmt.Errorf("proto: frame of %d bytes exceeds limit", n)
+	}
+	data := make([]byte, n)
+	if _, err := io.ReadFull(r, data); err != nil {
+		return nil, err
+	}
+	return data, nil
+}
+
+// Conn is a message-oriented connection: framed XML messages over any
+// stream. It serialises writes; reads must come from a single goroutine.
+type Conn struct {
+	rw io.ReadWriter
+	wr sync.Mutex
+}
+
+// NewConn wraps a stream.
+func NewConn(rw io.ReadWriter) *Conn { return &Conn{rw: rw} }
+
+// Send encodes and writes one message.
+func (c *Conn) Send(m *Message) error {
+	data, err := m.Encode()
+	if err != nil {
+		return err
+	}
+	c.wr.Lock()
+	defer c.wr.Unlock()
+	return WriteFrame(c.rw, data)
+}
+
+// Recv reads and decodes one message.
+func (c *Conn) Recv() (*Message, error) {
+	data, err := ReadFrame(c.rw)
+	if err != nil {
+		return nil, err
+	}
+	return Decode(data)
+}
+
+// Close closes the underlying stream if it is closable.
+func (c *Conn) Close() error {
+	if closer, ok := c.rw.(io.Closer); ok {
+		return closer.Close()
+	}
+	return nil
+}
+
+// Handler processes one request message and returns the response (nil for
+// no response beyond the ack the server generates).
+type Handler func(m *Message) (*Message, error)
+
+// Server accepts framed-XML connections and dispatches each incoming
+// message to a handler. Every request receives exactly one response: the
+// handler's message, or an ack (with the handler error, if any).
+type Server struct {
+	name    string
+	ln      net.Listener
+	handler Handler
+
+	mu     sync.Mutex
+	closed bool
+	conns  map[net.Conn]struct{}
+	wg     sync.WaitGroup
+}
+
+// NewServer starts a server listening on addr ("host:0" picks a free port).
+func NewServer(name, addr string, handler Handler) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{name: name, ln: ln, handler: handler, conns: make(map[net.Conn]struct{})}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the listening address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.serve(conn)
+	}
+}
+
+func (s *Server) serve(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		conn.Close()
+	}()
+	c := NewConn(conn)
+	for {
+		req, err := c.Recv()
+		if err != nil {
+			return
+		}
+		resp, herr := s.handler(req)
+		if resp == nil {
+			resp = Ack(s.name, req, herr)
+		} else {
+			resp.Seq = req.Seq
+			resp.To = req.From
+		}
+		if err := c.Send(resp); err != nil {
+			return
+		}
+	}
+}
+
+// Close stops accepting and closes every open connection.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	for conn := range s.conns {
+		conn.Close()
+	}
+	s.mu.Unlock()
+	err := s.ln.Close()
+	s.wg.Wait()
+	return err
+}
+
+// Client is a request/response client over one TCP connection. It is safe
+// for concurrent use; requests are serialised.
+type Client struct {
+	name string
+	addr string
+
+	mu   sync.Mutex
+	conn *Conn
+	raw  net.Conn
+	seq  uint64
+}
+
+// Dial connects a client named name (used as the From field) to addr.
+func Dial(name, addr string) (*Client, error) {
+	c := &Client{name: name, addr: addr}
+	if err := c.reconnect(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+func (c *Client) reconnect() error {
+	raw, err := net.DialTimeout("tcp", c.addr, 5*time.Second)
+	if err != nil {
+		return err
+	}
+	c.raw = raw
+	c.conn = NewConn(raw)
+	return nil
+}
+
+// Call sends a request and waits for its response. A broken connection is
+// re-dialled once.
+func (c *Client) Call(m *Message) (*Message, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.seq++
+	m.Seq = c.seq
+	m.From = c.name
+	resp, err := c.callOnce(m)
+	if err == nil {
+		return resp, nil
+	}
+	if rerr := c.reconnect(); rerr != nil {
+		return nil, fmt.Errorf("proto: call failed (%v) and reconnect failed: %w", err, rerr)
+	}
+	return c.callOnce(m)
+}
+
+func (c *Client) callOnce(m *Message) (*Message, error) {
+	if c.conn == nil {
+		return nil, fmt.Errorf("proto: client closed")
+	}
+	if err := c.conn.Send(m); err != nil {
+		return nil, err
+	}
+	resp, err := c.conn.Recv()
+	if err != nil {
+		return nil, err
+	}
+	if resp.Type == TypeAck && resp.Error != "" {
+		return resp, fmt.Errorf("proto: remote error: %s", resp.Error)
+	}
+	return resp, nil
+}
+
+// Close closes the connection.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.conn = nil
+	if c.raw != nil {
+		err := c.raw.Close()
+		c.raw = nil
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,367 @@
+// Package registry implements the registry/scheduler entity (Section 3.2):
+// soft-state host registration over the push model (hosts that stop
+// refreshing become unavailable), process registration with application
+// schemas, "first fit" destination selection, process selection by latest
+// estimated completion time (Section 4), and the hierarchical arrangement in
+// which a domain's registry delegates to its upper-level registry when no
+// local host fits.
+package registry
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"autoresched/internal/proto"
+	"autoresched/internal/rules"
+	"autoresched/internal/schema"
+	"autoresched/internal/sysinfo"
+	"autoresched/internal/vclock"
+)
+
+// CommandSink dispatches migrate orders to a host's commander.
+type CommandSink interface {
+	Migrate(host string, order proto.MigrateOrder) error
+}
+
+// Config configures a registry/scheduler.
+type Config struct {
+	// Name identifies this registry in protocol traffic.
+	Name string
+	// Clock drives lease expiry; nil selects the real clock.
+	Clock vclock.Clock
+	// Lease is how long a host stays alive without a refresh; zero selects
+	// 35 seconds (a few missed 10-second refreshes).
+	Lease time.Duration
+	// Policy decides when to migrate and which destinations qualify. Nil
+	// selects the pure state-based policy: migrate off overloaded hosts,
+	// onto free hosts (Table 1 semantics).
+	Policy *rules.MigrationPolicy
+	// Probes evaluates policy conditions; nil selects the standard set.
+	Probes *sysinfo.Probes
+	// Commands receives migrate orders; nil leaves the registry passive
+	// (candidates are still served on request).
+	Commands CommandSink
+	// Parent is the upper-level registry consulted when no local host
+	// fits (the hierarchical arrangement of Section 3.2).
+	Parent *Registry
+	// Warmup is how many consecutive qualifying reports a host must send
+	// before the scheduler acts — the configurable damping that gave the
+	// paper its 72-second reaction and avoided "fault migration caused by
+	// small system performance variations". Zero selects 3.
+	Warmup int
+	// Cooldown is the minimum gap between migrate orders concerning the
+	// same source host; zero selects 60 seconds.
+	Cooldown time.Duration
+	// OnEvent, if set, observes every scheduling-decision event as it
+	// happens (the trace is also kept in a ring buffer; see Trace).
+	OnEvent func(Event)
+}
+
+// HostInfo is the registry's view of one host.
+type HostInfo struct {
+	Name     string
+	Static   proto.StaticInfo
+	Status   proto.Status
+	State    rules.State
+	LastSeen time.Time
+}
+
+// ProcInfo is the registry's view of one migration-enabled process.
+type ProcInfo struct {
+	Host   string
+	PID    int
+	Name   string
+	Start  time.Time
+	Schema *schema.Schema
+}
+
+type hostEntry struct {
+	info     HostInfo
+	warmup   int
+	lastCmd  time.Time
+	hasCmd   bool
+	regOrder int
+}
+
+type procKey struct {
+	host string
+	pid  int
+}
+
+// Registry is a registry/scheduler instance.
+type Registry struct {
+	cfg    Config
+	clock  vclock.Clock
+	probes *sysinfo.Probes
+
+	mu       sync.Mutex
+	hosts    map[string]*hostEntry
+	procs    map[procKey]*ProcInfo
+	events   []Event
+	regSeq   int
+	decided  int // migrate orders issued
+	declined int // decision cycles that found no destination
+}
+
+// New creates a registry/scheduler.
+func New(cfg Config) *Registry {
+	if cfg.Name == "" {
+		cfg.Name = "registry"
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = vclock.Real()
+	}
+	if cfg.Lease <= 0 {
+		cfg.Lease = 35 * time.Second
+	}
+	if cfg.Probes == nil {
+		cfg.Probes = sysinfo.StandardProbes()
+	}
+	if cfg.Warmup <= 0 {
+		cfg.Warmup = 3
+	}
+	if cfg.Cooldown <= 0 {
+		cfg.Cooldown = 60 * time.Second
+	}
+	return &Registry{
+		cfg:    cfg,
+		clock:  cfg.Clock,
+		probes: cfg.Probes,
+		hosts:  make(map[string]*hostEntry),
+		procs:  make(map[procKey]*ProcInfo),
+	}
+}
+
+// RegisterHost records a host's static information (one-time registration).
+// Re-registering refreshes the static information and the lease.
+func (r *Registry) RegisterHost(host string, static proto.StaticInfo) error {
+	if host == "" {
+		return errors.New("registry: empty host name")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e, ok := r.hosts[host]
+	if !ok {
+		r.regSeq++
+		e = &hostEntry{regOrder: r.regSeq}
+		r.hosts[host] = e
+	}
+	e.info.Name = host
+	e.info.Static = static
+	e.info.LastSeen = r.clock.Now()
+	e.info.State = rules.Free
+	return nil
+}
+
+// ReportStatus is the soft-state refresh: it updates the host's dynamic
+// information, renews the lease, and — when a command sink is configured —
+// runs the scheduling decision.
+func (r *Registry) ReportStatus(host string, status proto.Status) error {
+	r.mu.Lock()
+	e, ok := r.hosts[host]
+	if !ok {
+		r.mu.Unlock()
+		return fmt.Errorf("registry: status from unregistered host %q", host)
+	}
+	state, err := rules.ParseState(status.State)
+	if err != nil {
+		r.mu.Unlock()
+		return err
+	}
+	e.info.Status = status
+	e.info.State = state
+	e.info.LastSeen = r.clock.Now()
+	r.mu.Unlock()
+
+	if r.cfg.Commands != nil {
+		r.decide(host)
+	}
+	return nil
+}
+
+// UnregisterHost withdraws a host and its processes.
+func (r *Registry) UnregisterHost(host string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	delete(r.hosts, host)
+	for k := range r.procs {
+		if k.host == host {
+			delete(r.procs, k)
+		}
+	}
+	return nil
+}
+
+// alive reports whether a host's lease is fresh.
+func (r *Registry) aliveLocked(e *hostEntry, now time.Time) bool {
+	return now.Sub(e.info.LastSeen) <= r.cfg.Lease
+}
+
+// Hosts returns every known host; hosts with expired leases are reported
+// Unavailable.
+func (r *Registry) Hosts() []HostInfo {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	now := r.clock.Now()
+	out := make([]HostInfo, 0, len(r.hosts))
+	for _, e := range r.ordered() {
+		info := e.info
+		if !r.aliveLocked(e, now) {
+			info.State = rules.Unavailable
+		}
+		out = append(out, info)
+	}
+	return out
+}
+
+// ordered returns host entries in registration order (the order "first fit"
+// scans). Callers hold the lock.
+func (r *Registry) ordered() []*hostEntry {
+	out := make([]*hostEntry, 0, len(r.hosts))
+	for _, e := range r.hosts {
+		out = append(out, e)
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j-1].regOrder > out[j].regOrder; j-- {
+			out[j-1], out[j] = out[j], out[j-1]
+		}
+	}
+	return out
+}
+
+// RegisterProcess records a migration-enabled process and its application
+// schema (carried as XML, as on the wire).
+func (r *Registry) RegisterProcess(host string, info proto.ProcessInfo) error {
+	var sch *schema.Schema
+	if info.SchemaXML != "" {
+		parsed, err := schema.Unmarshal([]byte(info.SchemaXML))
+		if err != nil {
+			return fmt.Errorf("registry: process schema: %w", err)
+		}
+		sch = parsed
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.hosts[host]; !ok {
+		return fmt.Errorf("registry: process from unregistered host %q", host)
+	}
+	r.procs[procKey{host, info.PID}] = &ProcInfo{
+		Host:   host,
+		PID:    info.PID,
+		Name:   info.Name,
+		Start:  time.Unix(0, info.Start),
+		Schema: sch,
+	}
+	return nil
+}
+
+// ProcessExit withdraws a process.
+func (r *Registry) ProcessExit(host string, pid int) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	delete(r.procs, procKey{host, pid})
+	return nil
+}
+
+// Processes returns the registered processes on a host.
+func (r *Registry) Processes(host string) []ProcInfo {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var out []ProcInfo
+	for k, p := range r.procs {
+		if k.host == host {
+			out = append(out, *p)
+		}
+	}
+	return out
+}
+
+// SelectProcess picks the process to migrate off a host: the one with the
+// latest estimated completion time, "to reduce the possibility of migrating
+// multiple processes" (Section 4). Completion is estimated from the
+// pid-file start time and the schema's execution estimate on the host's
+// computing power.
+func (r *Registry) SelectProcess(host string) (ProcInfo, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e, ok := r.hosts[host]
+	if !ok {
+		return ProcInfo{}, false
+	}
+	speed := e.info.Static.CPUSpeed
+	var best *ProcInfo
+	var bestDone time.Time
+	for k, p := range r.procs {
+		if k.host != host {
+			continue
+		}
+		done := p.Start
+		if p.Schema != nil {
+			done = p.Schema.EstimatedCompletion(p.Start, speed)
+		}
+		if best == nil || done.After(bestDone) {
+			best = p
+			bestDone = done
+		}
+	}
+	if best == nil {
+		return ProcInfo{}, false
+	}
+	return *best, true
+}
+
+// Stats reports how many migrate orders were issued and how many decision
+// cycles found no destination.
+func (r *Registry) Stats() (ordered, declined int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.decided, r.declined
+}
+
+// Health summarises a registry's control domain — the "health condition"
+// a lower-level registry/scheduler reports upward in the hierarchical
+// arrangement (Section 3.2): how many hosts it knows in each state and how
+// much capacity is free.
+type Health struct {
+	Hosts       int
+	Free        int
+	Busy        int
+	Overloaded  int
+	Unavailable int
+	Processes   int
+	// FreeCPUSpeed sums the CPU capacity of the free hosts, the domain's
+	// headroom for incoming migrations.
+	FreeCPUSpeed float64
+}
+
+// AcceptsMigrations reports whether the domain has any capacity to offer.
+func (h Health) AcceptsMigrations() bool { return h.Free > 0 }
+
+// Health computes the domain summary.
+func (r *Registry) Health() Health {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	now := r.clock.Now()
+	h := Health{Processes: len(r.procs)}
+	for _, e := range r.hosts {
+		h.Hosts++
+		if !r.aliveLocked(e, now) {
+			h.Unavailable++
+			continue
+		}
+		switch e.info.State {
+		case rules.Free:
+			h.Free++
+			h.FreeCPUSpeed += e.info.Static.CPUSpeed
+		case rules.Busy:
+			h.Busy++
+		case rules.Overloaded:
+			h.Overloaded++
+		default:
+			h.Unavailable++
+		}
+	}
+	return h
+}

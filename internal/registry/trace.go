@@ -1,0 +1,77 @@
+package registry
+
+import (
+	"fmt"
+	"time"
+)
+
+// EventKind classifies a scheduling-decision event.
+type EventKind string
+
+// The decision trace vocabulary.
+const (
+	// EventWarmup: a host qualified for offloading but the damping window
+	// has not elapsed yet.
+	EventWarmup EventKind = "warmup"
+	// EventCooldown: a qualified host was skipped because an order was
+	// issued recently.
+	EventCooldown EventKind = "cooldown"
+	// EventNoProcess: a qualified host has no migration-enabled process.
+	EventNoProcess EventKind = "no-process"
+	// EventDeclined: no destination fit the selected process.
+	EventDeclined EventKind = "declined"
+	// EventOrdered: a migrate order was dispatched.
+	EventOrdered EventKind = "ordered"
+	// EventOrderFailed: the commander rejected the order.
+	EventOrderFailed EventKind = "order-failed"
+)
+
+// Event is one entry of the scheduler's decision trace.
+type Event struct {
+	At   time.Time
+	Kind EventKind
+	Host string
+	// PID and Dest are set for process-level events.
+	PID  int
+	Dest string
+	Note string
+}
+
+// String renders the event for logs.
+func (e Event) String() string {
+	s := fmt.Sprintf("%s %s host=%s", e.At.Format("15:04:05"), e.Kind, e.Host)
+	if e.PID != 0 {
+		s += fmt.Sprintf(" pid=%d", e.PID)
+	}
+	if e.Dest != "" {
+		s += " dest=" + e.Dest
+	}
+	if e.Note != "" {
+		s += " (" + e.Note + ")"
+	}
+	return s
+}
+
+// traceCap bounds the in-memory decision trace.
+const traceCap = 512
+
+// trace appends an event (callers must not hold r.mu).
+func (r *Registry) trace(kind EventKind, host string, pid int, dest, note string) {
+	e := Event{At: r.clock.Now(), Kind: kind, Host: host, PID: pid, Dest: dest, Note: note}
+	r.mu.Lock()
+	r.events = append(r.events, e)
+	if len(r.events) > traceCap {
+		r.events = r.events[len(r.events)-traceCap:]
+	}
+	r.mu.Unlock()
+	if r.cfg.OnEvent != nil {
+		r.cfg.OnEvent(e)
+	}
+}
+
+// Trace returns the recent decision events, oldest first.
+func (r *Registry) Trace() []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]Event(nil), r.events...)
+}

@@ -1,0 +1,74 @@
+package rules
+
+import (
+	"strings"
+	"testing"
+
+	"autoresched/internal/sysinfo"
+)
+
+var benchSnap = sysinfo.Snapshot{
+	Load1: 2.5, CPUIdlePct: 42, MemAvailPct: 33, Sockets: 800, NumProcs: 120,
+	NetSentBps: 4e6, NetRecvBps: 7e6,
+}
+
+// BenchmarkSimpleRuleEval measures one threshold rule evaluation — the
+// monitor runs several of these every cycle.
+func BenchmarkSimpleRuleEval(b *testing.B) {
+	e := NewEngine(nil)
+	if err := e.Add(&Rule{Number: 1, Name: "load", Type: Simple,
+		Script: "loadAvg.sh", Param: "1", Operator: OpGreater, Busy: 1, OverLd: 2}); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.EvalRule(1, benchSnap); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkComplexRuleEval measures the Figure 4 composite rule: four
+// sub-rules plus the weighted-sum/& expression.
+func BenchmarkComplexRuleEval(b *testing.B) {
+	e := NewEngine(nil)
+	if _, err := e.LoadFile("testdata/figure4.rules"); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.EvalRule(5, benchSnap); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRuleFileParse measures parsing the Figure 4 rule file.
+func BenchmarkRuleFileParse(b *testing.B) {
+	data := `rl_number: 5
+rl_name: cmp_rule
+rl_type: complex
+rl_desc: A Complex Rule.
+rl_ruleNo: 4 1 3 2
+rl_script: ( 40% * r4 + 30% * r1 + 30% * r3 ) & r2
+`
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ParseRules(strings.NewReader(data)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPolicyDecision measures one full Table 2 policy evaluation
+// (trigger + preconditions) against a snapshot.
+func BenchmarkPolicyDecision(b *testing.B) {
+	p := Policy3()
+	probes := sysinfo.StandardProbes()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.ShouldMigrate(probes, benchSnap); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,60 @@
+package rules_test
+
+import (
+	"fmt"
+	"strings"
+
+	"autoresched/internal/rules"
+	"autoresched/internal/sysinfo"
+)
+
+// ExampleParseRules parses the paper's Figure 3 processorStatus rule and
+// classifies three CPU conditions with it.
+func ExampleParseRules() {
+	const ruleFile = `
+rl_number: 1
+rl_name: processorStatus
+rl_type: simple
+rl_script: processorStatus.sh
+rl_desc: This rule determines the processor status i.e. the idle time.
+rl_operator: <
+rl_busy: 50
+rl_overLd: 45
+`
+	engine := rules.NewEngine(nil)
+	if _, err := engine.Load(strings.NewReader(ruleFile)); err != nil {
+		panic(err)
+	}
+	for _, idle := range []float64{80, 47, 30} {
+		state, err := engine.State(sysinfo.Snapshot{CPUIdlePct: idle})
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("idle %.0f%% => %s\n", idle, state)
+	}
+	// Output:
+	// idle 80% => free
+	// idle 47% => busy
+	// idle 30% => overloaded
+}
+
+// ExampleMigrationPolicy evaluates the Table 2 communication-aware policy
+// against two candidate destinations.
+func ExampleMigrationPolicy() {
+	policy := rules.Policy3()
+	probes := sysinfo.StandardProbes()
+
+	communicating := sysinfo.Snapshot{Host: "ws2", Load1: 0.97, NetSentBps: 7.2e6}
+	free := sysinfo.Snapshot{Host: "ws4", Load1: 0.05}
+
+	for _, snap := range []sysinfo.Snapshot{communicating, free} {
+		ok, err := policy.DestinationOK(probes, snap)
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("%s acceptable: %v\n", snap.Host, ok)
+	}
+	// Output:
+	// ws2 acceptable: false
+	// ws4 acceptable: true
+}

@@ -1,0 +1,165 @@
+package rules
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// ParseRules reads rules in the rl_* key/value format of Figures 3 and 4.
+// A new rl_number line starts a new rule; blank lines and lines starting
+// with '#' are ignored. Unknown rl_ keys are ignored for forward
+// compatibility ("highly configurable and extensible").
+func ParseRules(r io.Reader) ([]*Rule, error) {
+	var (
+		out  []*Rule
+		cur  *Rule
+		line int
+	)
+	flush := func() error {
+		if cur == nil {
+			return nil
+		}
+		if err := cur.Validate(); err != nil {
+			return err
+		}
+		out = append(out, cur)
+		cur = nil
+		return nil
+	}
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		key, value, ok := strings.Cut(text, ":")
+		if !ok {
+			return nil, fmt.Errorf("rules: line %d: missing ':' in %q", line, text)
+		}
+		key = strings.TrimSpace(key)
+		value = strings.TrimSpace(value)
+		if key == "rl_number" {
+			if err := flush(); err != nil {
+				return nil, err
+			}
+			n, err := strconv.Atoi(value)
+			if err != nil {
+				return nil, fmt.Errorf("rules: line %d: rl_number %q: %w", line, value, err)
+			}
+			cur = &Rule{Number: n}
+			continue
+		}
+		if cur == nil {
+			return nil, fmt.Errorf("rules: line %d: %q before any rl_number", line, key)
+		}
+		var err error
+		switch key {
+		case "rl_name":
+			cur.Name = value
+		case "rl_type":
+			switch strings.ToLower(value) {
+			case "simple":
+				cur.Type = Simple
+			case "complex":
+				cur.Type = Complex
+			default:
+				err = fmt.Errorf("unknown rl_type %q", value)
+			}
+		case "rl_script":
+			cur.Script = value
+		case "rl_desc":
+			cur.Desc = value
+		case "rl_operator":
+			cur.Operator = Op(value)
+		case "rl_param":
+			cur.Param = value
+		case "rl_busy":
+			cur.Busy, err = parseThreshold(value)
+		case "rl_overLd", "rl_overld":
+			cur.OverLd, err = parseThreshold(value)
+		case "rl_ruleNo", "rl_ruleno":
+			cur.RuleNos, err = parseRuleNos(value)
+		default:
+			if !strings.HasPrefix(key, "rl_") {
+				err = fmt.Errorf("unknown key %q", key)
+			}
+		}
+		if err != nil {
+			return nil, fmt.Errorf("rules: line %d: %w", line, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if err := flush(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func parseThreshold(s string) (float64, error) {
+	if s == "" {
+		return 0, nil
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad threshold %q: %w", s, err)
+	}
+	return v, nil
+}
+
+func parseRuleNos(s string) ([]int, error) {
+	var out []int
+	for _, f := range strings.Fields(s) {
+		n, err := strconv.Atoi(f)
+		if err != nil {
+			return nil, fmt.Errorf("bad rl_ruleNo entry %q: %w", f, err)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+// ParseRuleFile reads a rule file from disk.
+func ParseRuleFile(path string) ([]*Rule, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ParseRules(f)
+}
+
+// Format writes a rule back out in the rl_* format. Round-tripping through
+// ParseRules yields an equivalent rule.
+func (r *Rule) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "rl_number: %d\n", r.Number)
+	fmt.Fprintf(&b, "rl_name: %s\n", r.Name)
+	fmt.Fprintf(&b, "rl_type: %s\n", r.Type)
+	if r.Desc != "" {
+		fmt.Fprintf(&b, "rl_desc: %s\n", r.Desc)
+	}
+	if r.Type == Complex {
+		if len(r.RuleNos) > 0 {
+			nos := make([]string, len(r.RuleNos))
+			for i, n := range r.RuleNos {
+				nos[i] = strconv.Itoa(n)
+			}
+			fmt.Fprintf(&b, "rl_ruleNo: %s\n", strings.Join(nos, " "))
+		}
+		fmt.Fprintf(&b, "rl_script: %s\n", r.Script)
+		return b.String()
+	}
+	fmt.Fprintf(&b, "rl_script: %s\n", r.Script)
+	fmt.Fprintf(&b, "rl_operator: %s\n", r.Operator)
+	fmt.Fprintf(&b, "rl_param: %s\n", r.Param)
+	fmt.Fprintf(&b, "rl_busy: %g\n", r.Busy)
+	fmt.Fprintf(&b, "rl_overLd: %g\n", r.OverLd)
+	return b.String()
+}

@@ -1,0 +1,182 @@
+package rules
+
+import (
+	"testing"
+
+	"autoresched/internal/sysinfo"
+)
+
+var probes = sysinfo.StandardProbes()
+
+// Snapshots modelled on the five workstations of Table 2.
+func table2Snapshots() map[string]sysinfo.Snapshot {
+	return map[string]sysinfo.Snapshot{
+		// Source after the additional tasks are loaded.
+		"ws1": {Host: "ws1", Load1: 2.6, NumProcs: 60},
+		// Busy communicating with ws5 at ~7 MB/s, CPU load below threshold.
+		"ws2": {Host: "ws2", Load1: 0.97, NumProcs: 40, NetSentBps: 7.2e6, NetRecvBps: 0.3e6},
+		// CPU workload of 2.52.
+		"ws3": {Host: "ws3", Load1: 2.52, NumProcs: 45},
+		// Free.
+		"ws4": {Host: "ws4", Load1: 0.05, NumProcs: 30},
+		// The other end of the communication.
+		"ws5": {Host: "ws5", Load1: 0.4, NumProcs: 35, NetSentBps: 0.3e6, NetRecvBps: 7.2e6},
+	}
+}
+
+func TestPolicy1NeverMigrates(t *testing.T) {
+	p := Policy1()
+	for _, snap := range table2Snapshots() {
+		ok, err := p.ShouldMigrate(probes, snap)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok {
+			t.Fatalf("policy1 fired on %s", snap.Host)
+		}
+	}
+}
+
+func TestPolicy2TriggersOnLoadedSource(t *testing.T) {
+	p := Policy2()
+	snaps := table2Snapshots()
+	ok, err := p.ShouldMigrate(probes, snaps["ws1"])
+	if err != nil || !ok {
+		t.Fatalf("policy2 on loaded source = %v, %v; want true", ok, err)
+	}
+	// An unloaded host does not trigger.
+	ok, err = p.ShouldMigrate(probes, snaps["ws4"])
+	if err != nil || ok {
+		t.Fatalf("policy2 on free host = %v, %v; want false", ok, err)
+	}
+	// Process-count trigger alone suffices (any-of).
+	ok, err = p.ShouldMigrate(probes, sysinfo.Snapshot{Load1: 0.1, NumProcs: 200})
+	if err != nil || !ok {
+		t.Fatalf("policy2 on many-procs host = %v, %v; want true", ok, err)
+	}
+}
+
+// TestPolicy2AcceptsCommunicatingHost reproduces the Table 2 mistake the
+// paper demonstrates: blind to communication, policy 2 accepts ws2 (load
+// 0.97 < 1) even though it is saturating its link.
+func TestPolicy2AcceptsCommunicatingHost(t *testing.T) {
+	p := Policy2()
+	snaps := table2Snapshots()
+	for _, host := range []string{"ws2", "ws4"} {
+		ok, err := p.DestinationOK(probes, snaps[host])
+		if err != nil || !ok {
+			t.Fatalf("policy2 destination %s = %v, %v; want true", host, ok, err)
+		}
+	}
+	// ws3's CPU load disqualifies it under both policies.
+	ok, err := p.DestinationOK(probes, snaps["ws3"])
+	if err != nil || ok {
+		t.Fatalf("policy2 destination ws3 = %v, %v; want false", ok, err)
+	}
+}
+
+// TestPolicy3RejectsCommunicatingHost: with communication awareness, ws2 is
+// rejected (7 MB/s > 3 MB/s) and ws4 remains eligible.
+func TestPolicy3RejectsCommunicatingHost(t *testing.T) {
+	p := Policy3()
+	snaps := table2Snapshots()
+	ok, err := p.DestinationOK(probes, snaps["ws2"])
+	if err != nil || ok {
+		t.Fatalf("policy3 destination ws2 = %v, %v; want false", ok, err)
+	}
+	ok, err = p.DestinationOK(probes, snaps["ws4"])
+	if err != nil || !ok {
+		t.Fatalf("policy3 destination ws4 = %v, %v; want true", ok, err)
+	}
+}
+
+func TestPolicy3SourcePrecondition(t *testing.T) {
+	p := Policy3()
+	// Overloaded but communicating heavily: not worth migrating.
+	snap := sysinfo.Snapshot{Load1: 5, NumProcs: 300, NetSentBps: 8e6}
+	ok, err := p.ShouldMigrate(probes, snap)
+	if err != nil || ok {
+		t.Fatalf("policy3 on communicating source = %v, %v; want false", ok, err)
+	}
+	snap.NetSentBps = 1e6
+	ok, err = p.ShouldMigrate(probes, snap)
+	if err != nil || !ok {
+		t.Fatalf("policy3 on quiet source = %v, %v; want true", ok, err)
+	}
+}
+
+func TestConditionString(t *testing.T) {
+	c := Condition{Script: "loadAvg.sh", Param: "1", Op: OpGreater, Threshold: 2}
+	if got := c.String(); got != "loadAvg(1) > 2" {
+		t.Fatalf("String() = %q", got)
+	}
+	c.Desc = "custom"
+	if c.String() != "custom" {
+		t.Fatalf("String() = %q, want custom", c.String())
+	}
+}
+
+func TestConditionErrors(t *testing.T) {
+	c := Condition{Script: "missing.sh", Op: OpGreater, Threshold: 1}
+	if _, err := c.Holds(probes, sysinfo.Snapshot{}); err == nil {
+		t.Fatal("missing probe not reported")
+	}
+	p := &MigrationPolicy{Migrate: true, Trigger: []Condition{c}}
+	if _, err := p.ShouldMigrate(probes, sysinfo.Snapshot{}); err == nil {
+		t.Fatal("trigger error not propagated")
+	}
+	p = &MigrationPolicy{Migrate: true, SourcePrecond: []Condition{c}}
+	if _, err := p.ShouldMigrate(probes, sysinfo.Snapshot{}); err == nil {
+		t.Fatal("precondition error not propagated")
+	}
+	p = &MigrationPolicy{Migrate: true, Destination: []Condition{c}}
+	if _, err := p.DestinationOK(probes, sysinfo.Snapshot{}); err == nil {
+		t.Fatal("destination error not propagated")
+	}
+}
+
+func TestEmptyTriggerMeansAlways(t *testing.T) {
+	p := &MigrationPolicy{Name: "always", Migrate: true}
+	ok, err := p.ShouldMigrate(probes, sysinfo.Snapshot{})
+	if err != nil || !ok {
+		t.Fatalf("empty trigger = %v, %v; want true", ok, err)
+	}
+	ok, err = p.DestinationOK(probes, sysinfo.Snapshot{})
+	if err != nil || !ok {
+		t.Fatalf("empty destination = %v, %v; want true", ok, err)
+	}
+}
+
+func TestOpCompare(t *testing.T) {
+	cases := []struct {
+		op        Op
+		v, th     float64
+		want      bool
+		wantFlip  bool
+		flipValue float64
+	}{
+		{OpLess, 1, 2, true, false, 3},
+		{OpLessEqual, 2, 2, true, false, 3},
+		{OpGreater, 3, 2, true, false, 1},
+		{OpGreaterEqual, 2, 2, true, false, 1},
+	}
+	for _, c := range cases {
+		if got := c.op.compare(c.v, c.th); got != c.want {
+			t.Errorf("%v %s %v = %v", c.v, c.op, c.th, got)
+		}
+		if got := c.op.compare(c.flipValue, c.th); got != c.wantFlip {
+			t.Errorf("%v %s %v = %v", c.flipValue, c.op, c.th, got)
+		}
+	}
+	if Op("~").compare(1, 2) {
+		t.Error("unknown op compared true")
+	}
+	if _, err := ParseOp("≥"); err == nil {
+		t.Error("ParseOp accepted unicode op")
+	}
+	for _, s := range []string{"<", "<=", ">", ">="} {
+		if _, err := ParseOp(" " + s + " "); err != nil {
+			t.Errorf("ParseOp(%q): %v", s, err)
+		}
+	}
+}

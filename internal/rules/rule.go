@@ -1,0 +1,140 @@
+package rules
+
+import (
+	"fmt"
+	"strings"
+
+	"autoresched/internal/sysinfo"
+)
+
+// Type distinguishes simple rules (one probe, thresholds) from complex rules
+// (an expression over other rules).
+type Type int
+
+const (
+	// Simple rules fire one information-gathering script and compare its
+	// value against the busy and overloaded thresholds (Figure 3).
+	Simple Type = iota
+	// Complex rules combine the grades of other rules through an
+	// expression (Figure 4).
+	Complex
+)
+
+// String returns the rl_type spelling.
+func (t Type) String() string {
+	if t == Complex {
+		return "complex"
+	}
+	return "simple"
+}
+
+// Op is a threshold comparison operator (rl_operator).
+type Op string
+
+// Supported comparison operators.
+const (
+	OpLess         Op = "<"
+	OpLessEqual    Op = "<="
+	OpGreater      Op = ">"
+	OpGreaterEqual Op = ">="
+)
+
+// ParseOp validates an rl_operator value.
+func ParseOp(s string) (Op, error) {
+	switch Op(strings.TrimSpace(s)) {
+	case OpLess:
+		return OpLess, nil
+	case OpLessEqual:
+		return OpLessEqual, nil
+	case OpGreater:
+		return OpGreater, nil
+	case OpGreaterEqual:
+		return OpGreaterEqual, nil
+	default:
+		return "", fmt.Errorf("rules: unknown operator %q", s)
+	}
+}
+
+// compare applies the operator with value on the left: value OP threshold.
+func (o Op) compare(value, threshold float64) bool {
+	switch o {
+	case OpLess:
+		return value < threshold
+	case OpLessEqual:
+		return value <= threshold
+	case OpGreater:
+		return value > threshold
+	case OpGreaterEqual:
+		return value >= threshold
+	default:
+		return false
+	}
+}
+
+// Rule is one entry of a rule file (Figures 3 and 4). For a Simple rule,
+// Script names the probe to fire, Param is passed to it, and Busy/OverLd are
+// the state thresholds. For a Complex rule, Script holds the combining
+// expression and RuleNos lists the rules it fires, in order.
+type Rule struct {
+	Number   int
+	Name     string
+	Type     Type
+	Script   string
+	Desc     string
+	Operator Op
+	Param    string
+	Busy     float64
+	OverLd   float64
+	RuleNos  []int
+
+	expr *exprNode // parsed form of Script for complex rules
+}
+
+// Validate checks internal consistency and, for complex rules, parses the
+// expression.
+func (r *Rule) Validate() error {
+	if r.Name == "" {
+		return fmt.Errorf("rules: rule %d has no name", r.Number)
+	}
+	switch r.Type {
+	case Simple:
+		if r.Script == "" {
+			return fmt.Errorf("rules: simple rule %q has no script", r.Name)
+		}
+		if _, err := ParseOp(string(r.Operator)); err != nil {
+			return fmt.Errorf("rules: rule %q: %w", r.Name, err)
+		}
+		return nil
+	case Complex:
+		if r.Script == "" {
+			return fmt.Errorf("rules: complex rule %q has no expression", r.Name)
+		}
+		expr, err := parseExpr(r.Script)
+		if err != nil {
+			return fmt.Errorf("rules: rule %q: %w", r.Name, err)
+		}
+		r.expr = expr
+		return nil
+	default:
+		return fmt.Errorf("rules: rule %q has unknown type %d", r.Name, r.Type)
+	}
+}
+
+// evalSimple evaluates a simple rule against a snapshot: the overloaded
+// comparison is checked first, then busy, else the rule reports free —
+// mirroring the paper's reading of Rule 1 (idle < 45 overloaded, < 50 busy,
+// otherwise free).
+func (r *Rule) evalSimple(probes *sysinfo.Probes, snap sysinfo.Snapshot) (Grade, error) {
+	value, err := probes.Eval(r.Script, snap, r.Param)
+	if err != nil {
+		return GradeFree, fmt.Errorf("rules: rule %q: %w", r.Name, err)
+	}
+	switch {
+	case r.Operator.compare(value, r.OverLd):
+		return GradeOverloaded, nil
+	case r.Operator.compare(value, r.Busy):
+		return GradeBusy, nil
+	default:
+		return GradeFree, nil
+	}
+}

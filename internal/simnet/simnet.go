@@ -1,0 +1,373 @@
+// Package simnet simulates the cluster interconnect.
+//
+// The paper's testbed used 100 Mbps switched Ethernet with exclusive use;
+// its evaluation depends on three network observables: per-host send/receive
+// byte counters sampled every 10 seconds (Figures 6 and 8), the transfer
+// time of the migrating process state (Table 2, "migration time"), and a
+// background flow between two workstations running at 6.71-7.78 MB/s that
+// the communication-aware policy must notice (Table 2, policy 3).
+//
+// The model: every host owns a full-duplex NIC with a configurable capacity
+// in bytes per second. A transfer from A to B is a flow; at any instant a
+// flow's rate is the minimum of its sender's transmit capacity and its
+// receiver's receive capacity, each divided equally among the flows using
+// that direction of that NIC. Rates are piecewise constant between flow
+// arrivals and departures, and progress is integrated exactly across those
+// segments, so byte counters and completion times are deterministic given a
+// clock.
+package simnet
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"autoresched/internal/vclock"
+)
+
+// Errors returned by transfers.
+var (
+	ErrUnknownHost = errors.New("simnet: unknown host")
+	ErrHostDown    = errors.New("simnet: host is down")
+)
+
+// Options configures a Network.
+type Options struct {
+	// DefaultBandwidth is the NIC capacity, in bytes per second, given to
+	// hosts added without an explicit capacity. The paper's 100 Mbps
+	// Ethernet is 12.5e6 B/s; zero selects that value.
+	DefaultBandwidth float64
+	// Latency is the one-way propagation delay charged once per transfer.
+	Latency time.Duration
+}
+
+// Ethernet100Mbps is the NIC capacity of the paper's testbed in bytes/s.
+const Ethernet100Mbps = 100e6 / 8
+
+// Network simulates the interconnect between named hosts.
+type Network struct {
+	clock vclock.Clock
+
+	mu      sync.Mutex
+	opts    Options
+	hosts   map[string]*nic
+	flows   map[*flow]struct{}
+	lastAdv time.Time
+	gen     int // invalidates outstanding wake-up timers
+	timer   *vclock.Timer
+	cancel  chan struct{} // closed to release the stale wake-up goroutine
+}
+
+type nic struct {
+	name     string
+	capacity float64 // bytes/s each direction
+	down     bool
+
+	sentBytes float64
+	recvBytes float64
+	sendFlows int
+	recvFlows int
+}
+
+type flow struct {
+	from, to *nic
+	total    float64
+	done     float64
+	rate     float64 // current bytes/s, recomputed on membership change
+	finished chan error
+	failed   bool
+}
+
+// New creates an empty network driven by clock.
+func New(clock vclock.Clock, opts Options) *Network {
+	if opts.DefaultBandwidth <= 0 {
+		opts.DefaultBandwidth = Ethernet100Mbps
+	}
+	return &Network{
+		clock:   clock,
+		opts:    opts,
+		hosts:   make(map[string]*nic),
+		flows:   make(map[*flow]struct{}),
+		lastAdv: clock.Now(),
+	}
+}
+
+// AddHost registers a host with the default NIC capacity. Adding an existing
+// host is an error.
+func (n *Network) AddHost(name string) error {
+	return n.AddHostBandwidth(name, n.opts.DefaultBandwidth)
+}
+
+// AddHostBandwidth registers a host with an explicit NIC capacity in
+// bytes per second.
+func (n *Network) AddHostBandwidth(name string, capacity float64) error {
+	if capacity <= 0 {
+		return fmt.Errorf("simnet: non-positive capacity %v for host %q", capacity, name)
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, ok := n.hosts[name]; ok {
+		return fmt.Errorf("simnet: host %q already exists", name)
+	}
+	n.hosts[name] = &nic{name: name, capacity: capacity}
+	return nil
+}
+
+// SetDown marks a host down or up. Taking a host down fails every flow it
+// participates in.
+func (n *Network) SetDown(name string, down bool) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	h, ok := n.hosts[name]
+	if !ok {
+		return ErrUnknownHost
+	}
+	n.advanceLocked(n.clock.Now())
+	h.down = down
+	if down {
+		for f := range n.flows {
+			if f.from == h || f.to == h {
+				f.failed = true
+				n.finishLocked(f, ErrHostDown)
+			}
+		}
+	}
+	n.recomputeLocked()
+	n.scheduleLocked()
+	return nil
+}
+
+// Transfer moves size bytes from one host to another, blocking in virtual
+// time until the transfer completes. It returns ErrHostDown if either end
+// is (or goes) down.
+func (n *Network) Transfer(from, to string, size int64) error {
+	if size < 0 {
+		return fmt.Errorf("simnet: negative transfer size %d", size)
+	}
+	n.mu.Lock()
+	src, ok := n.hosts[from]
+	if !ok {
+		n.mu.Unlock()
+		return fmt.Errorf("%w: %q", ErrUnknownHost, from)
+	}
+	dst, ok := n.hosts[to]
+	if !ok {
+		n.mu.Unlock()
+		return fmt.Errorf("%w: %q", ErrUnknownHost, to)
+	}
+	if src.down || dst.down {
+		n.mu.Unlock()
+		return ErrHostDown
+	}
+	if from == to || size == 0 {
+		// Loopback and empty transfers are free of NIC time; charge latency
+		// only.
+		n.mu.Unlock()
+		if n.opts.Latency > 0 {
+			n.clock.Sleep(n.opts.Latency)
+		}
+		return nil
+	}
+	n.advanceLocked(n.clock.Now())
+	f := &flow{from: src, to: dst, total: float64(size), finished: make(chan error, 1)}
+	n.flows[f] = struct{}{}
+	src.sendFlows++
+	dst.recvFlows++
+	n.recomputeLocked()
+	n.scheduleLocked()
+	n.mu.Unlock()
+
+	if n.opts.Latency > 0 {
+		n.clock.Sleep(n.opts.Latency)
+	}
+	return <-f.finished
+}
+
+// Counters returns the cumulative bytes sent and received by a host.
+func (n *Network) Counters(host string) (sent, recv int64, err error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	h, ok := n.hosts[host]
+	if !ok {
+		return 0, 0, ErrUnknownHost
+	}
+	n.advanceLocked(n.clock.Now())
+	return int64(h.sentBytes), int64(h.recvBytes), nil
+}
+
+// Rates returns the instantaneous aggregate send and receive rates of a
+// host in bytes per second.
+func (n *Network) Rates(host string) (sendBps, recvBps float64, err error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	h, ok := n.hosts[host]
+	if !ok {
+		return 0, 0, ErrUnknownHost
+	}
+	n.advanceLocked(n.clock.Now())
+	for f := range n.flows {
+		if f.from == h {
+			sendBps += f.rate
+		}
+		if f.to == h {
+			recvBps += f.rate
+		}
+	}
+	return sendBps, recvBps, nil
+}
+
+// HostFlows reports the number of in-flight transfers with an endpoint on
+// host. It backs the netstat-style "sockets in ESTABLISHED state" probe.
+func (n *Network) HostFlows(host string) (int, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	h, ok := n.hosts[host]
+	if !ok {
+		return 0, ErrUnknownHost
+	}
+	count := 0
+	for f := range n.flows {
+		if f.from == h || f.to == h {
+			count++
+		}
+	}
+	return count, nil
+}
+
+// ActiveFlows reports the number of in-flight transfers.
+func (n *Network) ActiveFlows() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return len(n.flows)
+}
+
+// Hosts returns the registered host names.
+func (n *Network) Hosts() []string {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	names := make([]string, 0, len(n.hosts))
+	for name := range n.hosts {
+		names = append(names, name)
+	}
+	return names
+}
+
+// finishLocked removes a flow and signals its waiter.
+func (n *Network) finishLocked(f *flow, err error) {
+	if _, ok := n.flows[f]; !ok {
+		return
+	}
+	delete(n.flows, f)
+	f.from.sendFlows--
+	f.to.recvFlows--
+	f.finished <- err
+}
+
+// recomputeLocked refreshes every flow's rate from the current flow
+// population. Must be called after any membership change, with progress
+// already advanced to now.
+func (n *Network) recomputeLocked() {
+	for f := range n.flows {
+		sendShare := f.from.capacity / float64(f.from.sendFlows)
+		recvShare := f.to.capacity / float64(f.to.recvFlows)
+		f.rate = math.Min(sendShare, recvShare)
+	}
+}
+
+// advanceLocked integrates flow progress from lastAdv to now, completing
+// flows exactly at their finish instants (rates are recomputed at each
+// completion so later segments use the freed capacity).
+func (n *Network) advanceLocked(now time.Time) {
+	for {
+		dt := now.Sub(n.lastAdv).Seconds()
+		if dt <= 0 || len(n.flows) == 0 {
+			n.lastAdv = now
+			return
+		}
+		// Earliest completion within this segment.
+		step := dt
+		for f := range n.flows {
+			if f.rate <= 0 {
+				continue
+			}
+			if left := (f.total - f.done) / f.rate; left < step {
+				step = left
+			}
+		}
+		var finished []*flow
+		for f := range n.flows {
+			adv := f.rate * step
+			if f.done+adv >= f.total {
+				adv = f.total - f.done
+				finished = append(finished, f)
+			}
+			f.done += adv
+			f.from.sentBytes += adv
+			f.to.recvBytes += adv
+		}
+		n.lastAdv = n.lastAdv.Add(time.Duration(step * float64(time.Second)))
+		if len(finished) == 0 {
+			n.lastAdv = now
+			return
+		}
+		for _, f := range finished {
+			n.finishLocked(f, nil)
+		}
+		n.recomputeLocked()
+	}
+}
+
+// scheduleLocked arms a wake-up timer for the earliest flow completion so
+// that waiters are signalled without polling.
+func (n *Network) scheduleLocked() {
+	n.gen++
+	if n.timer != nil {
+		n.timer.Stop()
+		close(n.cancel)
+		n.timer = nil
+		n.cancel = nil
+	}
+	if len(n.flows) == 0 {
+		return
+	}
+	earliest := math.Inf(1)
+	for f := range n.flows {
+		if f.rate <= 0 {
+			continue
+		}
+		if left := (f.total - f.done) / f.rate; left < earliest {
+			earliest = left
+		}
+	}
+	if math.IsInf(earliest, 1) {
+		return
+	}
+	d := time.Duration(earliest*float64(time.Second)) + time.Nanosecond
+	timer := n.clock.NewTimer(d)
+	cancel := make(chan struct{})
+	n.timer = timer
+	n.cancel = cancel
+	gen := n.gen
+	go func() {
+		var at time.Time
+		select {
+		case at = <-timer.C:
+		case <-cancel:
+			return
+		}
+		n.mu.Lock()
+		defer n.mu.Unlock()
+		if n.gen != gen {
+			return
+		}
+		n.timer = nil
+		n.cancel = nil
+		if now := n.clock.Now(); now.After(at) {
+			at = now
+		}
+		n.advanceLocked(at)
+		n.scheduleLocked()
+	}()
+}

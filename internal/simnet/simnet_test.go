@@ -1,0 +1,347 @@
+package simnet
+
+import (
+	"errors"
+	"math"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"autoresched/internal/vclock"
+)
+
+func newNet(t *testing.T, bw float64, hosts ...string) (*Network, vclock.Clock) {
+	t.Helper()
+	// Modest scale: virtual-time error is wall jitter times the scale, and
+	// race-instrumented runs jitter by milliseconds.
+	clock := vclock.Scaled(vclock.Epoch, 200)
+	n := New(clock, Options{DefaultBandwidth: bw})
+	for _, h := range hosts {
+		if err := n.AddHost(h); err != nil {
+			t.Fatalf("AddHost(%q): %v", h, err)
+		}
+	}
+	return n, clock
+}
+
+func TestSingleTransferTakesSizeOverBandwidth(t *testing.T) {
+	n, clock := newNet(t, 1e6, "a", "b")
+	start := clock.Now()
+	if err := n.Transfer("a", "b", 10e6); err != nil {
+		t.Fatalf("Transfer: %v", err)
+	}
+	got := clock.Since(start)
+	// 10 MB at 1 MB/s = 10 virtual seconds.
+	if got < 9*time.Second || got > 13*time.Second {
+		t.Fatalf("transfer took %v, want ~10s", got)
+	}
+}
+
+func TestCountersMatchTransferredBytes(t *testing.T) {
+	n, _ := newNet(t, 1e6, "a", "b")
+	if err := n.Transfer("a", "b", 2_000_000); err != nil {
+		t.Fatalf("Transfer: %v", err)
+	}
+	sent, _, err := n.Counters("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, recv, err := n.Counters("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sent != 2_000_000 || recv != 2_000_000 {
+		t.Fatalf("counters sent=%d recv=%d, want 2000000 each", sent, recv)
+	}
+}
+
+func TestConcurrentFlowsShareSenderNIC(t *testing.T) {
+	n, clock := newNet(t, 1e6, "a", "b", "c")
+	start := clock.Now()
+	var wg sync.WaitGroup
+	for _, dst := range []string{"b", "c"} {
+		wg.Add(1)
+		go func(dst string) {
+			defer wg.Done()
+			if err := n.Transfer("a", dst, 5e6); err != nil {
+				t.Errorf("Transfer to %s: %v", dst, err)
+			}
+		}(dst)
+	}
+	wg.Wait()
+	got := clock.Since(start)
+	// Two 5 MB flows sharing a 1 MB/s sender: each runs at 0.5 MB/s, both
+	// finish together at ~10 s.
+	if got < 9*time.Second || got > 14*time.Second {
+		t.Fatalf("shared transfers took %v, want ~10s", got)
+	}
+}
+
+func TestIndependentPairsDoNotInterfere(t *testing.T) {
+	n, clock := newNet(t, 1e6, "a", "b", "c", "d")
+	start := clock.Now()
+	var wg sync.WaitGroup
+	for _, pair := range [][2]string{{"a", "b"}, {"c", "d"}} {
+		wg.Add(1)
+		go func(from, to string) {
+			defer wg.Done()
+			if err := n.Transfer(from, to, 5e6); err != nil {
+				t.Errorf("Transfer %s->%s: %v", from, to, err)
+			}
+		}(pair[0], pair[1])
+	}
+	wg.Wait()
+	got := clock.Since(start)
+	// Disjoint NIC pairs each run at full capacity: ~5 s.
+	if got < 4*time.Second || got > 8*time.Second {
+		t.Fatalf("independent transfers took %v, want ~5s", got)
+	}
+}
+
+func TestShortFlowFreesCapacityForLongFlow(t *testing.T) {
+	n, clock := newNet(t, 1e6, "a", "b", "c")
+	start := clock.Now()
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { // long flow: 9 MB
+		defer wg.Done()
+		if err := n.Transfer("a", "b", 9e6); err != nil {
+			t.Errorf("long: %v", err)
+		}
+	}()
+	go func() { // short flow: 1 MB, same sender
+		defer wg.Done()
+		if err := n.Transfer("a", "c", 1e6); err != nil {
+			t.Errorf("short: %v", err)
+		}
+	}()
+	wg.Wait()
+	got := clock.Since(start)
+	// Shared until the short flow's 1 MB is done (2 s at 0.5 MB/s); the
+	// long flow then has 8 MB left at full rate => total ~10 s.
+	if got < 9*time.Second || got > 14*time.Second {
+		t.Fatalf("took %v, want ~10s", got)
+	}
+}
+
+func TestTransferUnknownHost(t *testing.T) {
+	n, _ := newNet(t, 1e6, "a")
+	if err := n.Transfer("a", "nope", 10); !errors.Is(err, ErrUnknownHost) {
+		t.Fatalf("err = %v, want ErrUnknownHost", err)
+	}
+	if err := n.Transfer("nope", "a", 10); !errors.Is(err, ErrUnknownHost) {
+		t.Fatalf("err = %v, want ErrUnknownHost", err)
+	}
+}
+
+func TestTransferToDownHostFails(t *testing.T) {
+	n, _ := newNet(t, 1e6, "a", "b")
+	if err := n.SetDown("b", true); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Transfer("a", "b", 10); !errors.Is(err, ErrHostDown) {
+		t.Fatalf("err = %v, want ErrHostDown", err)
+	}
+	if err := n.SetDown("b", false); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Transfer("a", "b", 10); err != nil {
+		t.Fatalf("transfer after revive: %v", err)
+	}
+}
+
+func TestHostGoingDownFailsInFlightTransfer(t *testing.T) {
+	n, _ := newNet(t, 1e3, "a", "b") // slow: 1 KB/s
+	errc := make(chan error, 1)
+	go func() { errc <- n.Transfer("a", "b", 1e9) }()
+	// Wait for the flow to be active, then kill the receiver.
+	for i := 0; n.ActiveFlows() == 0 && i < 1000; i++ {
+		time.Sleep(time.Millisecond)
+	}
+	if n.ActiveFlows() == 0 {
+		t.Fatal("flow never became active")
+	}
+	if err := n.SetDown("b", true); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-errc:
+		if !errors.Is(err, ErrHostDown) {
+			t.Fatalf("err = %v, want ErrHostDown", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("in-flight transfer did not fail")
+	}
+}
+
+func TestZeroSizeAndLoopbackAreFree(t *testing.T) {
+	n, clock := newNet(t, 1e6, "a", "b")
+	start := clock.Now()
+	if err := n.Transfer("a", "b", 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Transfer("a", "a", 1e9); err != nil {
+		t.Fatal(err)
+	}
+	if d := clock.Since(start); d > time.Second {
+		t.Fatalf("free transfers took %v virtual", d)
+	}
+	sent, recv, _ := n.Counters("a")
+	if sent != 0 || recv != 0 {
+		t.Fatalf("loopback counted: sent=%d recv=%d", sent, recv)
+	}
+}
+
+func TestNegativeSizeRejected(t *testing.T) {
+	n, _ := newNet(t, 1e6, "a", "b")
+	if err := n.Transfer("a", "b", -1); err == nil {
+		t.Fatal("negative size accepted")
+	}
+}
+
+func TestDuplicateHostRejected(t *testing.T) {
+	n, _ := newNet(t, 1e6, "a")
+	if err := n.AddHost("a"); err == nil {
+		t.Fatal("duplicate host accepted")
+	}
+	if err := n.AddHostBandwidth("x", -5); err == nil {
+		t.Fatal("negative bandwidth accepted")
+	}
+}
+
+func TestRatesReflectActiveFlows(t *testing.T) {
+	n, _ := newNet(t, 1e6, "a", "b")
+	done := make(chan error, 1)
+	go func() { done <- n.Transfer("a", "b", 50e6) }()
+	for i := 0; n.ActiveFlows() == 0 && i < 1000; i++ {
+		time.Sleep(time.Millisecond)
+	}
+	sendBps, _, err := n.Rates("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sendBps-1e6) > 1 {
+		t.Fatalf("send rate = %v, want 1e6", sendBps)
+	}
+	_, recvBps, err := n.Rates("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(recvBps-1e6) > 1 {
+		t.Fatalf("recv rate = %v, want 1e6", recvBps)
+	}
+	if err := n.SetDown("b", true); err != nil { // cancel so test exits fast
+		t.Fatal(err)
+	}
+	<-done
+}
+
+func TestLatencyChargedOncePerTransfer(t *testing.T) {
+	clock := vclock.Scaled(vclock.Epoch, 200)
+	n := New(clock, Options{DefaultBandwidth: 1e9, Latency: 500 * time.Millisecond})
+	for _, h := range []string{"a", "b"} {
+		if err := n.AddHost(h); err != nil {
+			t.Fatal(err)
+		}
+	}
+	start := clock.Now()
+	if err := n.Transfer("a", "b", 1000); err != nil {
+		t.Fatal(err)
+	}
+	if d := clock.Since(start); d < 450*time.Millisecond {
+		t.Fatalf("latency not charged: %v", d)
+	}
+}
+
+// Property: total bytes accounted on the sender equals the sum of completed
+// transfer sizes, for arbitrary concurrent fan-outs.
+func TestCountersConservationProperty(t *testing.T) {
+	f := func(sizes []uint16) bool {
+		if len(sizes) == 0 {
+			return true
+		}
+		if len(sizes) > 8 {
+			sizes = sizes[:8]
+		}
+		clock := vclock.Scaled(vclock.Epoch, 100000)
+		n := New(clock, Options{DefaultBandwidth: 1e6})
+		if err := n.AddHost("src"); err != nil {
+			return false
+		}
+		if err := n.AddHost("dst"); err != nil {
+			return false
+		}
+		var want int64
+		var wg sync.WaitGroup
+		for _, s := range sizes {
+			size := int64(s)
+			want += size
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				_ = n.Transfer("src", "dst", size)
+			}()
+		}
+		wg.Wait()
+		sent, _, err := n.Counters("src")
+		if err != nil {
+			return false
+		}
+		// Floating point integration: allow one byte of slack per flow.
+		return sent >= want-int64(len(sizes)) && sent <= want+int64(len(sizes))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHostsListsRegisteredHosts(t *testing.T) {
+	n, _ := newNet(t, 1e6, "a", "b", "c")
+	if got := len(n.Hosts()); got != 3 {
+		t.Fatalf("Hosts() len = %d, want 3", got)
+	}
+}
+
+func TestHostFlowsCountsEndpoints(t *testing.T) {
+	n, _ := newNet(t, 1e3, "a", "b", "c") // slow so flows stay active
+	if got, err := n.HostFlows("a"); err != nil || got != 0 {
+		t.Fatalf("idle flows = %d, %v", got, err)
+	}
+	done := make(chan error, 2)
+	go func() { done <- n.Transfer("a", "b", 1e6) }()
+	go func() { done <- n.Transfer("c", "a", 1e6) }()
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		got, err := n.HostFlows("a")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got == 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("HostFlows = %d, want 2", got)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if got, _ := n.HostFlows("b"); got != 1 {
+		t.Fatalf("b flows = %d", got)
+	}
+	if _, err := n.HostFlows("ghost"); !errors.Is(err, ErrUnknownHost) {
+		t.Fatalf("err = %v", err)
+	}
+	// Tear down to end the transfers quickly.
+	if err := n.SetDown("a", true); err != nil {
+		t.Fatal(err)
+	}
+	<-done
+	<-done
+}
+
+func TestSetDownUnknownHost(t *testing.T) {
+	n, _ := newNet(t, 1e6)
+	if err := n.SetDown("ghost", true); !errors.Is(err, ErrUnknownHost) {
+		t.Fatalf("err = %v, want ErrUnknownHost", err)
+	}
+}

@@ -1,0 +1,139 @@
+package sysinfo
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// writeProcFixture lays out a minimal /proc tree.
+func writeProcFixture(t *testing.T) string {
+	t.Helper()
+	root := t.TempDir()
+	files := map[string]string{
+		"loadavg": "0.25 0.50 0.75 2/345 9999\n",
+		"stat": "cpu  100 0 100 700 100 0 0 0 0 0\n" +
+			"cpu0 100 0 100 700 100 0 0 0 0 0\n",
+		"meminfo": "MemTotal:       1000 kB\nMemFree:         200 kB\n" +
+			"MemAvailable:    400 kB\nSwapTotal:       500 kB\nSwapFree:        500 kB\n",
+		"net/dev": "Inter-|   Receive                                                |  Transmit\n" +
+			" face |bytes    packets errs drop fifo frame compressed multicast|bytes    packets errs drop fifo colls carrier compressed\n" +
+			"    lo: 999999    100    0    0    0     0          0         0   999999     100    0    0    0     0       0          0\n" +
+			"  eth0: 123456    100    0    0    0     0          0         0   654321     100    0    0    0     0       0          0\n",
+		"net/tcp": "  sl  local_address rem_address   st tx_queue rx_queue tr tm->when retrnsmt   uid  timeout inode\n" +
+			"   0: 0100007F:0016 00000000:0000 0A 00000000:00000000 00:00000000 00000000     0        0 1\n" +
+			"   1: 0100007F:0016 0200007F:9999 01 00000000:00000000 00:00000000 00000000     0        0 2\n" +
+			"   2: 0100007F:0017 0200007F:9998 01 00000000:00000000 00:00000000 00000000     0        0 3\n",
+		"4242/comm": "myproc\n",
+	}
+	for name, content := range files {
+		path := filepath.Join(root, name)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return root
+}
+
+func TestProcSourceLoadAvg(t *testing.T) {
+	src := NewProcSource(writeProcFixture(t))
+	l1, l5, l15, err := src.LoadAvg()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l1 != 0.25 || l5 != 0.50 || l15 != 0.75 {
+		t.Fatalf("loadavg = %v %v %v", l1, l5, l15)
+	}
+	rq, err := src.RunQueue()
+	if err != nil || rq != 2 {
+		t.Fatalf("runqueue = %d, %v", rq, err)
+	}
+}
+
+func TestProcSourceCPUTimes(t *testing.T) {
+	src := NewProcSource(writeProcFixture(t))
+	busy, idle, err := src.CPUTimes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// busy = user+nice+system = 100+0+100 ticks = 2s; idle+iowait = 700+100
+	// ticks = 8s at 100 Hz.
+	if busy != 2*time.Second {
+		t.Fatalf("busy = %v, want 2s", busy)
+	}
+	if idle != 8*time.Second {
+		t.Fatalf("idle = %v, want 8s", idle)
+	}
+}
+
+func TestProcSourceMemory(t *testing.T) {
+	src := NewProcSource(writeProcFixture(t))
+	total, used, err := src.Memory()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != 1000*1024 || used != 600*1024 {
+		t.Fatalf("mem = %d used %d", total, used)
+	}
+	st, su, err := src.Swap()
+	if err != nil || st != 500*1024 || su != 0 {
+		t.Fatalf("swap = %d used %d, %v", st, su, err)
+	}
+}
+
+func TestProcSourceNetCounters(t *testing.T) {
+	src := NewProcSource(writeProcFixture(t))
+	sent, recv, err := src.NetCounters()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Loopback excluded.
+	if sent != 654321 || recv != 123456 {
+		t.Fatalf("net = sent %d recv %d", sent, recv)
+	}
+}
+
+func TestProcSourceSockets(t *testing.T) {
+	src := NewProcSource(writeProcFixture(t))
+	n, err := src.Sockets()
+	if err != nil || n != 2 {
+		t.Fatalf("sockets = %d, %v", n, err)
+	}
+}
+
+func TestProcSourceProcs(t *testing.T) {
+	src := NewProcSource(writeProcFixture(t))
+	procs, err := src.Procs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(procs) != 1 || procs[0].PID != 4242 || procs[0].Name != "myproc" {
+		t.Fatalf("procs = %+v", procs)
+	}
+}
+
+func TestProcSourceSensorEndToEnd(t *testing.T) {
+	src := NewProcSource(writeProcFixture(t))
+	sensor := NewSensor(src)
+	snap, err := sensor.Gather()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Load1 != 0.25 || snap.Sockets != 2 || snap.NumProcs != 1 {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+}
+
+func TestProcSourceMissingTree(t *testing.T) {
+	src := NewProcSource(filepath.Join(t.TempDir(), "nope"))
+	if _, _, _, err := src.LoadAvg(); err == nil {
+		t.Fatal("LoadAvg on missing tree succeeded")
+	}
+	if _, err := NewSensor(src).Gather(); err == nil {
+		t.Fatal("Gather on missing tree succeeded")
+	}
+}

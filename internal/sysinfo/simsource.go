@@ -1,0 +1,141 @@
+package sysinfo
+
+import (
+	"sync"
+	"time"
+
+	"autoresched/internal/simnet"
+	"autoresched/internal/simnode"
+)
+
+// SimSource reads raw system information from a simulated host and the
+// simulated network. ExtraSockets models the host's baseline socket
+// population on top of the active flows (the paper's ntStatIpv4 rule
+// thresholds at 700/900 sockets, far above what application flows alone
+// produce).
+type SimSource struct {
+	host *simnode.Host
+	net  *simnet.Network
+
+	mu           sync.Mutex
+	static       Static
+	extraSockets int
+}
+
+// NewSimSource wraps a simulated host (and optionally its network; nil
+// disables the communication fields).
+func NewSimSource(host *simnode.Host, net *simnet.Network) *SimSource {
+	memTotal, _ := host.Memory()
+	return &SimSource{
+		host: host,
+		net:  net,
+		static: Static{
+			HostName: host.Name(),
+			Addr:     "sim://" + host.Name(),
+			OS:       "simos",
+			Arch:     "sim",
+			CPUSpeed: host.Speed(),
+			MemTotal: memTotal,
+		},
+	}
+}
+
+// SetExtraSockets sets the baseline number of established sockets reported
+// on top of active flows.
+func (s *SimSource) SetExtraSockets(n int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.extraSockets = n
+}
+
+// Static implements Source.
+func (s *SimSource) Static() Static {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.static
+}
+
+// Now implements Source using the host's clock.
+func (s *SimSource) Now() time.Time { return s.host.Clock().Now() }
+
+// LoadAvg implements Source.
+func (s *SimSource) LoadAvg() (l1, l5, l15 float64, err error) {
+	l1, l5, l15 = s.host.LoadAvg()
+	return l1, l5, l15, nil
+}
+
+// CPUTimes implements Source.
+func (s *SimSource) CPUTimes() (busy, idle time.Duration, err error) {
+	busy, idle = s.host.CPUTimes()
+	return busy, idle, nil
+}
+
+// Memory implements Source.
+func (s *SimSource) Memory() (total, used int64, err error) {
+	total, used = s.host.Memory()
+	return total, used, nil
+}
+
+// Swap implements Source.
+func (s *SimSource) Swap() (total, used int64, err error) {
+	total, used = s.host.Swap()
+	return total, used, nil
+}
+
+// Disks implements Source.
+func (s *SimSource) Disks() ([]DiskUsage, error) {
+	mounts := s.host.Mounts()
+	out := make([]DiskUsage, 0, len(mounts))
+	for _, m := range mounts {
+		d := DiskUsage{Path: m.Path, Total: m.Total, Used: m.Used, Avail: m.Total - m.Used}
+		if m.Total > 0 {
+			d.UsedPct = 100 * float64(m.Used) / float64(m.Total)
+		}
+		out = append(out, d)
+	}
+	return out, nil
+}
+
+// NetCounters implements Source.
+func (s *SimSource) NetCounters() (sent, recv int64, err error) {
+	if s.net == nil {
+		return 0, 0, nil
+	}
+	return s.net.Counters(s.host.Name())
+}
+
+// Sockets implements Source.
+func (s *SimSource) Sockets() (int, error) {
+	s.mu.Lock()
+	extra := s.extraSockets
+	s.mu.Unlock()
+	if s.net == nil {
+		return extra, nil
+	}
+	flows, err := s.net.HostFlows(s.host.Name())
+	if err != nil {
+		return 0, err
+	}
+	return extra + flows, nil
+}
+
+// Procs implements Source.
+func (s *SimSource) Procs() ([]ProcStat, error) {
+	infos := s.host.Procs()
+	out := make([]ProcStat, 0, len(infos))
+	for _, p := range infos {
+		out = append(out, ProcStat{
+			PID:     p.PID,
+			Name:    p.Name,
+			Started: p.Started,
+			Memory:  p.Memory,
+			CPUTime: p.CPUTime,
+		})
+	}
+	return out, nil
+}
+
+// RunQueue implements Source.
+func (s *SimSource) RunQueue() (int, error) { return s.host.RunQueue(), nil }
+
+var _ Source = (*SimSource)(nil)

@@ -1,0 +1,24 @@
+package vclock
+
+import "time"
+
+// Real returns a Clock backed directly by the time package. Virtual time is
+// wall time.
+func Real() Clock { return realClock{} }
+
+type realClock struct{}
+
+func (realClock) Now() time.Time                         { return time.Now() }
+func (realClock) Sleep(d time.Duration)                  { time.Sleep(d) }
+func (realClock) After(d time.Duration) <-chan time.Time { return time.After(d) }
+func (realClock) Since(t time.Time) time.Duration        { return time.Since(t) }
+
+func (realClock) NewTimer(d time.Duration) *Timer {
+	t := time.NewTimer(d)
+	return &Timer{C: t.C, stop: t.Stop, reset: t.Reset}
+}
+
+func (realClock) NewTicker(d time.Duration) *Ticker {
+	t := time.NewTicker(d)
+	return &Ticker{C: t.C, stop: t.Stop}
+}

@@ -1,0 +1,118 @@
+package workload
+
+import (
+	"sync"
+	"time"
+
+	"autoresched/internal/simnet"
+	"autoresched/internal/simnode"
+	"autoresched/internal/vclock"
+)
+
+// CommOptions configures a communication load generator.
+type CommOptions struct {
+	// Rate is the target application data rate in bytes per second per
+	// direction. The achieved rate is lower if the link is shared.
+	Rate float64
+	// Chunk is the message size; zero selects 1 MB.
+	Chunk int64
+	// Bidirectional also drives traffic the other way, which is what makes
+	// migration INTO the busy host slow (its receive path is contended).
+	Bidirectional bool
+	// CPUPerByte charges protocol-processing CPU on the receiving host,
+	// in work units per byte. This is why a communication-busy
+	// workstation is also a slow compute host (Table 2: the application
+	// ran 1.7x slower on the communicating workstation 2 than on the free
+	// workstation 4). Requires FromHost/ToHost.
+	CPUPerByte float64
+	// FromHost and ToHost bind the generator to the simulated hosts for
+	// CPU charging.
+	FromHost, ToHost *simnode.Host
+}
+
+// CommLoad keeps two hosts communicating — the paper's workstation 2 and 5,
+// exchanging data at 6.71-7.78 MB/s while policies pick destinations.
+type CommLoad struct {
+	net   *simnet.Network
+	clock vclock.Clock
+	from  string
+	to    string
+	opts  CommOptions
+
+	mu      sync.Mutex
+	stop    chan struct{}
+	stopped sync.WaitGroup
+}
+
+// NewCommLoad creates a generator between two hosts.
+func NewCommLoad(clock vclock.Clock, net *simnet.Network, from, to string, opts CommOptions) *CommLoad {
+	if opts.Chunk <= 0 {
+		opts.Chunk = 1 << 20
+	}
+	if opts.Rate <= 0 {
+		opts.Rate = 7e6
+	}
+	return &CommLoad{net: net, clock: clock, from: from, to: to, opts: opts}
+}
+
+// Start launches the traffic. Starting a running generator is a no-op.
+func (c *CommLoad) Start() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.stop != nil {
+		return
+	}
+	c.stop = make(chan struct{})
+	c.stopped.Add(1)
+	go c.drive(c.stop, c.from, c.to, c.opts.ToHost)
+	if c.opts.Bidirectional {
+		c.stopped.Add(1)
+		go c.drive(c.stop, c.to, c.from, c.opts.FromHost)
+	}
+}
+
+// drive pushes chunks, pacing so the average application rate approaches
+// the target: each chunk "covers" chunk/rate seconds of wall time; whatever
+// the transfer itself did not use is slept off. When CPUPerByte is set, the
+// receiving host pays protocol-processing CPU for each chunk.
+func (c *CommLoad) drive(stop chan struct{}, from, to string, recvHost *simnode.Host) {
+	defer c.stopped.Done()
+	var recvProc *simnode.Proc
+	if c.opts.CPUPerByte > 0 && recvHost != nil {
+		recvProc = recvHost.Spawn("commload-rx", 4<<20)
+		defer recvProc.Exit()
+	}
+	interval := time.Duration(float64(c.opts.Chunk) / c.opts.Rate * float64(time.Second))
+	for {
+		select {
+		case <-stop:
+			return
+		default:
+		}
+		start := c.clock.Now()
+		if err := c.net.Transfer(from, to, c.opts.Chunk); err != nil {
+			return
+		}
+		if recvProc != nil {
+			if err := recvProc.Compute(float64(c.opts.Chunk) * c.opts.CPUPerByte); err != nil {
+				return
+			}
+		}
+		if remaining := interval - c.clock.Since(start); remaining > 0 {
+			c.clock.Sleep(remaining)
+		}
+	}
+}
+
+// Stop halts the traffic and waits for in-flight chunks to finish.
+func (c *CommLoad) Stop() {
+	c.mu.Lock()
+	stop := c.stop
+	c.stop = nil
+	c.mu.Unlock()
+	if stop == nil {
+		return
+	}
+	close(stop)
+	c.stopped.Wait()
+}

@@ -1,0 +1,165 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+
+	"autoresched/internal/hpcm"
+	"autoresched/internal/schema"
+)
+
+// JacobiConfig parameterises a migration-enabled 2-D Jacobi relaxation — the
+// classic iterative MPI kernel, here as a second realistic workload beside
+// test_tree: long-running, checkpointable at iteration boundaries, with a
+// large contiguous memory state (the grid) that migrates lazily.
+type JacobiConfig struct {
+	// N is the interior grid dimension (the full grid is (N+2)^2 with
+	// fixed boundaries).
+	N int
+	// Iters is the number of relaxation sweeps.
+	Iters int
+	// PollEvery inserts a poll-point every so many iterations; zero
+	// selects 1.
+	PollEvery int
+	// WorkPerCell is the CPU cost per cell per sweep, in host work units.
+	WorkPerCell float64
+	// Hot is the boundary temperature applied along the top edge.
+	Hot float64
+	// OnResidual, if set, receives the residual at every poll boundary.
+	OnResidual func(iter int, residual float64)
+}
+
+func (cfg JacobiConfig) withDefaults() JacobiConfig {
+	if cfg.PollEvery <= 0 {
+		cfg.PollEvery = 1
+	}
+	if cfg.Hot == 0 {
+		cfg.Hot = 100
+	}
+	return cfg
+}
+
+// TotalWork estimates the run's CPU cost in work units.
+func (cfg JacobiConfig) TotalWork() float64 {
+	return float64(cfg.N) * float64(cfg.N) * cfg.WorkPerCell * float64(cfg.Iters)
+}
+
+// Schema builds the application schema for the run.
+func (cfg JacobiConfig) Schema(refSpeed float64) *schema.Schema {
+	gridBytes := int64(cfg.N+2) * int64(cfg.N+2) * 8
+	return &schema.Schema{
+		Name:            "jacobi",
+		Characteristics: []schema.Characteristic{schema.ComputeIntensive, schema.DataIntensive},
+		CommBytes:       gridBytes + 4096,
+		LocalDataBytes:  gridBytes,
+		Estimate: schema.Estimate{
+			Seconds:  cfg.TotalWork() / refSpeed,
+			CPUSpeed: refSpeed,
+		},
+	}
+}
+
+// jacobiState is the eager execution state; the grid itself is lazy.
+type jacobiState struct {
+	Iter     int
+	Residual float64
+}
+
+// Jacobi returns the migration-enabled application body.
+func Jacobi(cfg JacobiConfig) hpcm.Main {
+	cfg = cfg.withDefaults()
+	return func(ctx *hpcm.Context) error {
+		if cfg.N <= 0 || cfg.Iters <= 0 {
+			return fmt.Errorf("workload: bad jacobi config %+v", cfg)
+		}
+		var st jacobiState
+		var grid []float64
+		if err := ctx.Register("state", &st); err != nil {
+			return err
+		}
+		if err := ctx.RegisterLazy("grid", &grid); err != nil {
+			return err
+		}
+		side := cfg.N + 2
+		if ctx.Resumed() {
+			if err := ctx.Await("grid"); err != nil {
+				return err
+			}
+		} else {
+			grid = newJacobiGrid(cfg.N, cfg.Hot)
+		}
+		ctx.SetMemory(int64(len(grid))*8 + 1<<20)
+
+		sweepWork := float64(cfg.N) * float64(cfg.N) * cfg.WorkPerCell
+		next := make([]float64, len(grid))
+		for st.Iter < cfg.Iters {
+			if err := ctx.Compute(sweepWork * float64(min(cfg.PollEvery, cfg.Iters-st.Iter))); err != nil {
+				return err
+			}
+			for k := 0; k < cfg.PollEvery && st.Iter < cfg.Iters; k++ {
+				copy(next, grid)
+				st.Residual = 0
+				for i := 1; i <= cfg.N; i++ {
+					for j := 1; j <= cfg.N; j++ {
+						idx := i*side + j
+						v := 0.25 * (grid[idx-1] + grid[idx+1] + grid[idx-side] + grid[idx+side])
+						if d := math.Abs(v - grid[idx]); d > st.Residual {
+							st.Residual = d
+						}
+						next[idx] = v
+					}
+				}
+				grid, next = next, grid
+				st.Iter++
+			}
+			if cfg.OnResidual != nil {
+				cfg.OnResidual(st.Iter, st.Residual)
+			}
+			if err := ctx.PollPoint(fmt.Sprintf("iter-%d", st.Iter)); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+}
+
+// newJacobiGrid builds the initial grid: zero interior, Hot along the top
+// boundary row.
+func newJacobiGrid(n int, hot float64) []float64 {
+	side := n + 2
+	grid := make([]float64, side*side)
+	for j := 0; j < side; j++ {
+		grid[j] = hot
+	}
+	return grid
+}
+
+// JacobiReference runs the same relaxation without the runtime, for
+// verifying migrated/recovered runs bit for bit.
+func JacobiReference(cfg JacobiConfig) (finalResidual float64, checksum float64) {
+	cfg = cfg.withDefaults()
+	side := cfg.N + 2
+	grid := newJacobiGrid(cfg.N, cfg.Hot)
+	next := make([]float64, len(grid))
+	var residual float64
+	for it := 0; it < cfg.Iters; it++ {
+		copy(next, grid)
+		residual = 0
+		for i := 1; i <= cfg.N; i++ {
+			for j := 1; j <= cfg.N; j++ {
+				idx := i*side + j
+				v := 0.25 * (grid[idx-1] + grid[idx+1] + grid[idx-side] + grid[idx+side])
+				if d := math.Abs(v - grid[idx]); d > residual {
+					residual = d
+				}
+				next[idx] = v
+			}
+		}
+		grid, next = next, grid
+	}
+	var sum float64
+	for _, v := range grid {
+		sum += v
+	}
+	return residual, sum
+}

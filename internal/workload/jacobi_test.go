@@ -1,0 +1,113 @@
+package workload
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"autoresched/internal/hpcm"
+)
+
+func smallJacobi() JacobiConfig {
+	return JacobiConfig{N: 24, Iters: 40, PollEvery: 4, WorkPerCell: 1}
+}
+
+func TestJacobiConvergesAndMatchesReference(t *testing.T) {
+	_, mw := testRig(t)
+	cfg := smallJacobi()
+	var mu sync.Mutex
+	residuals := map[int]float64{}
+	cfg.OnResidual = func(iter int, res float64) {
+		mu.Lock()
+		residuals[iter] = res
+		mu.Unlock()
+	}
+	p, err := mw.Start("jacobi", "ws1", Jacobi(cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	wantRes, _ := JacobiReference(cfg)
+	mu.Lock()
+	defer mu.Unlock()
+	got, ok := residuals[cfg.Iters]
+	if !ok {
+		t.Fatalf("no final residual: %v", residuals)
+	}
+	if math.Abs(got-wantRes) > 1e-12 {
+		t.Fatalf("final residual = %v, want %v", got, wantRes)
+	}
+	// Relaxation must actually converge (residual decreasing).
+	if first, last := residuals[cfg.PollEvery], residuals[cfg.Iters]; last >= first {
+		t.Fatalf("residual not decreasing: first=%v last=%v", first, last)
+	}
+}
+
+func TestJacobiSurvivesMigration(t *testing.T) {
+	_, mw := testRig(t)
+	cfg := smallJacobi()
+	var mu sync.Mutex
+	var finalRes float64
+	cfg.OnResidual = func(iter int, res float64) {
+		if iter == cfg.Iters {
+			mu.Lock()
+			finalRes = res
+			mu.Unlock()
+		}
+	}
+	p, err := mw.Start("jacobi", "ws1", Jacobi(cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Signal(hpcm.Command{DestHost: "ws2"})
+	if err := p.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if p.Migrations() != 1 || p.Host() != "ws2" {
+		t.Fatalf("migrations=%d host=%s", p.Migrations(), p.Host())
+	}
+	wantRes, _ := JacobiReference(cfg)
+	mu.Lock()
+	defer mu.Unlock()
+	if math.Abs(finalRes-wantRes) > 1e-12 {
+		t.Fatalf("migrated residual = %v, want %v (grid corrupted in flight?)", finalRes, wantRes)
+	}
+}
+
+func TestJacobiRejectsBadConfig(t *testing.T) {
+	_, mw := testRig(t)
+	p, err := mw.Start("bad", "ws1", Jacobi(JacobiConfig{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Wait(); err == nil {
+		t.Fatal("zero config accepted")
+	}
+}
+
+func TestJacobiSchema(t *testing.T) {
+	cfg := smallJacobi()
+	s := cfg.Schema(1000)
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Name != "jacobi" || !s.Is("data") {
+		t.Fatalf("schema = %+v", s)
+	}
+	if want := 24.0 * 24 * 1 * 40; cfg.TotalWork() != want {
+		t.Fatalf("TotalWork = %v, want %v", cfg.TotalWork(), want)
+	}
+}
+
+func TestJacobiReferenceDeterministic(t *testing.T) {
+	a1, c1 := JacobiReference(smallJacobi())
+	a2, c2 := JacobiReference(smallJacobi())
+	if a1 != a2 || c1 != c2 {
+		t.Fatal("reference not deterministic")
+	}
+	if c1 <= 0 {
+		t.Fatalf("checksum = %v (heat never propagated)", c1)
+	}
+}

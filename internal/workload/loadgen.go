@@ -1,0 +1,157 @@
+package workload
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+
+	"autoresched/internal/simnode"
+)
+
+// LoadOptions configures a background CPU load generator.
+type LoadOptions struct {
+	// Workers is the number of concurrently cycling processes.
+	Workers int
+	// Duty is each worker's busy fraction in (0, 1]. Workers alternate
+	// Duty*Period of computation with (1-Duty)*Period of sleep, so the
+	// host's steady-state load average approaches Workers*Duty.
+	Duty float64
+	// Period is one busy/idle cycle; zero selects 4 seconds.
+	Period time.Duration
+	// Jitter randomises each cycle's phase by up to the given fraction of
+	// Period, desynchronising workers; zero selects 0.3.
+	Jitter float64
+	// Seed feeds the jitter.
+	Seed int64
+	// Name labels the generator's processes in the process table.
+	Name string
+}
+
+// LoadGen drives a host with synthetic background load — the paper's
+// "additional application, which causes a dramatic load increase".
+type LoadGen struct {
+	host *simnode.Host
+	opts LoadOptions
+
+	mu      sync.Mutex
+	stop    chan struct{}
+	procs   []*simnode.Proc
+	stopped sync.WaitGroup
+}
+
+// NewLoadGen creates a generator for host. Defaults: 1 worker, duty 0.25
+// (the paper's idle-workstation baseline load of ~0.25), period 4 s.
+func NewLoadGen(host *simnode.Host, opts LoadOptions) *LoadGen {
+	if opts.Workers <= 0 {
+		opts.Workers = 1
+	}
+	if opts.Duty <= 0 || opts.Duty > 1 {
+		opts.Duty = 0.25
+	}
+	if opts.Period <= 0 {
+		opts.Period = 4 * time.Second
+	}
+	if opts.Jitter == 0 {
+		opts.Jitter = 0.3
+	}
+	if opts.Name == "" {
+		opts.Name = "bgload"
+	}
+	return &LoadGen{host: host, opts: opts}
+}
+
+// Start launches the workers. Starting a running generator is a no-op.
+func (g *LoadGen) Start() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.stop != nil {
+		return
+	}
+	g.stop = make(chan struct{})
+	clock := g.host.Clock()
+	for i := 0; i < g.opts.Workers; i++ {
+		g.stopped.Add(1)
+		rng := rand.New(rand.NewSource(g.opts.Seed + int64(i)))
+		stop := g.stop
+		proc := g.host.Spawn(g.opts.Name, 2<<20)
+		g.procs = append(g.procs, proc)
+		go func(proc *simnode.Proc) {
+			defer g.stopped.Done()
+			defer proc.Exit()
+			busyWork := g.opts.Duty * g.opts.Period.Seconds() * g.host.Speed()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				// Stop unblocks an in-flight Compute by exiting the process.
+				if err := proc.Compute(busyWork); err != nil {
+					return
+				}
+				idle := time.Duration((1 - g.opts.Duty) * float64(g.opts.Period))
+				jitter := time.Duration((rng.Float64() - 0.5) * g.opts.Jitter * float64(g.opts.Period))
+				if d := idle + jitter; d > 0 {
+					timer := clock.NewTimer(d)
+					select {
+					case <-timer.C:
+					case <-stop:
+						timer.Stop()
+						return
+					}
+				}
+			}
+		}(proc)
+	}
+}
+
+// Stop halts the workers — interrupting in-flight computation and sleeps —
+// and waits for them to leave the process table.
+func (g *LoadGen) Stop() {
+	g.mu.Lock()
+	stop := g.stop
+	procs := g.procs
+	g.stop = nil
+	g.procs = nil
+	g.mu.Unlock()
+	if stop == nil {
+		return
+	}
+	close(stop)
+	for _, p := range procs {
+		p.Exit()
+	}
+	g.stopped.Wait()
+}
+
+// ProcTask runs a finite foreground task of the given total work on a host
+// and returns a channel closed when it finishes — the "additional task"
+// loaded onto the source workstation in Sections 5.2 and 5.3.
+func ProcTask(host *simnode.Host, name string, work float64) <-chan struct{} {
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		proc := host.Spawn(name, 8<<20)
+		defer proc.Exit()
+		_ = proc.Compute(work)
+	}()
+	return done
+}
+
+// ProcBurst spawns n short-lived processes to inflate the process table
+// (the "number of active processes" trigger of the Table 2 policies). They
+// persist until the returned stop function is called.
+func ProcBurst(host *simnode.Host, name string, n int) (stop func()) {
+	procs := make([]*simnode.Proc, 0, n)
+	for i := 0; i < n; i++ {
+		procs = append(procs, host.Spawn(name, 1<<18))
+	}
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			for _, p := range procs {
+				p.Exit()
+			}
+		})
+	}
+}
