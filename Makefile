@@ -1,0 +1,33 @@
+# Developer entry points. `make check` is what CI (and the tier-1 verify)
+# runs; `make race` additionally race-tests the concurrency-heavy packages.
+
+GO ?= go
+
+# Packages with nontrivial goroutine interaction: the migration middleware,
+# the autonomic runtime, the fault injector and everything they lean on.
+RACE_PKGS = ./internal/proto ./internal/monitor ./internal/registry \
+            ./internal/commander ./internal/hpcm ./internal/core \
+            ./internal/faults ./internal/metrics ./internal/simnet
+
+.PHONY: all build vet test race check chaos
+
+all: check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race $(RACE_PKGS)
+
+check: vet build test
+
+# Two chaos runs with the same seed must print identical fault schedules
+# and counters (the deterministic section above `timings`).
+chaos: build
+	$(GO) run ./cmd/repro -exp chaos -seed 42

@@ -11,7 +11,12 @@
 //	repro -exp fig8           # efficiency timeline (communication)
 //	repro -exp table1         # system state semantics
 //	repro -exp table2         # comparison of policies
+//	repro -exp chaos          # seeded fault-injection survival (not in "all")
 //	repro -scale 100          # virtual-time compression factor
+//
+// The chaos experiment is deterministic per -seed: its fault schedule and
+// robustness counters are byte-identical across runs. It is excluded from
+// "all" to keep that target's runtime bounded.
 package main
 
 import (
@@ -27,12 +32,18 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: fig5|fig6|fig7|fig8|table1|table2|all")
+	exp := flag.String("exp", "all", "experiment: fig5|fig6|fig7|fig8|table1|table2|chaos|all")
 	scale := flag.Float64("scale", 100, "virtual-time compression (virtual seconds per wall second)")
 	seed := flag.Int64("seed", 1, "workload seed")
 	series := flag.Bool("series", false, "also print the sampled series tables")
 	csvDir := flag.String("csv", "", "directory to write the sampled series as CSV files")
 	flag.Parse()
+	scaleSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "scale" {
+			scaleSet = true
+		}
+	})
 
 	params := experiments.Params{Scale: *scale, Seed: *seed}
 	want := func(name string) bool { return *exp == "all" || *exp == name }
@@ -82,6 +93,17 @@ func main() {
 		rows, err := experiments.RunPolicies(experiments.PoliciesConfig{Params: params})
 		fatal(err)
 		fmt.Print(experiments.RenderPolicies(rows))
+		fmt.Println()
+	}
+	if *exp == "chaos" {
+		ran = true
+		chaosParams := params
+		if !scaleSet {
+			chaosParams.Scale = 0 // let chaos pick its own (higher) default
+		}
+		rows, err := experiments.RunChaos(experiments.ChaosConfig{Params: chaosParams})
+		fatal(err)
+		fmt.Print(experiments.RenderChaos(rows))
 		fmt.Println()
 	}
 	if !ran {

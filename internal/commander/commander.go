@@ -12,9 +12,12 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"time"
 
 	"autoresched/internal/hpcm"
+	"autoresched/internal/metrics"
 	"autoresched/internal/proto"
+	"autoresched/internal/vclock"
 )
 
 // Target is a managed migration-enabled process; *hpcm.Process satisfies
@@ -24,20 +27,56 @@ type Target interface {
 	Signal(cmd hpcm.Command)
 }
 
+// Config tunes a commander beyond the basic host/dir pair.
+type Config struct {
+	// Clock drives the dedup window; nil selects the real clock.
+	Clock vclock.Clock
+	// DedupWindow suppresses a migrate order identical to one executed
+	// within the window — the guard against an at-least-once control plane
+	// redelivering the same order. Zero disables. Keep it below the
+	// registry's cooldown so legitimate repeat orders still pass.
+	DedupWindow time.Duration
+	// Counters, when set, receives the commander/* control-plane counters.
+	Counters *metrics.Counters
+}
+
 // Commander is one host's commander entity.
 type Commander struct {
 	host string
 	dir  string // where migrate-address temp files are written; "" disables
+	cfg  Config
 
-	mu     sync.Mutex
-	procs  map[int]Target
-	orders int
+	mu      sync.Mutex
+	procs   map[int]Target
+	orders  int
+	deduped int
+	lastCmd map[int]lastOrder // pid -> most recently executed order
+}
+
+// lastOrder remembers one executed order for dedup matching.
+type lastOrder struct {
+	order proto.MigrateOrder
+	at    time.Time
 }
 
 // New creates a commander for host. dir, when non-empty, receives the
 // temporary address files the paper's mechanism uses; it must exist.
 func New(host, dir string) *Commander {
-	return &Commander{host: host, dir: dir, procs: make(map[int]Target)}
+	return NewConfigured(host, dir, Config{})
+}
+
+// NewConfigured creates a commander with explicit robustness options.
+func NewConfigured(host, dir string, cfg Config) *Commander {
+	if cfg.Clock == nil {
+		cfg.Clock = vclock.Real()
+	}
+	return &Commander{
+		host:    host,
+		dir:     dir,
+		cfg:     cfg,
+		procs:   make(map[int]Target),
+		lastCmd: make(map[int]lastOrder),
+	}
 }
 
 // Host returns the host this commander serves.
@@ -80,13 +119,26 @@ func (c *Commander) Orders() int {
 }
 
 // Migrate executes a migrate order: write the address file, then deliver
-// the user-defined signal to the migrating process.
+// the user-defined signal to the migrating process. An order identical to
+// one executed within the dedup window is acknowledged without being
+// re-executed (a redelivered duplicate, not a new decision).
 func (c *Commander) Migrate(order proto.MigrateOrder) error {
 	if order.DestHost == "" {
 		return errors.New("commander: order without destination")
 	}
 	c.mu.Lock()
 	p, ok := c.procs[order.PID]
+	if ok && c.cfg.DedupWindow > 0 {
+		if last, seen := c.lastCmd[order.PID]; seen &&
+			last.order.DestHost == order.DestHost &&
+			last.order.DestAddr == order.DestAddr &&
+			c.cfg.Clock.Now().Sub(last.at) <= c.cfg.DedupWindow {
+			c.deduped++
+			c.mu.Unlock()
+			c.cfg.Counters.Inc(metrics.CtrOrdersDeduped)
+			return nil
+		}
+	}
 	c.mu.Unlock()
 	if !ok {
 		return fmt.Errorf("commander: no managed process with pid %d on %s", order.PID, c.host)
@@ -104,8 +156,16 @@ func (c *Commander) Migrate(order proto.MigrateOrder) error {
 	p.Signal(hpcm.Command{DestHost: order.DestHost, DestAddr: order.DestAddr, Policy: order.Policy})
 	c.mu.Lock()
 	c.orders++
+	c.lastCmd[order.PID] = lastOrder{order: order, at: c.cfg.Clock.Now()}
 	c.mu.Unlock()
 	return nil
+}
+
+// Deduped reports how many redelivered orders were suppressed.
+func (c *Commander) Deduped() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.deduped
 }
 
 // Handler serves migrate orders arriving over the XML protocol.

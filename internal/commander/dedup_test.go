@@ -1,0 +1,71 @@
+package commander
+
+import (
+	"testing"
+	"time"
+
+	"autoresched/internal/metrics"
+	"autoresched/internal/proto"
+	"autoresched/internal/vclock"
+)
+
+func TestMigrateDedupsRedeliveredOrders(t *testing.T) {
+	clock := vclock.NewManual(vclock.Epoch)
+	ctr := metrics.NewCounters()
+	c := NewConfigured("ws1", "", Config{
+		Clock:       clock,
+		DedupWindow: 30 * time.Second,
+		Counters:    ctr,
+	})
+	p := &fakeProc{pid: 42}
+	c.Manage(p)
+	order := proto.MigrateOrder{PID: 42, DestHost: "ws4", DestAddr: "cmd://ws4"}
+	if err := c.Migrate(order); err != nil {
+		t.Fatal(err)
+	}
+	// The same order redelivered inside the window: acknowledged, not
+	// re-executed.
+	if err := c.Migrate(order); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.signals(); len(got) != 1 {
+		t.Fatalf("signals = %+v, want 1", got)
+	}
+	if c.Orders() != 1 || c.Deduped() != 1 {
+		t.Fatalf("orders=%d deduped=%d", c.Orders(), c.Deduped())
+	}
+	if ctr.Get(metrics.CtrOrdersDeduped) != 1 {
+		t.Fatalf("counter = %d", ctr.Get(metrics.CtrOrdersDeduped))
+	}
+	// A different destination is a new decision, not a duplicate.
+	if err := c.Migrate(proto.MigrateOrder{PID: 42, DestHost: "ws5", DestAddr: "cmd://ws5"}); err != nil {
+		t.Fatal(err)
+	}
+	// Past the window the same order executes again (a legitimate repeat
+	// after the registry's cooldown).
+	clock.Advance(time.Minute)
+	if err := c.Migrate(order); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.signals(); len(got) != 3 {
+		t.Fatalf("signals = %+v, want 3", got)
+	}
+	if c.Orders() != 3 || c.Deduped() != 1 {
+		t.Fatalf("orders=%d deduped=%d", c.Orders(), c.Deduped())
+	}
+}
+
+func TestMigrateDedupDisabledByDefault(t *testing.T) {
+	c := New("ws1", "")
+	p := &fakeProc{pid: 7}
+	c.Manage(p)
+	order := proto.MigrateOrder{PID: 7, DestHost: "ws2", DestAddr: "cmd://ws2"}
+	for i := 0; i < 2; i++ {
+		if err := c.Migrate(order); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := p.signals(); len(got) != 2 {
+		t.Fatalf("signals = %+v, want 2", got)
+	}
+}

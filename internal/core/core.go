@@ -17,6 +17,7 @@ import (
 	"autoresched/internal/cluster"
 	"autoresched/internal/commander"
 	"autoresched/internal/hpcm"
+	"autoresched/internal/metrics"
 	"autoresched/internal/monitor"
 	"autoresched/internal/mpi"
 	"autoresched/internal/proto"
@@ -74,6 +75,24 @@ type Options struct {
 	Checkpoints hpcm.CheckpointStore
 	// CheckpointEvery is the automatic checkpoint interval.
 	CheckpointEvery time.Duration
+	// FailoverRetries is how many times the runtime recovers an application
+	// after a recoverable failure (host crash, failed migration): restore
+	// from the last checkpoint onto a fresh first-fit host, or cold-restart
+	// when no checkpoint exists. Zero disables automatic failover.
+	FailoverRetries int
+	// OrderDedupWindow suppresses migrate orders redelivered to a commander
+	// within the window (see commander.Config); zero disables.
+	OrderDedupWindow time.Duration
+	// Counters, when set, receives control-plane counters from every layer
+	// of the runtime.
+	Counters *metrics.Counters
+	// Observer, when set, receives migration phase events (after the
+	// runtime's own counting observer).
+	Observer hpcm.MigrationObserver
+	// WrapReporter, when set, wraps each node's status reporter. The fault
+	// injector uses this to drop, duplicate or delay heartbeats on the
+	// monitor->registry path.
+	WrapReporter func(host string, r monitor.Reporter) monitor.Reporter
 }
 
 // DefaultEngine returns a rule engine encoding the paper's running
@@ -112,16 +131,35 @@ type Node struct {
 
 // App is a launched migration-enabled application.
 type App struct {
+	// Proc is the current hpcm process. Failover replaces it; read it
+	// through Process() while the app may still be running.
 	Proc   *hpcm.Process
 	Schema *schema.Schema
 
 	sys        *System
+	main       hpcm.Main
 	settled    chan struct{} // closed after completion bookkeeping
 	mu         sync.Mutex
 	pid        int
 	host       string
 	launchHost string
 	launched   time.Time
+	retries    int // failover attempts consumed
+	finalErr   error
+}
+
+// Process returns the app's current hpcm process (it changes on failover).
+func (app *App) Process() *hpcm.Process {
+	app.mu.Lock()
+	defer app.mu.Unlock()
+	return app.Proc
+}
+
+// Retries reports how many failover recoveries the app consumed.
+func (app *App) Retries() int {
+	app.mu.Lock()
+	defer app.mu.Unlock()
+	return app.retries
 }
 
 // Settled is closed once the app has finished AND the runtime has completed
@@ -159,24 +197,38 @@ func New(opts Options) (*System, error) {
 		Transport:    mpi.SimTransport{Net: opts.Cluster.Net()},
 		SpawnLatency: opts.SpawnLatency,
 	})
+	s := &System{
+		opts:    opts,
+		clock:   clock,
+		cluster: opts.Cluster,
+		nodes:   make(map[string]*Node),
+	}
+	s.universe = universe
+	// The runtime's own observer keeps the commit/abort counters; a
+	// user-supplied observer (fault injection) chains after it.
+	observer := func(ev hpcm.MigrationEvent) {
+		switch ev.Phase {
+		case hpcm.PhaseResume:
+			opts.Counters.Inc(metrics.CtrMigrCommitted)
+		case hpcm.PhaseAborted:
+			opts.Counters.Inc(metrics.CtrMigrAborted)
+		}
+		if opts.Observer != nil {
+			opts.Observer(ev)
+		}
+	}
 	mw, err := hpcm.New(hpcm.Options{
 		Universe:        universe,
 		Hosts:           opts.Cluster,
 		ChunkBytes:      opts.ChunkBytes,
 		Checkpoints:     opts.Checkpoints,
 		CheckpointEvery: opts.CheckpointEvery,
+		Observer:        observer,
 	})
 	if err != nil {
 		return nil, err
 	}
-	s := &System{
-		opts:     opts,
-		clock:    clock,
-		cluster:  opts.Cluster,
-		universe: universe,
-		mw:       mw,
-		nodes:    make(map[string]*Node),
-	}
+	s.mw = mw
 	s.reg = registry.New(registry.Config{
 		Clock:    clock,
 		Lease:    opts.Lease,
@@ -185,8 +237,19 @@ func New(opts Options) (*System, error) {
 		Warmup:   opts.Warmup,
 		Cooldown: opts.Cooldown,
 		Parent:   opts.Parent,
+		Counters: opts.Counters,
+		OnEvent:  s.onRegistryEvent,
 	})
 	return s, nil
+}
+
+// onRegistryEvent reacts to registry trace events: a restart means the
+// registry lost its soft state, so the runtime resyncs its live process
+// registrations once the monitors' heartbeats have re-registered the hosts.
+func (s *System) onRegistryEvent(e registry.Event) {
+	if e.Kind == registry.EventRestart {
+		go s.resyncProcs()
+	}
 }
 
 // Clock returns the system clock.
@@ -240,7 +303,11 @@ func (s *System) AddNode(host string) (*Node, error) {
 	if s.opts.EngineFor != nil {
 		engine = s.opts.EngineFor(host)
 	}
-	cmd := commander.New(host, s.opts.CommandDir)
+	cmd := commander.NewConfigured(host, s.opts.CommandDir, commander.Config{
+		Clock:       s.clock,
+		DedupWindow: s.opts.OrderDedupWindow,
+		Counters:    s.opts.Counters,
+	})
 
 	var charger hpcm.HostProc
 	if s.opts.GatherCost > 0 {
@@ -263,6 +330,9 @@ func (s *System) AddNode(host string) (*Node, error) {
 			bytes: bytes,
 		}
 	}
+	if s.opts.WrapReporter != nil {
+		reporter = s.opts.WrapReporter(host, reporter)
+	}
 	monCfg := monitor.Config{
 		Host:             host,
 		Source:           source,
@@ -274,6 +344,7 @@ func (s *System) AddNode(host string) (*Node, error) {
 		GatherCost:       s.opts.GatherCost,
 		CommandAddr:      "cmd://" + host,
 		Software:         []string{"hpcm", "lam-mpi"},
+		Counters:         s.opts.Counters,
 	}
 	if charger != nil {
 		monCfg.Charger = charger
@@ -335,6 +406,7 @@ func (s *System) Launch(name, host string, sch *schema.Schema, main hpcm.Main) (
 		Proc:       p,
 		Schema:     sch,
 		sys:        s,
+		main:       main,
 		settled:    make(chan struct{}),
 		pid:        p.PID(),
 		host:       host,
@@ -355,12 +427,12 @@ func (s *System) Launch(name, host string, sch *schema.Schema, main hpcm.Main) (
 // registerProc (re-)registers the app's current incarnation.
 func (s *System) registerProc(app *App) error {
 	app.mu.Lock()
-	host, pid := app.host, app.pid
+	host, pid, proc := app.host, app.pid, app.Proc
 	app.mu.Unlock()
 	info := proto.ProcessInfo{
 		PID:   pid,
-		Name:  app.Proc.Name(),
-		Start: app.Proc.Started().UnixNano(),
+		Name:  proc.Name(),
+		Start: proc.Started().UnixNano(),
 	}
 	if app.Schema != nil {
 		data, err := app.Schema.Marshal()
@@ -372,28 +444,29 @@ func (s *System) registerProc(app *App) error {
 	return s.reg.RegisterProcess(host, info)
 }
 
-// follow tracks migrations and completion, keeping commanders and the
-// registry consistent with where the process actually runs.
+// follow tracks migrations, failures and completion, keeping commanders and
+// the registry consistent with where the process actually runs. Recoverable
+// failures (host crash, failed migration) are retried through failover when
+// Options.FailoverRetries allows.
 func (app *App) follow() {
 	s := app.sys
 	for {
+		proc := app.Process()
 		select {
-		case rec := <-app.Proc.Events():
-			app.mu.Lock()
-			oldHost, oldPID := app.host, app.pid
-			app.host = rec.To
-			app.pid = app.Proc.PID()
-			app.mu.Unlock()
-
-			if node, ok := s.Node(oldHost); ok {
-				node.Commander.Forget(oldPID)
+		case rec := <-proc.Events():
+			app.applyMove(rec)
+		case <-proc.Done():
+			// Drain committed-migration events that raced completion so the
+			// deregistration below targets the process's final home.
+			for drained := false; !drained; {
+				select {
+				case rec := <-proc.Events():
+					app.applyMove(rec)
+				default:
+					drained = true
+				}
 			}
-			_ = s.reg.ProcessExit(oldHost, oldPID)
-			if node, ok := s.Node(rec.To); ok {
-				node.Commander.ManageAs(app.Proc.PID(), app.Proc)
-			}
-			_ = s.registerProc(app)
-		case <-app.Proc.Done():
+			err := proc.Wait()
 			app.mu.Lock()
 			host, pid := app.host, app.pid
 			app.mu.Unlock()
@@ -401,7 +474,20 @@ func (app *App) follow() {
 				node.Commander.Forget(pid)
 			}
 			_ = s.reg.ProcessExit(host, pid)
-			if app.Schema != nil {
+
+			if hpcm.Recoverable(err) && app.Retries() < s.opts.FailoverRetries {
+				app.mu.Lock()
+				app.retries++
+				app.mu.Unlock()
+				if s.failover(app, err) {
+					continue
+				}
+			}
+
+			app.mu.Lock()
+			app.finalErr = err
+			app.mu.Unlock()
+			if app.Schema != nil && err == nil {
 				if h, ok := s.cluster.Host(app.LaunchHost()); ok {
 					app.Schema.RecordRun(s.clock.Since(app.launched), h.Speed())
 				}
@@ -410,6 +496,26 @@ func (app *App) follow() {
 			return
 		}
 	}
+}
+
+// applyMove re-homes the app's bookkeeping after a committed migration.
+func (app *App) applyMove(rec hpcm.Record) {
+	s := app.sys
+	proc := app.Process()
+	app.mu.Lock()
+	oldHost, oldPID := app.host, app.pid
+	app.host = rec.To
+	app.pid = proc.PID()
+	app.mu.Unlock()
+
+	if node, ok := s.Node(oldHost); ok {
+		node.Commander.Forget(oldPID)
+	}
+	_ = s.reg.ProcessExit(oldHost, oldPID)
+	if node, ok := s.Node(rec.To); ok {
+		node.Commander.ManageAs(proc.PID(), proc)
+	}
+	_ = s.registerProc(app)
 }
 
 // Host returns where the app currently runs (tracked via events).
@@ -422,5 +528,11 @@ func (app *App) Host() string {
 // LaunchHost returns where the app was originally launched.
 func (app *App) LaunchHost() string { return app.launchHost }
 
-// Wait blocks until the application finishes and returns its error.
-func (app *App) Wait() error { return app.Proc.Wait() }
+// Wait blocks until the application finishes — including any failover
+// recoveries — and returns its terminal error.
+func (app *App) Wait() error {
+	<-app.settled
+	app.mu.Lock()
+	defer app.mu.Unlock()
+	return app.finalErr
+}

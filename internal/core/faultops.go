@@ -1,0 +1,136 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"autoresched/internal/hpcm"
+	"autoresched/internal/metrics"
+	"autoresched/internal/registry"
+)
+
+// CrashHost simulates losing a host: its network goes down (in-flight
+// transfers fail), its monitor stops refreshing the registry, and every
+// application incarnation currently on it is killed. The crash is permanent
+// for the run. Applications with failover budget left are recovered by
+// their follow loops.
+func (s *System) CrashHost(host string) error {
+	if _, ok := s.cluster.Host(host); !ok {
+		return fmt.Errorf("core: unknown cluster host %q", host)
+	}
+	if err := s.cluster.Net().SetDown(host, true); err != nil {
+		return err
+	}
+	if node, ok := s.Node(host); ok {
+		if node.charger != nil {
+			node.charger.Exit() // unblock a monitoring cycle mid-charge
+		}
+		// Stopping the monitor also unregisters the host, so first-fit
+		// searches (including failover's) never pick the dead host.
+		node.Monitor.Stop()
+	}
+	s.mu.Lock()
+	apps := append([]*App(nil), s.apps...)
+	s.mu.Unlock()
+	for _, app := range apps {
+		proc := app.Process()
+		if proc.Host() == host {
+			proc.Kill()
+		}
+	}
+	return nil
+}
+
+// RestartRegistry simulates a registry crash and restart. Soft state is
+// dropped; monitors re-register through their heartbeats, and the runtime
+// resyncs process registrations (triggered by the restart trace event).
+func (s *System) RestartRegistry() { s.reg.Restart() }
+
+// failover recovers an app after a recoverable failure: restore the last
+// checkpoint onto a fresh first-fit candidate (cold-restart from the
+// beginning when no checkpoint exists). Returns false when no host fits or
+// the recovery itself fails; the caller then settles the app with its
+// original error.
+func (s *System) failover(app *App, cause error) bool {
+	proc := app.Process()
+	name := proc.Name()
+
+	// Exclude the host the failure points at: the crashed host for a kill
+	// or post-commit failure, the unreachable destination for an abort
+	// (the source host is healthy and stays a legitimate candidate).
+	exclude := app.Host()
+	var mf *hpcm.MigrationFailure
+	if errors.As(cause, &mf) && !mf.Committed {
+		exclude = mf.To
+	}
+
+	cand, ok := s.reg.FirstFit(exclude, registry.ProcInfo{Name: name, Schema: app.Schema})
+	if !ok {
+		return false
+	}
+	node, ok := s.Node(cand.Host)
+	if !ok {
+		return false
+	}
+
+	var p *hpcm.Process
+	if s.opts.Checkpoints != nil {
+		restored, err := s.mw.Restore(s.opts.Checkpoints, name, cand.Host, app.main)
+		if err == nil {
+			p = restored
+			s.opts.Counters.Inc(metrics.CtrCkptRestores)
+		}
+	}
+	if p == nil {
+		// No checkpoint (or its restoration failed): restart from the
+		// beginning — slow, but the computation still survives the fault.
+		started, err := s.mw.Start(name, cand.Host, app.main)
+		if err != nil {
+			return false
+		}
+		p = started
+		s.opts.Counters.Inc(metrics.CtrColdRestarts)
+	}
+
+	app.mu.Lock()
+	app.Proc = p
+	app.pid = p.PID()
+	app.host = cand.Host
+	app.mu.Unlock()
+	node.Commander.Manage(p)
+	_ = s.registerProc(app)
+	return true
+}
+
+// resyncProcs re-registers every live application with the registry after
+// it lost its soft state. Host registrations come back through the
+// monitors' heartbeats, so process registration is retried across a few
+// monitoring intervals until it sticks.
+func (s *System) resyncProcs() {
+	const attempts = 5
+	s.mu.Lock()
+	apps := append([]*App(nil), s.apps...)
+	s.mu.Unlock()
+	pending := make([]*App, 0, len(apps))
+	for _, app := range apps {
+		select {
+		case <-app.Settled():
+		default:
+			pending = append(pending, app)
+		}
+	}
+	for i := 0; i < attempts && len(pending) > 0; i++ {
+		if i > 0 {
+			s.clock.Sleep(s.opts.MonitorInterval)
+		}
+		still := pending[:0]
+		for _, app := range pending {
+			if err := s.registerProc(app); err != nil {
+				still = append(still, app)
+				continue
+			}
+			s.opts.Counters.Inc(metrics.CtrProcResyncs)
+		}
+		pending = still
+	}
+}

@@ -50,6 +50,7 @@ func (s *System) Recover(name, host string, sch *schema.Schema, main hpcm.Main) 
 		Proc:       p,
 		Schema:     sch,
 		sys:        s,
+		main:       main,
 		settled:    make(chan struct{}),
 		pid:        p.PID(),
 		host:       host,

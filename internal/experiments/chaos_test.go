@@ -1,0 +1,99 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"autoresched/internal/metrics"
+)
+
+// TestChaosCrashDestScenarioIsDeterministic runs the required
+// mid-migration-crash scenario twice with the same seed and requires the
+// deterministic report section — fault schedule, outcome, counters — to be
+// byte-identical. It also pins the end-to-end recovery path: the migration
+// aborts, the pre-migration checkpoint is restored on a fresh first-fit
+// host, and the computation completes with correct checksums.
+func TestChaosCrashDestScenarioIsDeterministic(t *testing.T) {
+	cfg := ChaosConfig{
+		Params:    Params{Scale: 1000, Seed: 7},
+		Scenarios: []string{"crash-dest-mid-migration"},
+	}
+	run := func() ([]ChaosRow, string) {
+		rows, err := RunChaos(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rows, RenderChaosDeterministic(rows)
+	}
+	rows1, out1 := run()
+	_, out2 := run()
+	if out1 != out2 {
+		t.Fatalf("deterministic sections differ:\n--- first\n%s\n--- second\n%s", out1, out2)
+	}
+
+	if len(rows1) != 1 {
+		t.Fatalf("rows = %d, want 1", len(rows1))
+	}
+	r := rows1[0]
+	if !r.Survived {
+		t.Fatalf("scenario did not survive: %+v", r)
+	}
+	if r.Retries != 1 {
+		t.Fatalf("retries = %d, want 1", r.Retries)
+	}
+	if r.Counters[metrics.CtrMigrAborted] != 1 {
+		t.Fatalf("aborted = %d, want 1", r.Counters[metrics.CtrMigrAborted])
+	}
+	if r.Counters[metrics.CtrCkptRestores] != 1 {
+		t.Fatalf("checkpoint restores = %d, want 1", r.Counters[metrics.CtrCkptRestores])
+	}
+	if r.FinalHost == "ws2" {
+		t.Fatal("app ended on the crashed destination")
+	}
+	if !strings.Contains(out1, "trap crash-host host=ws2") {
+		t.Fatalf("phase trap not in schedule:\n%s", out1)
+	}
+}
+
+// TestChaosAllScenariosSurvive sweeps the full scenario set: every fault
+// plan must terminate (no hang) and complete the checksummed computation.
+func TestChaosAllScenariosSurvive(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos sweep in -short mode")
+	}
+	rows, err := RunChaos(ChaosConfig{Params: Params{Scale: 1000, Seed: 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 8 {
+		t.Fatalf("scenarios = %d, want 8", len(rows))
+	}
+	for _, r := range rows {
+		if !r.Survived {
+			t.Errorf("%s: survived=%v completed=%v correct=%v err=%q",
+				r.Scenario, r.Survived, r.Completed, r.Correct, r.FinalErr)
+		}
+	}
+	// Spot-check that the faults actually exercised the paths they target.
+	byName := map[string]ChaosRow{}
+	for _, r := range rows {
+		byName[r.Scenario] = r
+	}
+	if r := byName["partition-abort"]; r.Counters[metrics.CtrMigrAborted] != 1 || r.Counters[metrics.CtrCkptRestores] != 1 {
+		t.Errorf("partition-abort counters: %v", r.Counters)
+	}
+	if r := byName["crash-source-post-commit"]; r.Counters[metrics.CtrMigrCommitted] != 1 || r.Counters[metrics.CtrCkptRestores] != 1 {
+		t.Errorf("crash-source-post-commit counters: %v", r.Counters)
+	}
+	if r := byName["registry-restart"]; r.Counters[metrics.CtrRegistryRestarts] != 1 ||
+		r.Counters[metrics.CtrReregisters] != 4 || r.Counters[metrics.CtrProcResyncs] != 1 {
+		t.Errorf("registry-restart counters: %v", r.Counters)
+	}
+	if r := byName["duplicate-order"]; r.Counters[metrics.CtrOrdersDeduped] != 2 || r.Counters[metrics.CtrMigrCommitted] != 1 {
+		t.Errorf("duplicate-order counters: %v", r.Counters)
+	}
+	if r := byName["heartbeat-faults"]; r.Counters[metrics.CtrStatusDropped] != 2 ||
+		r.Counters[metrics.CtrStatusDuplicated] != 2 || r.Counters[metrics.CtrStatusDelayed] != 1 {
+		t.Errorf("heartbeat-faults counters: %v", r.Counters)
+	}
+}

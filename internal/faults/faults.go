@@ -1,0 +1,125 @@
+// Package faults is a deterministic fault-injection engine for the runtime
+// system. A Plan schedules faults in virtual time — host crashes, registry
+// restarts, network partitions, link degradation, heartbeat loss, forced and
+// duplicated migrate orders, and crashes pinned to exact migration protocol
+// phases — and an Injector applies them against a core.System. Because
+// triggers are either virtual-time offsets or protocol events (never wall
+// time), the same plan against the same seeded workload produces the same
+// fault schedule and the same robustness counters on every run.
+package faults
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Kind names one fault type.
+type Kind string
+
+const (
+	// KindCrashHost takes Host down permanently: network down, monitor
+	// stopped (unregistering the host), local incarnations killed.
+	KindCrashHost Kind = "crash-host"
+	// KindRestartRegistry drops the registry's soft state; monitors
+	// re-register through heartbeats and the runtime resyncs processes.
+	KindRestartRegistry Kind = "restart-registry"
+	// KindPartition cuts the Host<->Peer link in both directions.
+	KindPartition Kind = "partition"
+	// KindHeal removes a Host<->Peer partition.
+	KindHeal Kind = "heal"
+	// KindLinkFactor scales the Host<->Peer bandwidth by Factor
+	// (0 < Factor <= 1 degrades; 1 restores).
+	KindLinkFactor Kind = "link-factor"
+	// KindDropStatus swallows Host's next Count status reports.
+	KindDropStatus Kind = "drop-status"
+	// KindDupStatus delivers Host's next Count status reports twice.
+	KindDupStatus Kind = "dup-status"
+	// KindDelayStatus delays Host's next Count status reports by Delay.
+	KindDelayStatus Kind = "delay-status"
+	// KindMigrate orders the app named Proc to migrate to Dest, Count
+	// times back to back (Count > 1 models a redelivered order and
+	// exercises the commander's dedup).
+	KindMigrate Kind = "migrate"
+	// KindCrashOnPhase arms a one-shot trap: when a migration of Proc
+	// reaches Phase (an hpcm.Phase* constant), crash Target ("source" or
+	// "dest") of that migration.
+	KindCrashOnPhase Kind = "crash-on-phase"
+)
+
+// Event is one scheduled fault. Only the fields its Kind documents are used.
+type Event struct {
+	// After is the virtual delay from Injector.Run to this event. Events
+	// with equal After apply in slice order.
+	After  time.Duration
+	Kind   Kind
+	Host   string
+	Peer   string
+	Proc   string
+	Dest   string
+	Count  int
+	Factor float64
+	Delay  time.Duration
+	Phase  string
+	Target string // "source" | "dest"
+}
+
+// String renders the event compactly (only the fields its kind uses).
+func (e Event) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "+%-6s %-16s", e.After, e.Kind)
+	if e.Host != "" {
+		fmt.Fprintf(&b, " host=%s", e.Host)
+	}
+	if e.Peer != "" {
+		fmt.Fprintf(&b, " peer=%s", e.Peer)
+	}
+	if e.Proc != "" {
+		fmt.Fprintf(&b, " proc=%s", e.Proc)
+	}
+	if e.Dest != "" {
+		fmt.Fprintf(&b, " dest=%s", e.Dest)
+	}
+	if e.Count > 0 {
+		fmt.Fprintf(&b, " count=%d", e.Count)
+	}
+	if e.Factor > 0 {
+		fmt.Fprintf(&b, " factor=%g", e.Factor)
+	}
+	if e.Delay > 0 {
+		fmt.Fprintf(&b, " delay=%s", e.Delay)
+	}
+	if e.Phase != "" {
+		fmt.Fprintf(&b, " phase=%s", e.Phase)
+	}
+	if e.Target != "" {
+		fmt.Fprintf(&b, " target=%s", e.Target)
+	}
+	return b.String()
+}
+
+// Plan is a named, ordered fault schedule.
+type Plan struct {
+	Name   string
+	Events []Event
+}
+
+// ordered returns the events sorted by After, preserving slice order for
+// equal offsets.
+func (p Plan) ordered() []Event {
+	evs := append([]Event(nil), p.Events...)
+	sort.SliceStable(evs, func(i, j int) bool { return evs[i].After < evs[j].After })
+	return evs
+}
+
+// Render prints the plan's schedule. The output depends only on the plan, so
+// two runs of the same plan render identically.
+func (p Plan) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "plan %s (%d events)\n", p.Name, len(p.Events))
+	for _, e := range p.ordered() {
+		fmt.Fprintf(&b, "  %s\n", e)
+	}
+	return b.String()
+}

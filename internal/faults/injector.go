@@ -1,0 +1,353 @@
+package faults
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"autoresched/internal/core"
+	"autoresched/internal/hpcm"
+	"autoresched/internal/metrics"
+	"autoresched/internal/monitor"
+	"autoresched/internal/proto"
+	"autoresched/internal/vclock"
+)
+
+// Config configures an Injector. Clock is required; System is bound with
+// Bind (after core.New, since the system itself needs the injector's
+// reporter wrapper and migration observer at construction time).
+type Config struct {
+	Clock    vclock.Clock
+	Counters *metrics.Counters
+}
+
+// Injector applies a Plan against a bound core.System in virtual time.
+//
+// Construction order matters because the injector and the system reference
+// each other:
+//
+//	in := faults.NewInjector(faults.Config{Clock: clock, Counters: ctr})
+//	sys, _ := core.New(core.Options{
+//		WrapReporter: in.WrapReporter,
+//		Observer:     in.Observer(),
+//		...
+//	})
+//	in.Bind(sys)
+//	app, _ := sys.Launch("test_tree", ...)
+//	in.BindApp("test_tree", app)
+//	in.Run(plan)
+type Injector struct {
+	cfg Config
+
+	mu        sync.Mutex
+	sys       *core.System
+	apps      map[string]*core.App
+	taps      map[string]*tapState
+	traps     []*phaseTrap
+	applied   []string
+	triggered []string
+	running   bool
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// tapState is the pending per-host heartbeat interference, consumed one
+// report at a time (drops first, then duplicates, then delays).
+type tapState struct {
+	drop    int
+	dup     int
+	delay   int
+	delayBy time.Duration
+}
+
+// phaseTrap is an armed one-shot crash-on-migration-phase trigger.
+type phaseTrap struct {
+	proc   string
+	phase  string
+	target string
+	fired  bool
+}
+
+// NewInjector creates an unbound injector.
+func NewInjector(cfg Config) *Injector {
+	if cfg.Clock == nil {
+		cfg.Clock = vclock.Real()
+	}
+	return &Injector{
+		cfg:  cfg,
+		apps: make(map[string]*core.App),
+		taps: make(map[string]*tapState),
+		stop: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+}
+
+// Bind attaches the system the injector faults.
+func (in *Injector) Bind(sys *core.System) {
+	in.mu.Lock()
+	in.sys = sys
+	in.mu.Unlock()
+}
+
+// BindApp names a launched app so KindMigrate and KindCrashOnPhase events
+// can target it.
+func (in *Injector) BindApp(name string, app *core.App) {
+	in.mu.Lock()
+	in.apps[name] = app
+	in.mu.Unlock()
+}
+
+// Run applies the plan's events at their virtual offsets on a single
+// goroutine (so the applied log is ordered) and returns immediately.
+func (in *Injector) Run(plan Plan) {
+	in.mu.Lock()
+	if in.running {
+		in.mu.Unlock()
+		panic("faults: Injector.Run called twice")
+	}
+	in.running = true
+	in.mu.Unlock()
+
+	evs := plan.ordered()
+	go func() {
+		defer close(in.done)
+		var elapsed time.Duration
+		for _, ev := range evs {
+			if d := ev.After - elapsed; d > 0 {
+				timer := in.cfg.Clock.NewTimer(d)
+				select {
+				case <-timer.C:
+				case <-in.stop:
+					timer.Stop()
+					return
+				}
+				elapsed = ev.After
+			}
+			in.apply(ev)
+		}
+	}()
+}
+
+// Done is closed once every scheduled event has been applied.
+func (in *Injector) Done() <-chan struct{} { return in.done }
+
+// Stop abandons any not-yet-applied events.
+func (in *Injector) Stop() {
+	in.mu.Lock()
+	select {
+	case <-in.stop:
+	default:
+		close(in.stop)
+	}
+	in.mu.Unlock()
+}
+
+// Applied returns the log of scheduled events already applied, in order.
+func (in *Injector) Applied() []string {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return append([]string(nil), in.applied...)
+}
+
+// Triggered returns the log of event-driven faults (phase traps) that fired.
+func (in *Injector) Triggered() []string {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return append([]string(nil), in.triggered...)
+}
+
+// apply executes one event and records it.
+func (in *Injector) apply(ev Event) {
+	in.mu.Lock()
+	sys := in.sys
+	in.mu.Unlock()
+
+	var err error
+	switch ev.Kind {
+	case KindCrashHost:
+		err = sys.CrashHost(ev.Host)
+	case KindRestartRegistry:
+		sys.RestartRegistry()
+	case KindPartition:
+		err = sys.Cluster().Net().SetPartitioned(ev.Host, ev.Peer, true)
+	case KindHeal:
+		err = sys.Cluster().Net().SetPartitioned(ev.Host, ev.Peer, false)
+	case KindLinkFactor:
+		err = sys.Cluster().Net().SetLinkFactor(ev.Host, ev.Peer, ev.Factor)
+	case KindDropStatus:
+		in.armTap(ev.Host, func(t *tapState) { t.drop += countOf(ev) })
+	case KindDupStatus:
+		in.armTap(ev.Host, func(t *tapState) { t.dup += countOf(ev) })
+	case KindDelayStatus:
+		in.armTap(ev.Host, func(t *tapState) {
+			t.delay += countOf(ev)
+			t.delayBy = ev.Delay
+		})
+	case KindMigrate:
+		err = in.migrate(ev)
+	case KindCrashOnPhase:
+		in.mu.Lock()
+		in.traps = append(in.traps, &phaseTrap{proc: ev.Proc, phase: ev.Phase, target: ev.Target})
+		in.mu.Unlock()
+	default:
+		err = fmt.Errorf("faults: unknown kind %q", ev.Kind)
+	}
+
+	line := ev.String()
+	if err != nil {
+		line += " error=" + err.Error()
+	}
+	in.mu.Lock()
+	in.applied = append(in.applied, line)
+	in.mu.Unlock()
+}
+
+func countOf(ev Event) int {
+	if ev.Count > 0 {
+		return ev.Count
+	}
+	return 1
+}
+
+// migrate orders the bound app to move, Count times back to back. Repeats
+// model a redelivered order: the commander's dedup window should collapse
+// them into one migration.
+func (in *Injector) migrate(ev Event) error {
+	in.mu.Lock()
+	app := in.apps[ev.Proc]
+	sys := in.sys
+	in.mu.Unlock()
+	if app == nil {
+		return fmt.Errorf("faults: no app bound as %q", ev.Proc)
+	}
+	order := proto.MigrateOrder{
+		PID:      app.Process().PID(),
+		DestHost: ev.Dest,
+		DestAddr: "cmd://" + ev.Dest,
+	}
+	for i := 0; i < countOf(ev); i++ {
+		if err := sys.Migrate(app.Host(), order); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Observer returns an hpcm.MigrationObserver for core.Options.Observer. It
+// fires armed crash-on-phase traps synchronously from the migrating
+// goroutine, so the crash lands at the exact protocol step.
+func (in *Injector) Observer() hpcm.MigrationObserver {
+	return func(ev hpcm.MigrationEvent) {
+		in.mu.Lock()
+		var victim string
+		for _, tr := range in.traps {
+			if tr.fired || tr.proc != ev.Proc || tr.phase != ev.Phase {
+				continue
+			}
+			tr.fired = true
+			if tr.target == "dest" {
+				victim = ev.To
+			} else {
+				victim = ev.From
+			}
+			break
+		}
+		sys := in.sys
+		in.mu.Unlock()
+		if victim == "" {
+			return
+		}
+		line := fmt.Sprintf("trap crash-host host=%s proc=%s phase=%s", victim, ev.Proc, ev.Phase)
+		if sys != nil {
+			if err := sys.CrashHost(victim); err != nil {
+				line += " error=" + err.Error()
+			}
+		}
+		in.mu.Lock()
+		in.triggered = append(in.triggered, line)
+		in.mu.Unlock()
+	}
+}
+
+// WrapReporter implements core.Options.WrapReporter: each node's status
+// reporter is tapped so armed heartbeat faults apply on the way to the
+// registry.
+func (in *Injector) WrapReporter(host string, r monitor.Reporter) monitor.Reporter {
+	return &tap{in: in, host: host, inner: r}
+}
+
+// armTap mutates a host's pending heartbeat interference.
+func (in *Injector) armTap(host string, f func(*tapState)) {
+	in.mu.Lock()
+	t := in.taps[host]
+	if t == nil {
+		t = &tapState{}
+		in.taps[host] = t
+	}
+	f(t)
+	in.mu.Unlock()
+}
+
+type tapAction int
+
+const (
+	tapPass tapAction = iota
+	tapDrop
+	tapDup
+	tapDelay
+)
+
+// takeStatus consumes one pending action for a host's next status report.
+func (in *Injector) takeStatus(host string) (tapAction, time.Duration) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	t := in.taps[host]
+	if t == nil {
+		return tapPass, 0
+	}
+	switch {
+	case t.drop > 0:
+		t.drop--
+		return tapDrop, 0
+	case t.dup > 0:
+		t.dup--
+		return tapDup, 0
+	case t.delay > 0:
+		t.delay--
+		return tapDelay, t.delayBy
+	}
+	return tapPass, 0
+}
+
+// tap is the per-host monitor.Reporter wrapper.
+type tap struct {
+	in    *Injector
+	host  string
+	inner monitor.Reporter
+}
+
+func (t *tap) RegisterHost(host string, static proto.StaticInfo) error {
+	return t.inner.RegisterHost(host, static)
+}
+
+func (t *tap) ReportStatus(host string, status proto.Status) error {
+	switch act, d := t.in.takeStatus(t.host); act {
+	case tapDrop:
+		t.in.cfg.Counters.Inc(metrics.CtrStatusDropped)
+		return nil // swallowed; the lease absorbs a bounded gap
+	case tapDup:
+		t.in.cfg.Counters.Inc(metrics.CtrStatusDuplicated)
+		if err := t.inner.ReportStatus(host, status); err != nil {
+			return err
+		}
+	case tapDelay:
+		t.in.cfg.Counters.Inc(metrics.CtrStatusDelayed)
+		t.in.cfg.Clock.Sleep(d)
+	}
+	return t.inner.ReportStatus(host, status)
+}
+
+func (t *tap) UnregisterHost(host string) error {
+	return t.inner.UnregisterHost(host)
+}

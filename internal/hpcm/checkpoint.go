@@ -131,6 +131,18 @@ func (c *Context) maybeCheckpoint(label string) error {
 	if !requested {
 		return nil
 	}
+	return c.checkpointNow(label)
+}
+
+// checkpointNow collects and persists the state unconditionally. It also
+// runs right before a migration starts, so an aborted migration can fall
+// back to state no older than the triggering poll-point.
+func (c *Context) checkpointNow(label string) error {
+	p := c.proc
+	mw := p.mw
+	if mw.ckptStore == nil {
+		return errors.New("hpcm: no checkpoint store configured")
+	}
 	eager, lazy, err := c.state.collect()
 	if err != nil {
 		return fmt.Errorf("hpcm: checkpoint collection: %w", err)

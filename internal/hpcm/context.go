@@ -86,14 +86,24 @@ func (c *Context) Sleep(d time.Duration) { c.proc.mw.clock.Sleep(d) }
 // PollPoint is a migration point. If no migrate command is pending it
 // returns quickly (writing a checkpoint first when one is due); otherwise
 // it carries out the migration to the commanded destination and returns
-// ErrMigrated, which Main must propagate. A migration failure is returned
-// as an ordinary error and execution may continue locally.
+// ErrMigrated, which Main must propagate. A migration that fails before
+// its commit point returns a *MigrationFailure, which Main must also
+// propagate: the runtime then restores the process from its last
+// checkpoint — written right here, before the migration starts — on a
+// fresh host.
 func (c *Context) PollPoint(label string) error {
 	if c.proc.killed.Load() {
 		return ErrKilled
 	}
 	select {
 	case sig := <-c.proc.signal:
+		// Safety checkpoint: an aborted migration falls back to state no
+		// older than this poll-point, losing zero completed work.
+		if c.proc.mw.ckptStore != nil {
+			if err := c.checkpointNow(label); err != nil {
+				return err
+			}
+		}
 		c.proc.xfer.Add(1)
 		defer c.proc.xfer.Done()
 		return c.migrate(label, sig)

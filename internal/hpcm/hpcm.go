@@ -90,6 +90,9 @@ type Options struct {
 	// CheckpointEvery automatically checkpoints at the first poll-point
 	// after each interval (zero: only on RequestCheckpoint).
 	CheckpointEvery time.Duration
+	// Observer, when set, receives migration phase events synchronously
+	// from the migrating goroutine (fault injection, metrics).
+	Observer MigrationObserver
 }
 
 // nullBinder satisfies HostBinder without any host model.
@@ -114,6 +117,7 @@ type Middleware struct {
 	chunk     int
 	ckptStore CheckpointStore
 	ckptEvery time.Duration
+	observer  MigrationObserver
 	procs     sync.Map // live process directory: name -> *Process
 }
 
@@ -135,6 +139,7 @@ func New(opts Options) (*Middleware, error) {
 		chunk:     opts.ChunkBytes,
 		ckptStore: opts.Checkpoints,
 		ckptEvery: opts.CheckpointEvery,
+		observer:  opts.Observer,
 	}, nil
 }
 
@@ -155,6 +160,7 @@ type Process struct {
 	mu       sync.Mutex
 	host     string
 	hostProc HostProc
+	saved    *savedState // the current resumed incarnation's inbound state
 	records  []Record
 	migrs    int
 	preinit  map[string]string // destination -> waiting port (Section 5.2)
@@ -298,6 +304,19 @@ func (p *Process) Wait() error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	return p.result
+}
+
+// failSaved fails the current resumed incarnation's inbound state stream:
+// Await calls blocked on lazy blobs that will never arrive unblock with err.
+// The source side calls this when a committed migration's bulk streaming
+// breaks, so the destination — which owns the process — decides its fate.
+func (p *Process) failSaved(err error) {
+	p.mu.Lock()
+	saved := p.saved
+	p.mu.Unlock()
+	if saved != nil {
+		saved.fail(err)
+	}
 }
 
 // finish records the terminal result, once. All cleanup — host process

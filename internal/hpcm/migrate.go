@@ -44,7 +44,12 @@ type resumeStatus struct {
 }
 
 // migrate ships this incarnation to sig.cmd's destination. It runs at a
-// poll-point on the source and returns ErrMigrated on success.
+// poll-point on the source and returns ErrMigrated on success. A failure
+// before the commit point returns a *MigrationFailure (Committed=false):
+// the incarnation gives up so the runtime can fall back to the last
+// checkpoint and retry on a fresh host. A failure after the commit point
+// also returns ErrMigrated — the destination owns the process and its
+// failed restoration decides the process's fate.
 func (c *Context) migrate(label string, sig pendingCmd) error {
 	p := c.proc
 	mw := p.mw
@@ -58,10 +63,25 @@ func (c *Context) migrate(label string, sig pendingCmd) error {
 		CommandAt:   sig.at,
 		PollPointAt: clock.Now(),
 	}
+	event := func(phase string, err error) MigrationEvent {
+		return MigrationEvent{
+			Proc: p.name, From: rec.From, To: rec.To,
+			Label: label, Phase: phase, Err: err,
+		}
+	}
+	abort := func(phase string, err error) error {
+		mf := &MigrationFailure{
+			From: rec.From, To: rec.To, Label: label, Phase: phase, Err: err,
+		}
+		mw.observe(event(PhaseAborted, mf))
+		return mf
+	}
+
+	mw.observe(event(PhaseStart, nil))
 
 	eager, lazy, err := c.state.collect()
 	if err != nil {
-		return fmt.Errorf("hpcm: state collection: %w", err)
+		return abort(PhaseStart, fmt.Errorf("hpcm: state collection: %w", err))
 	}
 	hdr := header{Label: label}
 	for name := range lazy {
@@ -109,10 +129,11 @@ func (c *Context) migrate(label string, sig pendingCmd) error {
 			return p.bootstrap(child, child.Parent)
 		})
 		if serr != nil {
-			return fmt.Errorf("hpcm: dynamic process creation on %q: %w", cmd.DestHost, serr)
+			return abort(PhaseStart, fmt.Errorf("hpcm: dynamic process creation on %q: %w", cmd.DestHost, serr))
 		}
 	}
 	rec.InitDone = clock.Now()
+	mw.observe(event(PhaseInit, nil))
 
 	// The communication state — queued undelivered messages — moves with
 	// the process; the mailbox lives with the process identity, so only
@@ -120,24 +141,24 @@ func (c *Context) migrate(label string, sig pendingCmd) error {
 	if pending := p.pendingBytes(); pending > 0 {
 		rec.CommBytes = pending
 		if err := mw.universe.Transport().Send(c.env.Host, cmd.DestHost, pending); err != nil {
-			return fmt.Errorf("hpcm: communication state transfer: %w", err)
+			return abort(PhaseInit, fmt.Errorf("hpcm: communication state transfer: %w", err))
 		}
 	}
 
 	// Execution state and eager memory state transfer synchronously; the
 	// destination resumes as soon as it has them.
 	if err := inter.Send(hdr, 0, tagHeader); err != nil {
-		return fmt.Errorf("hpcm: execution state transfer: %w", err)
+		return abort(PhaseInit, fmt.Errorf("hpcm: execution state transfer: %w", err))
 	}
 	if err := inter.Send(eager, 0, tagEager); err != nil {
-		return fmt.Errorf("hpcm: eager state transfer: %w", err)
+		return abort(PhaseInit, fmt.Errorf("hpcm: eager state transfer: %w", err))
 	}
 	var resumed resumeStatus
 	if _, err := inter.Recv(&resumed, 0, tagResumed); err != nil {
-		return fmt.Errorf("hpcm: resume handshake: %w", err)
+		return abort(PhaseInit, fmt.Errorf("hpcm: resume handshake: %w", err))
 	}
 	if !resumed.OK {
-		return fmt.Errorf("hpcm: destination %q failed to initialize: %s", cmd.DestHost, resumed.Err)
+		return abort(PhaseInit, fmt.Errorf("hpcm: destination %q failed to initialize: %s", cmd.DestHost, resumed.Err))
 	}
 	rec.ResumeAt = clock.Now()
 
@@ -153,6 +174,26 @@ func (c *Context) migrate(label string, sig pendingCmd) error {
 	case p.events <- rec:
 	default:
 	}
+	mw.observe(event(PhaseResume, nil))
+
+	// A failure from here on is post-commit: the destination owns the
+	// process but its bulk state will never fully arrive. Fail the inbound
+	// stream so destination Awaits unblock with the error, clean up the
+	// source, and return ErrMigrated — the destination incarnation's fate
+	// decides the process's fate.
+	postFail := func(err error) error {
+		mf := &MigrationFailure{
+			From: rec.From, To: rec.To, Label: label,
+			Phase: PhaseRestore, Committed: true, Err: err,
+		}
+		p.failSaved(mf)
+		mw.observe(event(PhaseFailed, mf))
+		oldHP.Exit()
+		p.mu.Lock()
+		p.records[recIdx].RestoreDone = clock.Now()
+		p.mu.Unlock()
+		return ErrMigrated
+	}
 
 	// Lazy (bulk) state streams in chunks while the destination already
 	// executes — the data restoration / execution overlap of Section 5.2.
@@ -166,10 +207,10 @@ func (c *Context) migrate(label string, sig pendingCmd) error {
 			}
 			meta := chunkMeta{Name: name, Size: int64(end - off), Last: last}
 			if err := inter.Send(meta, 0, tagLazy); err != nil {
-				return fmt.Errorf("hpcm: lazy state transfer of %q: %w", name, err)
+				return postFail(fmt.Errorf("hpcm: lazy state transfer of %q: %w", name, err))
 			}
 			if err := inter.Send(data[off:end], 0, tagLazy); err != nil {
-				return fmt.Errorf("hpcm: lazy state transfer of %q: %w", name, err)
+				return postFail(fmt.Errorf("hpcm: lazy state transfer of %q: %w", name, err))
 			}
 			if last {
 				break
@@ -178,7 +219,7 @@ func (c *Context) migrate(label string, sig pendingCmd) error {
 	}
 	var restored bool
 	if _, err := inter.Recv(&restored, 0, tagRestored); err != nil {
-		return fmt.Errorf("hpcm: restore handshake: %w", err)
+		return postFail(fmt.Errorf("hpcm: restore handshake: %w", err))
 	}
 
 	// Source-side cleanup: leave the source host's process table.
@@ -187,6 +228,7 @@ func (c *Context) migrate(label string, sig pendingCmd) error {
 	p.mu.Lock()
 	p.records[recIdx].RestoreDone = clock.Now()
 	p.mu.Unlock()
+	mw.observe(event(PhaseRestore, nil))
 	return ErrMigrated
 }
 
@@ -216,6 +258,7 @@ func (p *Process) bootstrap(env *mpi.Env, parent *mpi.Comm) error {
 	p.mu.Lock()
 	p.host = env.Host
 	p.hostProc = hp
+	p.saved = saved // the source fails this stream if post-commit transfer breaks
 	p.mu.Unlock()
 
 	if err := parent.Send(resumeStatus{OK: true}, 0, tagResumed); err != nil {

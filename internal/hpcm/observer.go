@@ -1,0 +1,89 @@
+package hpcm
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Migration phases, as reported to a MigrationObserver. The chaos engine
+// keys host-crash triggers on these, so a "mid-migration crash" happens at
+// an exact protocol step rather than an approximate virtual time.
+const (
+	// PhaseStart: a poll-point picked up a migrate command; state is
+	// collected, the destination process does not exist yet.
+	PhaseStart = "start"
+	// PhaseInit: the initialized process exists on the destination
+	// (dynamic process creation complete); state transfer is next.
+	PhaseInit = "init"
+	// PhaseResume: the destination resumed execution — the commit point.
+	PhaseResume = "resume"
+	// PhaseRestore: all lazy state restored; the migration is complete.
+	PhaseRestore = "restore"
+	// PhaseAborted: the migration failed before the commit point; the
+	// source still owns the process.
+	PhaseAborted = "aborted"
+	// PhaseFailed: the migration failed after the commit point (lazy
+	// streaming or the restore handshake); the destination owns the
+	// process but may be missing bulk state.
+	PhaseFailed = "failed"
+)
+
+// MigrationEvent is one step of one migration.
+type MigrationEvent struct {
+	Proc     string
+	From, To string
+	Label    string
+	Phase    string
+	// Err is set for PhaseAborted and PhaseFailed.
+	Err error
+}
+
+// MigrationObserver receives migration phase events synchronously from the
+// migrating goroutine; a fault injector can therefore crash a host at an
+// exact protocol step. Observers must not block indefinitely.
+type MigrationObserver func(MigrationEvent)
+
+// MigrationFailure reports a migration that did not complete. Committed
+// distinguishes the two very different situations: false means the source
+// still owned the process when it failed (the state is intact but the
+// incarnation gave up); true means the destination had already taken over
+// and its bulk-state restoration broke. Either way the process's last
+// checkpoint is the recovery point.
+type MigrationFailure struct {
+	From, To  string
+	Label     string
+	Phase     string
+	Committed bool
+	Err       error
+}
+
+// Error implements error.
+func (e *MigrationFailure) Error() string {
+	state := "aborted"
+	if e.Committed {
+		state = "failed post-commit"
+	}
+	return fmt.Sprintf("hpcm: migration %s->%s at %q %s (%s): %v",
+		e.From, e.To, e.Label, state, e.Phase, e.Err)
+}
+
+// Unwrap exposes the underlying cause.
+func (e *MigrationFailure) Unwrap() error { return e.Err }
+
+// Recoverable reports whether a process error is one the runtime can
+// recover from by restoring the last checkpoint on another host: a host
+// crash (ErrKilled) or a failed migration.
+func Recoverable(err error) bool {
+	if errors.Is(err, ErrKilled) {
+		return true
+	}
+	var mf *MigrationFailure
+	return errors.As(err, &mf)
+}
+
+// observe emits an event if an observer is configured.
+func (m *Middleware) observe(ev MigrationEvent) {
+	if m.observer != nil {
+		m.observer(ev)
+	}
+}

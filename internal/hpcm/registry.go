@@ -33,6 +33,7 @@ type savedState struct {
 	eager map[string][]byte
 	lazy  map[string][]byte // complete lazy blobs (assembled from chunks)
 	ready map[string]bool   // lazy name fully received
+	err   error             // the inbound stream died; missing blobs never arrive
 }
 
 func newSavedState() *savedState {
@@ -54,14 +55,29 @@ func (s *savedState) completeLazy(name string, data []byte) {
 	s.mu.Unlock()
 }
 
-// awaitLazy blocks until the named lazy blob has fully arrived.
-func (s *savedState) awaitLazy(name string) []byte {
+// fail marks the inbound state stream dead: blobs not yet complete will
+// never arrive, and awaiters unblock with err.
+func (s *savedState) fail(err error) {
+	s.mu.Lock()
+	if s.err == nil {
+		s.err = err
+	}
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
+
+// awaitLazy blocks until the named lazy blob has fully arrived, or the
+// stream fails.
+func (s *savedState) awaitLazy(name string) ([]byte, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	for !s.ready[name] {
+	for !s.ready[name] && s.err == nil {
 		s.cond.Wait()
 	}
-	return s.lazy[name]
+	if s.ready[name] {
+		return s.lazy[name], nil
+	}
+	return nil, s.err
 }
 
 func newRegistry(saved *savedState) *registry {
@@ -119,7 +135,10 @@ func (r *registry) await(name string) error {
 	saved := r.saved
 	r.mu.Unlock()
 
-	data := saved.awaitLazy(name)
+	data, err := saved.awaitLazy(name)
+	if err != nil {
+		return fmt.Errorf("hpcm: await %q: %w", name, err)
+	}
 
 	r.mu.Lock()
 	defer r.mu.Unlock()

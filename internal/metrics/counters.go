@@ -1,0 +1,107 @@
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Control-plane counter names. Components increment these on a shared
+// Counters instance so a run's robustness behaviour — retries, reconnects,
+// aborted migrations, checkpoint restores — is observable in one place
+// (the chaos experiment's summary, cmd/repro output).
+const (
+	CtrProtoDropped     = "proto/msgs_dropped"
+	CtrProtoDuplicated  = "proto/msgs_duplicated"
+	CtrProtoDelayed     = "proto/msgs_delayed"
+	CtrProtoRetries     = "proto/call_retries"
+	CtrProtoReconnects  = "proto/reconnects"
+	CtrProtoDeduped     = "proto/msgs_deduped"
+	CtrStatusDropped    = "monitor/status_dropped"
+	CtrStatusDuplicated = "monitor/status_duplicated"
+	CtrStatusDelayed    = "monitor/status_delayed"
+	CtrReregisters      = "monitor/reregisters"
+	CtrOrdersDeduped    = "commander/orders_deduped"
+	CtrRegistryRestarts = "registry/restarts"
+	CtrProcResyncs      = "registry/proc_resyncs"
+	CtrMigrAborted      = "core/migrations_aborted"
+	CtrMigrCommitted    = "core/migrations_committed"
+	CtrCkptRestores     = "core/checkpoint_restores"
+	CtrColdRestarts     = "core/cold_restarts"
+)
+
+// Counters is a set of named monotonic counters, safe for concurrent use.
+// Names are created on first Add/Get; Snapshot and Render report them in
+// sorted order so output is deterministic regardless of increment order.
+type Counters struct {
+	mu sync.Mutex
+	m  map[string]int64
+}
+
+// NewCounters creates an empty counter set.
+func NewCounters() *Counters { return &Counters{m: make(map[string]int64)} }
+
+// Add increments a counter by delta. A nil receiver is a no-op, so
+// components can count unconditionally without a configuration check.
+func (c *Counters) Add(name string, delta int64) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.m[name] += delta
+	c.mu.Unlock()
+}
+
+// Inc increments a counter by one.
+func (c *Counters) Inc(name string) { c.Add(name, 1) }
+
+// Get returns a counter's value (0 if never incremented or nil receiver).
+func (c *Counters) Get(name string) int64 {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.m[name]
+}
+
+// Snapshot returns a copy of all counters.
+func (c *Counters) Snapshot() map[string]int64 {
+	out := make(map[string]int64)
+	if c == nil {
+		return out
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for k, v := range c.m {
+		out[k] = v
+	}
+	return out
+}
+
+// Names returns the counter names in sorted order.
+func (c *Counters) Names() []string {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	names := make([]string, 0, len(c.m))
+	for k := range c.m {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Render prints the non-zero counters, one per line, sorted by name.
+func (c *Counters) Render() string {
+	var b strings.Builder
+	for _, name := range c.Names() {
+		if v := c.Get(name); v != 0 {
+			fmt.Fprintf(&b, "%-28s %d\n", name, v)
+		}
+	}
+	return b.String()
+}

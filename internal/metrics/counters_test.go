@@ -1,0 +1,72 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCountersBasics(t *testing.T) {
+	c := NewCounters()
+	c.Inc("b")
+	c.Add("a", 3)
+	c.Inc("b")
+	if got := c.Get("a"); got != 3 {
+		t.Fatalf("a = %d, want 3", got)
+	}
+	if got := c.Get("b"); got != 2 {
+		t.Fatalf("b = %d, want 2", got)
+	}
+	if got := c.Get("missing"); got != 0 {
+		t.Fatalf("missing = %d, want 0", got)
+	}
+	names := c.Names()
+	if len(names) != 2 || names[0] != "a" || names[1] != "b" {
+		t.Fatalf("Names = %v", names)
+	}
+	snap := c.Snapshot()
+	if snap["a"] != 3 || snap["b"] != 2 {
+		t.Fatalf("Snapshot = %v", snap)
+	}
+	out := c.Render()
+	if !strings.Contains(out, "a") || !strings.Contains(out, "3") {
+		t.Fatalf("Render = %q", out)
+	}
+	// "a" must sort before "b" for deterministic output.
+	if strings.Index(out, "a") > strings.Index(out, "b") {
+		t.Fatalf("Render not sorted: %q", out)
+	}
+}
+
+func TestCountersNilSafe(t *testing.T) {
+	var c *Counters
+	c.Inc("x") // must not panic
+	c.Add("x", 5)
+	if c.Get("x") != 0 {
+		t.Fatal("nil counters returned non-zero")
+	}
+	if c.Names() != nil {
+		t.Fatal("nil counters returned names")
+	}
+	if len(c.Snapshot()) != 0 {
+		t.Fatal("nil counters returned snapshot entries")
+	}
+}
+
+func TestCountersConcurrent(t *testing.T) {
+	c := NewCounters()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				c.Inc("n")
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Get("n"); got != 800 {
+		t.Fatalf("n = %d, want 800", got)
+	}
+}

@@ -9,9 +9,11 @@ package monitor
 import (
 	"errors"
 	"fmt"
+	"strings"
 	"sync"
 	"time"
 
+	"autoresched/internal/metrics"
 	"autoresched/internal/proto"
 	"autoresched/internal/rules"
 	"autoresched/internal/sysinfo"
@@ -66,6 +68,8 @@ type Config struct {
 	CommandAddr string
 	// Software lists locally installed packages for requirement matching.
 	Software []string
+	// Counters, when set, receives the monitor/* control-plane counters.
+	Counters *metrics.Counters
 }
 
 // Sample is one monitoring-database record.
@@ -132,21 +136,26 @@ func (m *Monitor) Start() error {
 	m.mu.Unlock()
 
 	if m.cfg.Reporter != nil {
-		st := m.cfg.Source.Static()
-		static := proto.StaticInfo{
-			Addr:     m.cfg.CommandAddr,
-			OS:       st.OS,
-			Arch:     st.Arch,
-			CPUSpeed: st.CPUSpeed,
-			MemTotal: st.MemTotal,
-			Software: m.cfg.Software,
-		}
-		if err := m.cfg.Reporter.RegisterHost(m.cfg.Host, static); err != nil {
+		if err := m.register(); err != nil {
 			return fmt.Errorf("monitor: registration: %w", err)
 		}
 	}
 	go m.loop(stop)
 	return nil
+}
+
+// register pushes the host's one-time static information to the reporter.
+func (m *Monitor) register() error {
+	st := m.cfg.Source.Static()
+	static := proto.StaticInfo{
+		Addr:     m.cfg.CommandAddr,
+		OS:       st.OS,
+		Arch:     st.Arch,
+		CPUSpeed: st.CPUSpeed,
+		MemTotal: st.MemTotal,
+		Software: m.cfg.Software,
+	}
+	return m.cfg.Reporter.RegisterHost(m.cfg.Host, static)
 }
 
 // Stop halts the loop and unregisters the host.
@@ -226,12 +235,29 @@ func (m *Monitor) Cycle() (Sample, error) {
 
 	if m.cfg.Reporter != nil {
 		status := StatusFromSample(sample)
-		if err := m.cfg.Reporter.ReportStatus(m.cfg.Host, status); err != nil {
+		err := m.cfg.Reporter.ReportStatus(m.cfg.Host, status)
+		if err != nil && isUnregistered(err) {
+			// The registry restarted and lost its soft state (Section 3.1's
+			// soft-state registration makes this survivable): re-register
+			// the host and retry the refresh once.
+			if rerr := m.register(); rerr == nil {
+				m.cfg.Counters.Inc(metrics.CtrReregisters)
+				err = m.cfg.Reporter.ReportStatus(m.cfg.Host, status)
+			}
+		}
+		if err != nil {
 			m.recordErr(err)
 			return sample, err
 		}
 	}
 	return sample, nil
+}
+
+// isUnregistered matches the registry's rejection of a status refresh from
+// a host it does not know — locally or through the XML protocol's remote
+// error wrapping.
+func isUnregistered(err error) bool {
+	return err != nil && strings.Contains(err.Error(), "unregistered host")
 }
 
 func (m *Monitor) recordErr(err error) {

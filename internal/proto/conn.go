@@ -4,9 +4,12 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"math/rand"
 	"net"
 	"sync"
 	"time"
+
+	"autoresched/internal/metrics"
 )
 
 // maxFrame bounds a single message to keep a malformed peer from forcing a
@@ -47,15 +50,46 @@ func ReadFrame(r io.Reader) ([]byte, error) {
 // Conn is a message-oriented connection: framed XML messages over any
 // stream. It serialises writes; reads must come from a single goroutine.
 type Conn struct {
-	rw io.ReadWriter
-	wr sync.Mutex
+	rw       io.ReadWriter
+	wr       sync.Mutex
+	injector FaultInjector
+	counters *metrics.Counters
 }
 
 // NewConn wraps a stream.
 func NewConn(rw io.ReadWriter) *Conn { return &Conn{rw: rw} }
 
-// Send encodes and writes one message.
+// SetInjector installs a fault injector consulted before every Send.
+func (c *Conn) SetInjector(f FaultInjector, counters *metrics.Counters) {
+	c.injector = f
+	c.counters = counters
+}
+
+// Send encodes and writes one message. An installed fault injector may
+// drop it (Send reports success; the peer never sees the message),
+// duplicate it, or delay it.
 func (c *Conn) Send(m *Message) error {
+	if c.injector != nil {
+		v := c.injector.Outbound(m)
+		if v.Delay > 0 {
+			c.counters.Inc(metrics.CtrProtoDelayed)
+			time.Sleep(v.Delay)
+		}
+		if v.Drop {
+			c.counters.Inc(metrics.CtrProtoDropped)
+			return nil
+		}
+		if v.Duplicate {
+			c.counters.Inc(metrics.CtrProtoDuplicated)
+			if err := c.sendRaw(m); err != nil {
+				return err
+			}
+		}
+	}
+	return c.sendRaw(m)
+}
+
+func (c *Conn) sendRaw(m *Message) error {
 	data, err := m.Encode()
 	if err != nil {
 		return err
@@ -90,9 +124,11 @@ type Handler func(m *Message) (*Message, error)
 // message to a handler. Every request receives exactly one response: the
 // handler's message, or an ack (with the handler error, if any).
 type Server struct {
-	name    string
-	ln      net.Listener
-	handler Handler
+	name     string
+	ln       net.Listener
+	handler  Handler
+	dedup    *dedupCache
+	counters *metrics.Counters
 
 	mu     sync.Mutex
 	closed bool
@@ -100,13 +136,29 @@ type Server struct {
 	wg     sync.WaitGroup
 }
 
-// NewServer starts a server listening on addr ("host:0" picks a free port).
+// NewServer starts a server listening on addr ("host:0" picks a free port)
+// with default options.
 func NewServer(name, addr string, handler Handler) (*Server, error) {
+	return NewServerOptions(name, addr, handler, Options{})
+}
+
+// NewServerOptions starts a server with explicit robustness options:
+// DedupWindow enables idempotent redelivery (a retried request is answered
+// from the response cache instead of re-invoking the handler), Counters
+// makes deduplications observable.
+func NewServerOptions(name, addr string, handler Handler, opts Options) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	s := &Server{name: name, ln: ln, handler: handler, conns: make(map[net.Conn]struct{})}
+	s := &Server{
+		name:     name,
+		ln:       ln,
+		handler:  handler,
+		dedup:    newDedupCache(opts.dedupWindow()),
+		counters: opts.Counters,
+		conns:    make(map[net.Conn]struct{}),
+	}
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s, nil
@@ -149,6 +201,16 @@ func (s *Server) serve(conn net.Conn) {
 		if err != nil {
 			return
 		}
+		// Idempotent redelivery: a (From, Seq) the server already answered
+		// — a client retry whose response was lost — replays the cached
+		// response instead of re-invoking the handler.
+		if cached, ok := s.dedup.lookup(req.From, req.Seq); ok {
+			s.counters.Inc(metrics.CtrProtoDeduped)
+			if err := c.Send(cached); err != nil {
+				return
+			}
+			continue
+		}
 		resp, herr := s.handler(req)
 		if resp == nil {
 			resp = Ack(s.name, req, herr)
@@ -156,6 +218,7 @@ func (s *Server) serve(conn net.Conn) {
 			resp.Seq = req.Seq
 			resp.To = req.From
 		}
+		s.dedup.store(req.From, req.Seq, resp)
 		if err := c.Send(resp); err != nil {
 			return
 		}
@@ -184,16 +247,30 @@ func (s *Server) Close() error {
 type Client struct {
 	name string
 	addr string
+	opts Options
 
-	mu   sync.Mutex
-	conn *Conn
-	raw  net.Conn
-	seq  uint64
+	mu     sync.Mutex
+	conn   *Conn
+	raw    net.Conn
+	seq    uint64
+	closed bool
+	rng    *rand.Rand
 }
 
-// Dial connects a client named name (used as the From field) to addr.
+// Dial connects a client named name (used as the From field) to addr with
+// default options: 5-second dial timeout, one re-dial retry.
 func Dial(name, addr string) (*Client, error) {
-	c := &Client{name: name, addr: addr}
+	return DialOptions(name, addr, Options{})
+}
+
+// DialOptions connects a client with explicit robustness options: dial and
+// call timeouts, retry count, exponential backoff with seeded jitter, and
+// optional counters/fault injection.
+func DialOptions(name, addr string, opts Options) (*Client, error) {
+	c := &Client{name: name, addr: addr, opts: opts}
+	if opts.Jitter > 0 {
+		c.rng = rand.New(rand.NewSource(opts.Seed))
+	}
 	if err := c.reconnect(); err != nil {
 		return nil, err
 	}
@@ -201,17 +278,28 @@ func Dial(name, addr string) (*Client, error) {
 }
 
 func (c *Client) reconnect() error {
-	raw, err := net.DialTimeout("tcp", c.addr, 5*time.Second)
+	if c.closed {
+		return fmt.Errorf("proto: client closed")
+	}
+	raw, err := net.DialTimeout("tcp", c.addr, c.opts.dialTimeout())
 	if err != nil {
 		return err
 	}
+	if c.raw != nil {
+		c.raw.Close()
+	}
 	c.raw = raw
 	c.conn = NewConn(raw)
+	if c.opts.Injector != nil {
+		c.conn.SetInjector(c.opts.Injector, c.opts.Counters)
+	}
 	return nil
 }
 
-// Call sends a request and waits for its response. A broken connection is
-// re-dialled once.
+// Call sends a request and waits for its response. Transport failures are
+// retried (re-dialling between attempts) per Options.Retries with
+// exponential backoff; remote handler errors are returned immediately,
+// since the request was already processed.
 func (c *Client) Call(m *Message) (*Message, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -219,18 +307,36 @@ func (c *Client) Call(m *Message) (*Message, error) {
 	m.Seq = c.seq
 	m.From = c.name
 	resp, err := c.callOnce(m)
-	if err == nil {
-		return resp, nil
+	if err == nil || resp != nil {
+		// Success, or a remote handler error: never retried.
+		return resp, err
 	}
-	if rerr := c.reconnect(); rerr != nil {
-		return nil, fmt.Errorf("proto: call failed (%v) and reconnect failed: %w", err, rerr)
+	retries := c.opts.retries()
+	for attempt := 1; attempt <= retries; attempt++ {
+		if d := c.opts.backoffFor(attempt, c.rng); d > 0 {
+			time.Sleep(d)
+		}
+		c.opts.Counters.Inc(metrics.CtrProtoRetries)
+		if rerr := c.reconnect(); rerr != nil {
+			err = fmt.Errorf("proto: call failed (%v) and reconnect failed: %w", err, rerr)
+			continue
+		}
+		c.opts.Counters.Inc(metrics.CtrProtoReconnects)
+		resp, err = c.callOnce(m)
+		if err == nil || resp != nil {
+			return resp, err
+		}
 	}
-	return c.callOnce(m)
+	return nil, err
 }
 
 func (c *Client) callOnce(m *Message) (*Message, error) {
 	if c.conn == nil {
 		return nil, fmt.Errorf("proto: client closed")
+	}
+	if d := c.opts.CallTimeout; d > 0 {
+		c.raw.SetDeadline(time.Now().Add(d))
+		defer c.raw.SetDeadline(time.Time{})
 	}
 	if err := c.conn.Send(m); err != nil {
 		return nil, err
@@ -245,10 +351,12 @@ func (c *Client) callOnce(m *Message) (*Message, error) {
 	return resp, nil
 }
 
-// Close closes the connection.
+// Close closes the connection. A closed client fails all further calls
+// (reconnects included).
 func (c *Client) Close() error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.closed = true
 	c.conn = nil
 	if c.raw != nil {
 		err := c.raw.Close()

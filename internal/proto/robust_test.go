@@ -1,0 +1,254 @@
+package proto
+
+import (
+	"bytes"
+	"encoding/binary"
+	"net"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"autoresched/internal/metrics"
+)
+
+// dropFirstN drops the first N outbound messages it sees.
+type dropFirstN struct {
+	mu   sync.Mutex
+	left int
+}
+
+func (d *dropFirstN) Outbound(m *Message) Verdict {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.left > 0 {
+		d.left--
+		return Verdict{Drop: true}
+	}
+	return Verdict{}
+}
+
+func TestConnRecvPeerClosesMidFrame(t *testing.T) {
+	client, server := net.Pipe()
+	go func() {
+		// Advertise a 10-byte frame, deliver 2 bytes, hang up.
+		var hdr [4]byte
+		binary.BigEndian.PutUint32(hdr[:], 10)
+		server.Write(hdr[:])
+		server.Write([]byte("xy"))
+		server.Close()
+	}()
+	c := NewConn(client)
+	if _, err := c.Recv(); err == nil {
+		t.Fatal("Recv accepted a truncated frame")
+	}
+}
+
+func TestConnRecvOversizedHeader(t *testing.T) {
+	var buf bytes.Buffer
+	buf.Write([]byte{0xFF, 0xFF, 0xFF, 0xFF})
+	c := NewConn(&buf)
+	if _, err := c.Recv(); err == nil {
+		t.Fatal("Recv accepted an oversized frame header")
+	}
+}
+
+func TestConnSendOnDeadConnection(t *testing.T) {
+	client, server := net.Pipe()
+	server.Close()
+	c := NewConn(client)
+	if err := c.Send(statusMsg("ws1")); err == nil {
+		t.Fatal("Send on a dead connection succeeded")
+	}
+}
+
+func TestClientCallTimeoutOnSilentServer(t *testing.T) {
+	// A raw listener that accepts but never responds.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			defer conn.Close()
+		}
+	}()
+	cli, err := DialOptions("ws1", ln.Addr().String(), Options{
+		CallTimeout: 50 * time.Millisecond,
+		Retries:     -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	start := time.Now()
+	if _, err := cli.Call(statusMsg("ws1")); err == nil {
+		t.Fatal("Call against a silent server succeeded")
+	}
+	if elapsed := time.Since(start); elapsed > 3*time.Second {
+		t.Fatalf("Call took %v; CallTimeout did not bound it", elapsed)
+	}
+}
+
+func TestClientRetriesWithBackoffAfterRestart(t *testing.T) {
+	ctr := metrics.NewCounters()
+	srv, err := NewServer("registry", "127.0.0.1:0", func(m *Message) (*Message, error) { return nil, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := srv.Addr()
+	cli, err := DialOptions("ws1", addr, Options{
+		CallTimeout: time.Second,
+		Retries:     3,
+		Backoff:     time.Millisecond,
+		Jitter:      0.5,
+		Seed:        42,
+		Counters:    ctr,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	if _, err := cli.Call(statusMsg("ws1")); err != nil {
+		t.Fatal(err)
+	}
+	srv.Close()
+	srv2, err := NewServer("registry", addr, func(m *Message) (*Message, error) { return nil, nil })
+	if err != nil {
+		t.Skipf("could not rebind %s: %v", addr, err)
+	}
+	defer srv2.Close()
+	if _, err := cli.Call(statusMsg("ws1")); err != nil {
+		t.Fatalf("call after restart: %v", err)
+	}
+	if ctr.Get(metrics.CtrProtoRetries) == 0 {
+		t.Fatal("no retry counted")
+	}
+	if ctr.Get(metrics.CtrProtoReconnects) == 0 {
+		t.Fatal("no reconnect counted")
+	}
+}
+
+func TestClientRetriesDisabled(t *testing.T) {
+	srv, err := NewServer("registry", "127.0.0.1:0", func(m *Message) (*Message, error) { return nil, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := srv.Addr()
+	cli, err := DialOptions("ws1", addr, Options{Retries: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	srv.Close()
+	srv2, err := NewServer("registry", addr, func(m *Message) (*Message, error) { return nil, nil })
+	if err != nil {
+		t.Skipf("could not rebind %s: %v", addr, err)
+	}
+	defer srv2.Close()
+	// Without retries the broken connection is not re-dialled.
+	if _, err := cli.Call(statusMsg("ws1")); err == nil {
+		t.Fatal("call succeeded without retries on a broken connection")
+	}
+}
+
+func TestClientDoesNotRetryRemoteErrors(t *testing.T) {
+	var calls atomic.Int64
+	srv, err := NewServer("registry", "127.0.0.1:0", func(m *Message) (*Message, error) {
+		calls.Add(1)
+		return nil, strings.NewReader("").UnreadByte() // any non-nil error
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	cli, err := DialOptions("ws1", srv.Addr(), Options{Retries: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	if _, err := cli.Call(statusMsg("ws1")); err == nil {
+		t.Fatal("remote error not surfaced")
+	}
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("handler invoked %d times for a remote error; want 1", got)
+	}
+}
+
+func TestServerDedupReplaysCachedResponse(t *testing.T) {
+	var calls atomic.Int64
+	ctr := metrics.NewCounters()
+	srv, err := NewServerOptions("registry", "127.0.0.1:0", func(m *Message) (*Message, error) {
+		calls.Add(1)
+		return nil, nil
+	}, Options{DedupWindow: 8, Counters: ctr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	raw, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer raw.Close()
+	c := NewConn(raw)
+	req := statusMsg("ws1")
+	req.Seq = 7
+	// The same (From, Seq) delivered twice — a redelivered retry. The
+	// handler must run once; both responses must ack seq 7.
+	for i := 0; i < 2; i++ {
+		if err := c.Send(req); err != nil {
+			t.Fatal(err)
+		}
+		resp, err := c.Recv()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.Type != TypeAck || resp.Seq != 7 {
+			t.Fatalf("resp %d = %+v", i, resp)
+		}
+	}
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("handler ran %d times; want 1 (second delivery deduped)", got)
+	}
+	if ctr.Get(metrics.CtrProtoDeduped) != 1 {
+		t.Fatalf("deduped counter = %d, want 1", ctr.Get(metrics.CtrProtoDeduped))
+	}
+}
+
+func TestInjectorDropForcesRetry(t *testing.T) {
+	ctr := metrics.NewCounters()
+	srv, err := NewServer("registry", "127.0.0.1:0", func(m *Message) (*Message, error) { return nil, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	cli, err := DialOptions("ws1", srv.Addr(), Options{
+		CallTimeout: 100 * time.Millisecond,
+		Retries:     2,
+		Counters:    ctr,
+		Injector:    &dropFirstN{left: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	// First send is swallowed by the injector; the call times out waiting
+	// for a response, reconnects, and succeeds on the retry.
+	if _, err := cli.Call(statusMsg("ws1")); err != nil {
+		t.Fatalf("Call with one dropped message: %v", err)
+	}
+	if ctr.Get(metrics.CtrProtoDropped) != 1 {
+		t.Fatalf("dropped counter = %d, want 1", ctr.Get(metrics.CtrProtoDropped))
+	}
+	if ctr.Get(metrics.CtrProtoRetries) == 0 {
+		t.Fatal("no retry counted after a dropped message")
+	}
+}

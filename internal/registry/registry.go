@@ -13,6 +13,7 @@ import (
 	"sync"
 	"time"
 
+	"autoresched/internal/metrics"
 	"autoresched/internal/proto"
 	"autoresched/internal/rules"
 	"autoresched/internal/schema"
@@ -57,6 +58,8 @@ type Config struct {
 	// OnEvent, if set, observes every scheduling-decision event as it
 	// happens (the trace is also kept in a ring buffer; see Trace).
 	OnEvent func(Event)
+	// Counters, when set, receives the registry/* control-plane counters.
+	Counters *metrics.Counters
 }
 
 // HostInfo is the registry's view of one host.
@@ -179,6 +182,23 @@ func (r *Registry) ReportStatus(host string, status proto.Status) error {
 		r.decide(host)
 	}
 	return nil
+}
+
+// Restart simulates a registry crash and restart: all soft state — host
+// registrations, process registrations, warmup and cooldown bookkeeping —
+// is dropped, exactly as a freshly started registry would have none of it.
+// The protocol's soft-state design makes this survivable: monitors
+// re-register when their next refresh is rejected, and the runtime resyncs
+// its processes. The decision trace is diagnostic state, not protocol
+// state, so it survives.
+func (r *Registry) Restart() {
+	r.mu.Lock()
+	r.hosts = make(map[string]*hostEntry)
+	r.procs = make(map[procKey]*ProcInfo)
+	r.regSeq = 0
+	r.mu.Unlock()
+	r.cfg.Counters.Inc(metrics.CtrRegistryRestarts)
+	r.trace(EventRestart, "", 0, "", "soft state dropped")
 }
 
 // UnregisterHost withdraws a host and its processes.

@@ -1,0 +1,60 @@
+package registry
+
+import (
+	"strings"
+	"testing"
+
+	"autoresched/internal/metrics"
+	"autoresched/internal/proto"
+	"autoresched/internal/vclock"
+)
+
+func TestRestartDropsSoftState(t *testing.T) {
+	clock := vclock.NewManual(vclock.Epoch)
+	ctr := metrics.NewCounters()
+	r := New(Config{Clock: clock, Counters: ctr})
+	if err := r.RegisterHost("ws1", proto.StaticInfo{CPUSpeed: 1e6}); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.RegisterProcess("ws1", proto.ProcessInfo{PID: 42, Name: "app"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.ReportStatus("ws1", proto.Status{State: "free"}); err != nil {
+		t.Fatal(err)
+	}
+
+	r.Restart()
+
+	if got := r.Hosts(); len(got) != 0 {
+		t.Fatalf("hosts after restart = %+v", got)
+	}
+	if got := r.Processes("ws1"); len(got) != 0 {
+		t.Fatalf("procs after restart = %+v", got)
+	}
+	// The next refresh is rejected — the signal monitors key their
+	// re-registration on.
+	err := r.ReportStatus("ws1", proto.Status{State: "free"})
+	if err == nil || !strings.Contains(err.Error(), "unregistered host") {
+		t.Fatalf("status after restart: %v", err)
+	}
+	if ctr.Get(metrics.CtrRegistryRestarts) != 1 {
+		t.Fatalf("restart counter = %d", ctr.Get(metrics.CtrRegistryRestarts))
+	}
+	// The diagnostic trace survives and records the restart.
+	var found bool
+	for _, e := range r.Trace() {
+		if e.Kind == EventRestart {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no restart event in trace: %+v", r.Trace())
+	}
+	// Re-registration resumes normal service.
+	if err := r.RegisterHost("ws1", proto.StaticInfo{CPUSpeed: 1e6}); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.ReportStatus("ws1", proto.Status{State: "free"}); err != nil {
+		t.Fatal(err)
+	}
+}

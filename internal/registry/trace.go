@@ -24,6 +24,9 @@ const (
 	EventOrdered EventKind = "ordered"
 	// EventOrderFailed: the commander rejected the order.
 	EventOrderFailed EventKind = "order-failed"
+	// EventRestart: the registry dropped its soft state (simulated crash +
+	// restart); hosts and processes must re-register.
+	EventRestart EventKind = "restart"
 )
 
 // Event is one entry of the scheduler's decision trace.

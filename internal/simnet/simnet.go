@@ -31,6 +31,7 @@ import (
 var (
 	ErrUnknownHost = errors.New("simnet: unknown host")
 	ErrHostDown    = errors.New("simnet: host is down")
+	ErrPartitioned = errors.New("simnet: hosts are partitioned")
 )
 
 // Options configures a Network.
@@ -54,10 +55,23 @@ type Network struct {
 	opts    Options
 	hosts   map[string]*nic
 	flows   map[*flow]struct{}
+	factors map[linkKey]float64 // degraded host pairs: rate multiplier < 1
+	parts   map[linkKey]bool    // partitioned host pairs
 	lastAdv time.Time
 	gen     int // invalidates outstanding wake-up timers
 	timer   *vclock.Timer
 	cancel  chan struct{} // closed to release the stale wake-up goroutine
+}
+
+// linkKey names an unordered host pair; degradation and partition apply to
+// both directions of the link.
+type linkKey struct{ a, b string }
+
+func link(x, y string) linkKey {
+	if x > y {
+		x, y = y, x
+	}
+	return linkKey{x, y}
 }
 
 type nic struct {
@@ -90,6 +104,8 @@ func New(clock vclock.Clock, opts Options) *Network {
 		opts:    opts,
 		hosts:   make(map[string]*nic),
 		flows:   make(map[*flow]struct{}),
+		factors: make(map[linkKey]float64),
+		parts:   make(map[linkKey]bool),
 		lastAdv: clock.Now(),
 	}
 }
@@ -139,9 +155,77 @@ func (n *Network) SetDown(name string, down bool) error {
 	return nil
 }
 
+// SetLinkFactor degrades (or restores) the link between two hosts: flows
+// between them run at factor times their fair-share rate. factor 1 restores
+// full capacity; factor must be positive (a dead link is a partition, not a
+// zero factor, so in-flight transfers fail fast instead of stalling
+// forever). In-flight flows pick up the new rate immediately.
+func (n *Network) SetLinkFactor(a, b string, factor float64) error {
+	if factor <= 0 {
+		return fmt.Errorf("simnet: non-positive link factor %v", factor)
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, ok := n.hosts[a]; !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownHost, a)
+	}
+	if _, ok := n.hosts[b]; !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownHost, b)
+	}
+	n.advanceLocked(n.clock.Now())
+	if factor >= 1 {
+		delete(n.factors, link(a, b))
+	} else {
+		n.factors[link(a, b)] = factor
+	}
+	n.recomputeLocked()
+	n.scheduleLocked()
+	return nil
+}
+
+// SetPartitioned cuts (or heals) the link between two hosts. Partitioning
+// fails every in-flight flow between them with ErrPartitioned, and new
+// transfers between them fail immediately until the partition heals. Other
+// links are unaffected — unlike SetDown, each host keeps talking to the
+// rest of the cluster.
+func (n *Network) SetPartitioned(a, b string, partitioned bool) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	ha, ok := n.hosts[a]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownHost, a)
+	}
+	hb, ok := n.hosts[b]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownHost, b)
+	}
+	n.advanceLocked(n.clock.Now())
+	if partitioned {
+		n.parts[link(a, b)] = true
+		for f := range n.flows {
+			if (f.from == ha && f.to == hb) || (f.from == hb && f.to == ha) {
+				f.failed = true
+				n.finishLocked(f, ErrPartitioned)
+			}
+		}
+	} else {
+		delete(n.parts, link(a, b))
+	}
+	n.recomputeLocked()
+	n.scheduleLocked()
+	return nil
+}
+
+// Partitioned reports whether two hosts are currently partitioned.
+func (n *Network) Partitioned(a, b string) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.parts[link(a, b)]
+}
+
 // Transfer moves size bytes from one host to another, blocking in virtual
 // time until the transfer completes. It returns ErrHostDown if either end
-// is (or goes) down.
+// is (or goes) down, and ErrPartitioned if the pair is partitioned.
 func (n *Network) Transfer(from, to string, size int64) error {
 	if size < 0 {
 		return fmt.Errorf("simnet: negative transfer size %d", size)
@@ -160,6 +244,10 @@ func (n *Network) Transfer(from, to string, size int64) error {
 	if src.down || dst.down {
 		n.mu.Unlock()
 		return ErrHostDown
+	}
+	if n.parts[link(from, to)] {
+		n.mu.Unlock()
+		return ErrPartitioned
 	}
 	if from == to || size == 0 {
 		// Loopback and empty transfers are free of NIC time; charge latency
@@ -273,6 +361,9 @@ func (n *Network) recomputeLocked() {
 		sendShare := f.from.capacity / float64(f.from.sendFlows)
 		recvShare := f.to.capacity / float64(f.to.recvFlows)
 		f.rate = math.Min(sendShare, recvShare)
+		if factor, ok := n.factors[link(f.from.name, f.to.name)]; ok {
+			f.rate *= factor
+		}
 	}
 }
 

@@ -345,3 +345,86 @@ func TestSetDownUnknownHost(t *testing.T) {
 		t.Fatalf("err = %v, want ErrUnknownHost", err)
 	}
 }
+
+func TestSetLinkFactorSlowsTransfers(t *testing.T) {
+	n, clock := newNet(t, 1e6, "a", "b")
+	if err := n.SetLinkFactor("a", "b", 0.5); err != nil {
+		t.Fatalf("SetLinkFactor: %v", err)
+	}
+	start := clock.Now()
+	if err := n.Transfer("a", "b", 5e6); err != nil {
+		t.Fatalf("Transfer: %v", err)
+	}
+	got := clock.Since(start)
+	// 5 MB at 0.5 MB/s = 10 virtual seconds (twice the healthy-link time).
+	if got < 9*time.Second || got > 13*time.Second {
+		t.Fatalf("degraded transfer took %v, want ~10s", got)
+	}
+	// Restore and confirm full rate again.
+	if err := n.SetLinkFactor("b", "a", 1); err != nil {
+		t.Fatalf("SetLinkFactor restore: %v", err)
+	}
+	start = clock.Now()
+	if err := n.Transfer("a", "b", 5e6); err != nil {
+		t.Fatalf("Transfer after restore: %v", err)
+	}
+	got = clock.Since(start)
+	if got < 4*time.Second || got > 8*time.Second {
+		t.Fatalf("restored transfer took %v, want ~5s", got)
+	}
+}
+
+func TestSetLinkFactorRejectsNonPositive(t *testing.T) {
+	n, _ := newNet(t, 1e6, "a", "b")
+	if err := n.SetLinkFactor("a", "b", 0); err == nil {
+		t.Fatal("SetLinkFactor(0) accepted")
+	}
+	if err := n.SetLinkFactor("a", "nope", 0.5); err == nil {
+		t.Fatal("SetLinkFactor with unknown host accepted")
+	}
+}
+
+func TestPartitionFailsNewAndInFlightTransfers(t *testing.T) {
+	n, _ := newNet(t, 1e6, "a", "b", "c")
+	if err := n.SetPartitioned("a", "b", true); err != nil {
+		t.Fatalf("SetPartitioned: %v", err)
+	}
+	if !n.Partitioned("b", "a") {
+		t.Fatal("Partitioned = false after SetPartitioned")
+	}
+	if err := n.Transfer("a", "b", 1e6); !errors.Is(err, ErrPartitioned) {
+		t.Fatalf("Transfer across partition: %v, want ErrPartitioned", err)
+	}
+	// Other links keep working.
+	if err := n.Transfer("a", "c", 1e5); err != nil {
+		t.Fatalf("Transfer on healthy link: %v", err)
+	}
+	// Heal and confirm.
+	if err := n.SetPartitioned("a", "b", false); err != nil {
+		t.Fatalf("heal: %v", err)
+	}
+	if err := n.Transfer("a", "b", 1e5); err != nil {
+		t.Fatalf("Transfer after heal: %v", err)
+	}
+}
+
+func TestPartitionCutsInFlightFlow(t *testing.T) {
+	n, _ := newNet(t, 1e6, "a", "b")
+	errCh := make(chan error, 1)
+	go func() { errCh <- n.Transfer("a", "b", 100e6) }()
+	// Wait until the flow exists, then partition.
+	for i := 0; i < 200 && n.ActiveFlows() == 0; i++ {
+		time.Sleep(time.Millisecond)
+	}
+	if err := n.SetPartitioned("a", "b", true); err != nil {
+		t.Fatalf("SetPartitioned: %v", err)
+	}
+	select {
+	case err := <-errCh:
+		if !errors.Is(err, ErrPartitioned) {
+			t.Fatalf("in-flight transfer: %v, want ErrPartitioned", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("in-flight transfer not failed by partition")
+	}
+}
