@@ -1,15 +1,19 @@
 # Developer entry points. `make check` is what CI (and the tier-1 verify)
-# runs; `make race` additionally race-tests the concurrency-heavy packages.
+# runs; `make race` additionally race-tests the concurrency-heavy packages;
+# `make ci` is the full gate (vet + build + test + race + a 64-host scale
+# smoke); `make bench` regenerates BENCH_scale.json.
 
 GO ?= go
 
 # Packages with nontrivial goroutine interaction: the migration middleware,
-# the autonomic runtime, the fault injector and everything they lean on.
+# the autonomic runtime, the fault injector, the event sink and everything
+# they lean on.
 RACE_PKGS = ./internal/proto ./internal/monitor ./internal/registry \
             ./internal/commander ./internal/hpcm ./internal/core \
-            ./internal/faults ./internal/metrics ./internal/simnet
+            ./internal/faults ./internal/metrics ./internal/simnet \
+            ./internal/events
 
-.PHONY: all build vet test race check chaos
+.PHONY: all build vet test race check ci chaos scale bench
 
 all: check
 
@@ -27,7 +31,27 @@ race:
 
 check: vet build test
 
+# The full gate: everything `check` and `race` run, plus a single 64-host
+# scale sweep as an end-to-end smoke of the control plane.
+ci: check race
+	$(GO) run ./cmd/repro -exp scale -hosts 64 -seed 42
+
 # Two chaos runs with the same seed must print identical fault schedules
 # and counters (the deterministic section above `timings`).
 chaos: build
 	$(GO) run ./cmd/repro -exp chaos -seed 42
+
+# The 64/256/512-host sweeps under churn (deterministic outcome section per
+# seed; the control-plane measurements below it are approximate).
+scale: build
+	$(GO) run ./cmd/repro -exp scale -seed 42
+
+# Scheduling microbenchmarks -> BENCH_scale.json: status-ingest throughput
+# (direct vs batched), candidate selection at 512 hosts (state-indexed vs
+# the seed's re-sort baseline), the 64->512 growth sweep, and one whole
+# 64-host sweep end to end.
+bench: build
+	{ $(GO) test -run '^$$' -bench 'BenchmarkRegistryReportStatus|BenchmarkCandidate' \
+	      -benchtime 1000x ./internal/registry ; \
+	  $(GO) test -run '^$$' -bench BenchmarkScale64 -benchtime 1x ./internal/experiments ; } \
+	| $(GO) run ./cmd/benchjson -o BENCH_scale.json

@@ -1,0 +1,125 @@
+// Command benchjson converts `go test -bench` text output (on stdin) into a
+// JSON benchmark report, deriving the scale claims the suite exists to
+// check: the indexed-vs-resort candidate-selection speedup at 512 hosts and
+// the growth of selection cost from 64 to 512 hosts.
+//
+// Usage:
+//
+//	go test -bench 'Candidate|ReportStatus|Scale64' ./... | benchjson -o BENCH_scale.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed result line.
+type Benchmark struct {
+	Name       string  `json:"name"`
+	Iterations int64   `json:"iterations"`
+	NsPerOp    float64 `json:"ns_per_op"`
+}
+
+// Derived holds the report's headline ratios (zero when the inputs are
+// missing from the run).
+type Derived struct {
+	// Candidate512Speedup is resort ns/op divided by indexed ns/op: how
+	// much faster the state-indexed registry selects a destination among
+	// 512 hosts than the seed's rebuild-sort-scan baseline.
+	Candidate512Speedup float64 `json:"candidate512_speedup,omitempty"`
+	// CandidateGrowth64To512 is ns/op at 512 hosts divided by ns/op at 64
+	// hosts; values near 1 (and far below 8, the host-count ratio) mean
+	// selection cost grows sub-linearly in cluster size.
+	CandidateGrowth64To512 float64 `json:"candidate_growth_64_to_512,omitempty"`
+}
+
+type report struct {
+	Benchmarks []Benchmark `json:"benchmarks"`
+	Derived    Derived     `json:"derived"`
+}
+
+var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+(\d+)\s+([\d.]+) ns/op`)
+
+func main() {
+	out := flag.String("o", "BENCH_scale.json", "output file")
+	flag.Parse()
+
+	var rep report
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		iters, _ := strconv.ParseInt(m[2], 10, 64)
+		ns, _ := strconv.ParseFloat(m[3], 64)
+		rep.Benchmarks = append(rep.Benchmarks, Benchmark{
+			Name: trimProcs(m[1]), Iterations: iters, NsPerOp: ns,
+		})
+	}
+	if err := sc.Err(); err != nil {
+		fatal(err)
+	}
+	if len(rep.Benchmarks) == 0 {
+		fatal(fmt.Errorf("no benchmark lines on stdin"))
+	}
+
+	rep.Derived = derive(rep.Benchmarks)
+	data, err := json.MarshalIndent(rep, "", "  ")
+	fatal(err)
+	fatal(os.WriteFile(*out, append(data, '\n'), 0o644))
+	fmt.Printf("wrote %s (%d benchmarks)\n", *out, len(rep.Benchmarks))
+	if rep.Derived.Candidate512Speedup > 0 {
+		fmt.Printf("candidate512 speedup (resort/indexed): %.1fx\n", rep.Derived.Candidate512Speedup)
+	}
+	if rep.Derived.CandidateGrowth64To512 > 0 {
+		fmt.Printf("candidate growth 64->512 hosts: %.2fx (8x hosts)\n", rep.Derived.CandidateGrowth64To512)
+	}
+}
+
+// trimProcs drops the trailing -N GOMAXPROCS suffix Go appends to names.
+func trimProcs(name string) string {
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			return name[:i]
+		}
+	}
+	return name
+}
+
+func derive(benchmarks []Benchmark) Derived {
+	ns := func(name string) float64 {
+		for _, b := range benchmarks {
+			if b.Name == name {
+				return b.NsPerOp
+			}
+		}
+		return 0
+	}
+	var d Derived
+	indexed := ns("BenchmarkCandidate512/indexed")
+	resort := ns("BenchmarkCandidate512/resort")
+	if indexed > 0 && resort > 0 {
+		d.Candidate512Speedup = resort / indexed
+	}
+	h64 := ns("BenchmarkCandidate/hosts64")
+	h512 := ns("BenchmarkCandidate/hosts512")
+	if h64 > 0 && h512 > 0 {
+		d.CandidateGrowth64To512 = h512 / h64
+	}
+	return d
+}
+
+func fatal(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}

@@ -12,11 +12,14 @@
 //	repro -exp table1         # system state semantics
 //	repro -exp table2         # comparison of policies
 //	repro -exp chaos          # seeded fault-injection survival (not in "all")
+//	repro -exp scale          # 64/256/512-host sweeps under churn (not in "all")
+//	repro -exp scale -hosts 64,128   # custom sweep sizes
 //	repro -scale 100          # virtual-time compression factor
 //
-// The chaos experiment is deterministic per -seed: its fault schedule and
-// robustness counters are byte-identical across runs. It is excluded from
-// "all" to keep that target's runtime bounded.
+// The chaos and scale experiments are deterministic per -seed in their
+// headline sections: the chaos fault schedule and robustness counters, and
+// the scale sweeps' completion/correctness lines, are byte-identical across
+// runs. Both are excluded from "all" to keep that target's runtime bounded.
 package main
 
 import (
@@ -24,6 +27,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 
 	"autoresched/internal/experiments"
@@ -32,9 +36,10 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: fig5|fig6|fig7|fig8|table1|table2|chaos|all")
+	exp := flag.String("exp", "all", "experiment: fig5|fig6|fig7|fig8|table1|table2|chaos|scale|all")
 	scale := flag.Float64("scale", 100, "virtual-time compression (virtual seconds per wall second)")
 	seed := flag.Int64("seed", 1, "workload seed")
+	hosts := flag.String("hosts", "", "scale experiment sweep sizes, comma-separated (default 64,256,512)")
 	series := flag.Bool("series", false, "also print the sampled series tables")
 	csvDir := flag.String("csv", "", "directory to write the sampled series as CSV files")
 	flag.Parse()
@@ -106,6 +111,20 @@ func main() {
 		fmt.Print(experiments.RenderChaos(rows))
 		fmt.Println()
 	}
+	if *exp == "scale" {
+		ran = true
+		scaleParams := params
+		if !scaleSet {
+			scaleParams.Scale = 0 // let the scale experiment pick its own default
+		}
+		rows, err := experiments.RunScale(experiments.ScaleConfig{
+			Params: scaleParams,
+			Hosts:  parseHosts(*hosts),
+		})
+		fatal(err)
+		fmt.Print(experiments.RenderScale(rows))
+		fmt.Println()
+	}
 	if !ran {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
 		flag.Usage()
@@ -123,6 +142,23 @@ func printTable1() {
 	}
 	b.WriteString("\n")
 	fmt.Print(b.String())
+}
+
+// parseHosts turns "-hosts 64,256" into sweep sizes; empty keeps the
+// experiment's default sweep.
+func parseHosts(s string) []int {
+	if s == "" {
+		return nil
+	}
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n <= 0 {
+			fatal(fmt.Errorf("bad -hosts value %q", part))
+		}
+		out = append(out, n)
+	}
+	return out
 }
 
 func fatal(err error) {

@@ -1,0 +1,46 @@
+package commander
+
+import (
+	"time"
+
+	"autoresched/internal/metrics"
+	"autoresched/internal/vclock"
+)
+
+// Option configures a commander built with NewCommander, the functional-
+// options construction style shared with internal/proto and
+// internal/registry.
+type Option func(*options)
+
+type options struct {
+	dir string
+	cfg Config
+}
+
+// NewCommander creates a commander for host from functional options. It is
+// the preferred constructor; New and NewConfigured remain as deprecated
+// wrappers.
+func NewCommander(host string, opts ...Option) *Commander {
+	var o options
+	for _, opt := range opts {
+		opt(&o)
+	}
+	return NewConfigured(host, o.dir, o.cfg)
+}
+
+// WithDir sets the directory receiving the temporary address files the
+// paper's migration mechanism writes; it must exist.
+func WithDir(dir string) Option { return func(o *options) { o.dir = dir } }
+
+// WithClock sets the clock driving the dedup window.
+func WithClock(clock vclock.Clock) Option { return func(o *options) { o.cfg.Clock = clock } }
+
+// WithDedupWindow suppresses redelivered identical orders inside the window.
+func WithDedupWindow(d time.Duration) Option {
+	return func(o *options) { o.cfg.DedupWindow = d }
+}
+
+// WithCounters sets the control-plane counter set.
+func WithCounters(m *metrics.Counters) Option {
+	return func(o *options) { o.cfg.Counters = m }
+}

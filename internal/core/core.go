@@ -16,6 +16,7 @@ import (
 
 	"autoresched/internal/cluster"
 	"autoresched/internal/commander"
+	"autoresched/internal/events"
 	"autoresched/internal/hpcm"
 	"autoresched/internal/metrics"
 	"autoresched/internal/monitor"
@@ -60,6 +61,18 @@ type Options struct {
 	CommandDir string
 	// Parent chains this system's registry under an upper-level one.
 	Parent *registry.Registry
+	// Domain names this system's control domain under Parent: the registry
+	// then reports its Health upward on a lease and the parent delegates
+	// placements across its domains (Section 3.2's sharded hierarchy).
+	Domain string
+	// Scheduler overrides the placement scheduler; nil keeps the registry
+	// default (first fit, or the policy's pl_scheduler).
+	Scheduler registry.Scheduler
+	// BatchStatusEvery, when positive, interposes a registry.Batcher
+	// between the monitors and the registry: status refreshes coalesce
+	// into batched reports flushed at this interval (or when 64 hosts are
+	// pending). Zero keeps per-host reports.
+	BatchStatusEvery time.Duration
 	// RegistryHost, when set, names the host the registry/scheduler runs
 	// on; status refreshes from other hosts are then charged to the
 	// network as StatusBytes-sized transfers, making the rescheduler's
@@ -89,6 +102,11 @@ type Options struct {
 	// Observer, when set, receives migration phase events (after the
 	// runtime's own counting observer).
 	Observer hpcm.MigrationObserver
+	// Events, when set, receives the unified runtime event stream: registry
+	// decisions (Source "registry") and migration phases (Source "hpcm")
+	// flow through this one sink; pass the same sink to the fault injector
+	// to fold its events (Source "faults") in too.
+	Events events.Sink
 	// WrapReporter, when set, wraps each node's status reporter. The fault
 	// injector uses this to drop, duplicate or delay heartbeats on the
 	// monitor->registry path.
@@ -174,6 +192,7 @@ type System struct {
 	universe *mpi.Universe
 	mw       *hpcm.Middleware
 	reg      *registry.Registry
+	batcher  *registry.Batcher // non-nil when BatchStatusEvery is set
 
 	mu    sync.Mutex
 	nodes map[string]*Node
@@ -216,6 +235,18 @@ func New(opts Options) (*System, error) {
 		if opts.Observer != nil {
 			opts.Observer(ev)
 		}
+		if opts.Events != nil {
+			opts.Events.Publish(events.Event{
+				Time:   clock.Now(),
+				Source: events.SourceHPCM,
+				Kind:   string(ev.Phase),
+				Host:   ev.From,
+				Dest:   ev.To,
+				Proc:   ev.Proc,
+				Note:   ev.Label,
+				Err:    ev.Err,
+			})
+		}
 	}
 	mw, err := hpcm.New(hpcm.Options{
 		Universe:        universe,
@@ -229,17 +260,27 @@ func New(opts Options) (*System, error) {
 		return nil, err
 	}
 	s.mw = mw
-	s.reg = registry.New(registry.Config{
-		Clock:    clock,
-		Lease:    opts.Lease,
-		Policy:   opts.Policy,
-		Commands: s,
-		Warmup:   opts.Warmup,
-		Cooldown: opts.Cooldown,
-		Parent:   opts.Parent,
-		Counters: opts.Counters,
-		OnEvent:  s.onRegistryEvent,
-	})
+	s.reg = registry.NewRegistry(
+		registry.WithClock(clock),
+		registry.WithLease(opts.Lease),
+		registry.WithPolicy(opts.Policy),
+		registry.WithCommands(s),
+		registry.WithScheduler(opts.Scheduler),
+		registry.WithWarmup(opts.Warmup),
+		registry.WithCooldown(opts.Cooldown),
+		registry.WithParent(opts.Parent),
+		registry.WithDomain(opts.Domain),
+		registry.WithCounters(opts.Counters),
+		registry.WithOnEvent(s.onRegistryEvent),
+		registry.WithEvents(opts.Events),
+	)
+	if opts.BatchStatusEvery > 0 {
+		s.batcher = registry.NewBatcher(s.reg, registry.BatcherConfig{
+			Clock:      clock,
+			FlushEvery: opts.BatchStatusEvery,
+			Counters:   opts.Counters,
+		})
+	}
 	return s, nil
 }
 
@@ -303,11 +344,12 @@ func (s *System) AddNode(host string) (*Node, error) {
 	if s.opts.EngineFor != nil {
 		engine = s.opts.EngineFor(host)
 	}
-	cmd := commander.NewConfigured(host, s.opts.CommandDir, commander.Config{
-		Clock:       s.clock,
-		DedupWindow: s.opts.OrderDedupWindow,
-		Counters:    s.opts.Counters,
-	})
+	cmd := commander.NewCommander(host,
+		commander.WithDir(s.opts.CommandDir),
+		commander.WithClock(s.clock),
+		commander.WithDedupWindow(s.opts.OrderDedupWindow),
+		commander.WithCounters(s.opts.Counters),
+	)
 
 	var charger hpcm.HostProc
 	if s.opts.GatherCost > 0 {
@@ -318,13 +360,16 @@ func (s *System) AddNode(host string) (*Node, error) {
 		charger = hp
 	}
 	var reporter monitor.Reporter = s.reg
+	if s.batcher != nil {
+		reporter = s.batcher
+	}
 	if s.opts.RegistryHost != "" && host != s.opts.RegistryHost {
 		bytes := s.opts.StatusBytes
 		if bytes <= 0 {
 			bytes = 600
 		}
 		reporter = &chargedReporter{
-			inner: s.reg,
+			inner: reporter,
 			net:   s.cluster.Net(),
 			to:    s.opts.RegistryHost,
 			bytes: bytes,
@@ -333,23 +378,20 @@ func (s *System) AddNode(host string) (*Node, error) {
 	if s.opts.WrapReporter != nil {
 		reporter = s.opts.WrapReporter(host, reporter)
 	}
-	monCfg := monitor.Config{
-		Host:             host,
-		Source:           source,
-		Engine:           engine,
-		Reporter:         reporter,
-		Clock:            s.clock,
-		Frequencies:      s.opts.Frequencies,
-		DefaultFrequency: s.opts.MonitorInterval,
-		GatherCost:       s.opts.GatherCost,
-		CommandAddr:      "cmd://" + host,
-		Software:         []string{"hpcm", "lam-mpi"},
-		Counters:         s.opts.Counters,
+	monOpts := []monitor.Option{
+		monitor.WithEngine(engine),
+		monitor.WithReporter(reporter),
+		monitor.WithClock(s.clock),
+		monitor.WithFrequencies(s.opts.Frequencies),
+		monitor.WithDefaultFrequency(s.opts.MonitorInterval),
+		monitor.WithCommandAddr("cmd://" + host),
+		monitor.WithSoftware([]string{"hpcm", "lam-mpi"}),
+		monitor.WithCounters(s.opts.Counters),
 	}
 	if charger != nil {
-		monCfg.Charger = charger
+		monOpts = append(monOpts, monitor.WithCharger(charger, s.opts.GatherCost))
 	}
-	mon, err := monitor.New(monCfg)
+	mon, err := monitor.NewMonitor(host, source, monOpts...)
 	if err != nil {
 		return nil, err
 	}

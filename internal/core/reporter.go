@@ -1,17 +1,17 @@
 package core
 
 import (
+	"autoresched/internal/monitor"
 	"autoresched/internal/proto"
-	"autoresched/internal/registry"
 	"autoresched/internal/simnet"
 )
 
-// chargedReporter forwards monitor traffic to the in-process registry while
-// charging each message to the simulated network, so the rescheduler's
-// control traffic appears in the NIC counters exactly as the paper's
-// XML-over-TCP messages did.
+// chargedReporter forwards monitor traffic toward the in-process registry
+// (directly, or through the status batcher) while charging each message to
+// the simulated network, so the rescheduler's control traffic appears in
+// the NIC counters exactly as the paper's XML-over-TCP messages did.
 type chargedReporter struct {
-	inner *registry.Registry
+	inner monitor.Reporter
 	net   *simnet.Network
 	to    string
 	bytes int64

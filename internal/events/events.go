@@ -1,0 +1,147 @@
+// Package events is the runtime's unified event surface. The registry's
+// decision trace, the migration middleware's phase observer and the fault
+// injector's applied/triggered log each grew their own callback shape; a
+// Sink receives all of them as one normalised stream, wired once through
+// core.Options.Events. The original surfaces (registry.Config.OnEvent,
+// hpcm.MigrationObserver, faults.Injector.Applied) keep working — they are
+// thin adapters over, or alongside, the sink.
+package events
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Source names the subsystem an event originated from.
+const (
+	SourceRegistry = "registry"
+	SourceHPCM     = "hpcm"
+	SourceFaults   = "faults"
+)
+
+// Event is one normalised runtime event. Source and Kind identify it;
+// the remaining fields are set when the source vocabulary carries them.
+type Event struct {
+	Time   time.Time
+	Source string // SourceRegistry | SourceHPCM | SourceFaults
+	Kind   string // the source's own kind vocabulary (e.g. "ordered", "resume")
+	Host   string // the host the event concerns (migration source, fault target)
+	Dest   string // destination host, for placement/migration events
+	Proc   string // process name, for process-level events
+	PID    int    // pid, for process-level events
+	Note   string // free-form detail
+	Err    error  // set for failure events
+}
+
+// String renders the event for logs.
+func (e Event) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s %s/%s", e.Time.Format("15:04:05"), e.Source, e.Kind)
+	if e.Host != "" {
+		fmt.Fprintf(&b, " host=%s", e.Host)
+	}
+	if e.Dest != "" {
+		fmt.Fprintf(&b, " dest=%s", e.Dest)
+	}
+	if e.Proc != "" {
+		fmt.Fprintf(&b, " proc=%s", e.Proc)
+	}
+	if e.PID != 0 {
+		fmt.Fprintf(&b, " pid=%d", e.PID)
+	}
+	if e.Note != "" {
+		fmt.Fprintf(&b, " (%s)", e.Note)
+	}
+	if e.Err != nil {
+		fmt.Fprintf(&b, " error=%v", e.Err)
+	}
+	return b.String()
+}
+
+// Sink receives events. Publish is called synchronously from the emitting
+// goroutine (registry decisions, migrating processes, the fault scheduler),
+// so implementations must be safe for concurrent use and must not block
+// indefinitely.
+type Sink interface {
+	Publish(Event)
+}
+
+// SinkFunc adapts a function to a Sink.
+type SinkFunc func(Event)
+
+// Publish implements Sink.
+func (f SinkFunc) Publish(e Event) { f(e) }
+
+// Multi fans one event out to several sinks, in order. Nil sinks are
+// skipped, so callers can pass optional sinks unconditionally.
+func Multi(sinks ...Sink) Sink {
+	out := make([]Sink, 0, len(sinks))
+	for _, s := range sinks {
+		if s != nil {
+			out = append(out, s)
+		}
+	}
+	return multi(out)
+}
+
+type multi []Sink
+
+func (m multi) Publish(e Event) {
+	for _, s := range m {
+		s.Publish(e)
+	}
+}
+
+// Ring is a bounded in-memory sink, the drop-in observer for tests and
+// experiments: it keeps the most recent Cap events.
+type Ring struct {
+	// Cap bounds the buffer; zero selects 1024.
+	Cap int
+
+	mu     sync.Mutex
+	events []Event
+}
+
+// Publish implements Sink.
+func (r *Ring) Publish(e Event) {
+	max := r.Cap
+	if max <= 0 {
+		max = 1024
+	}
+	r.mu.Lock()
+	r.events = append(r.events, e)
+	if len(r.events) > max {
+		r.events = r.events[len(r.events)-max:]
+	}
+	r.mu.Unlock()
+}
+
+// Events returns the buffered events, oldest first.
+func (r *Ring) Events() []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]Event(nil), r.events...)
+}
+
+// Count returns how many events are currently buffered.
+func (r *Ring) Count() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.events)
+}
+
+// CountBy returns how many buffered events match the source (and kind, when
+// non-empty).
+func (r *Ring) CountBy(source, kind string) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := 0
+	for _, e := range r.events {
+		if e.Source == source && (kind == "" || e.Kind == kind) {
+			n++
+		}
+	}
+	return n
+}

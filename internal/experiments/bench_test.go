@@ -1,0 +1,19 @@
+package experiments
+
+import "testing"
+
+// BenchmarkScale64 times one whole 64-host sweep — cluster build, 64
+// monitors heartbeating through the batcher, four checksummed tree apps,
+// churn, injected overloads, and the resulting migrations. One iteration is
+// one sweep; ns/op is end-to-end wall time for the paper-sized cluster.
+func BenchmarkScale64(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := RunScale(ScaleConfig{Params: Params{Seed: 42}, Hosts: []int{64}})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rows[0].Completed != rows[0].Apps || !rows[0].Correct {
+			b.Fatalf("sweep degraded: %+v", rows[0])
+		}
+	}
+}

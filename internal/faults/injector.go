@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"autoresched/internal/core"
+	"autoresched/internal/events"
 	"autoresched/internal/hpcm"
 	"autoresched/internal/metrics"
 	"autoresched/internal/monitor"
@@ -19,6 +20,11 @@ import (
 type Config struct {
 	Clock    vclock.Clock
 	Counters *metrics.Counters
+	// Events, when set, receives every applied fault and fired trap on the
+	// unified runtime sink (Source "faults") — pass the same sink as
+	// core.Options.Events to see faults interleaved with the decisions and
+	// migrations they provoke.
+	Events events.Sink
 }
 
 // Injector applies a Plan against a bound core.System in virtual time.
@@ -201,6 +207,18 @@ func (in *Injector) apply(ev Event) {
 	in.mu.Lock()
 	in.applied = append(in.applied, line)
 	in.mu.Unlock()
+	if in.cfg.Events != nil {
+		in.cfg.Events.Publish(events.Event{
+			Time:   in.cfg.Clock.Now(),
+			Source: events.SourceFaults,
+			Kind:   string(ev.Kind),
+			Host:   ev.Host,
+			Dest:   ev.Dest,
+			Proc:   ev.Proc,
+			Note:   line,
+			Err:    err,
+		})
+	}
 }
 
 func countOf(ev Event) int {
@@ -267,6 +285,16 @@ func (in *Injector) Observer() hpcm.MigrationObserver {
 		in.mu.Lock()
 		in.triggered = append(in.triggered, line)
 		in.mu.Unlock()
+		if in.cfg.Events != nil {
+			in.cfg.Events.Publish(events.Event{
+				Time:   in.cfg.Clock.Now(),
+				Source: events.SourceFaults,
+				Kind:   "trap",
+				Host:   victim,
+				Proc:   ev.Proc,
+				Note:   line,
+			})
+		}
 	}
 }
 

@@ -25,6 +25,9 @@ const (
 	CtrOrdersDeduped    = "commander/orders_deduped"
 	CtrRegistryRestarts = "registry/restarts"
 	CtrProcResyncs      = "registry/proc_resyncs"
+	CtrBatchFlushes     = "registry/batch_flushes"
+	CtrBatchedReports   = "registry/batched_reports"
+	CtrHealthReports    = "registry/health_reports"
 	CtrMigrAborted      = "core/migrations_aborted"
 	CtrMigrCommitted    = "core/migrations_committed"
 	CtrCkptRestores     = "core/checkpoint_restores"

@@ -95,6 +95,9 @@ type Monitor struct {
 }
 
 // New creates a monitor.
+//
+// Deprecated: use NewMonitor with functional options; New remains as a
+// compatibility wrapper for existing Config-based callers.
 func New(cfg Config) (*Monitor, error) {
 	if cfg.Host == "" {
 		return nil, errors.New("monitor: Config.Host is required")

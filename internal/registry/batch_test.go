@@ -1,0 +1,137 @@
+package registry
+
+import (
+	"testing"
+
+	"autoresched/internal/metrics"
+	"autoresched/internal/proto"
+	"autoresched/internal/rules"
+	"autoresched/internal/vclock"
+)
+
+func TestReportStatusBatchAppliesAndReportsUnknown(t *testing.T) {
+	clock := vclock.NewManual(vclock.Epoch)
+	r := New(Config{Clock: clock})
+	for _, h := range []string{"ws1", "ws2"} {
+		if err := r.RegisterHost(h, staticFor(h)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	err := r.ReportStatusBatch([]proto.HostStatus{
+		{Host: "ws1", Status: status("free", 0.1, 3)},
+		{Host: "ghost", Status: status("busy", 1, 10)},
+		{Host: "ws2", Status: status("busy", 1.2, 40)},
+	})
+	if err == nil {
+		t.Fatal("batch with unknown host: want error")
+	}
+	// The known hosts' reports applied despite the rejected one.
+	hosts := r.Hosts()
+	if hosts[0].State != rules.Free || hosts[1].State != rules.Busy {
+		t.Fatalf("states after batch = %v/%v", hosts[0].State, hosts[1].State)
+	}
+}
+
+func TestReportStatusBatchDecides(t *testing.T) {
+	clock := vclock.NewManual(vclock.Epoch)
+	sink := &fakeSink{}
+	r := newReg(t, clock, sink, nil) // warmup 2
+	for _, h := range []string{"ws1", "ws4"} {
+		if err := r.RegisterHost(h, staticFor(h)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := r.RegisterProcess("ws1", proto.ProcessInfo{
+		PID: 7, Name: "test_tree", Start: clock.Now().UnixNano(), SchemaXML: testTreeXML(t),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	batch := []proto.HostStatus{
+		{Host: "ws4", Status: status("free", 0.1, 5)},
+		{Host: "ws1", Status: status("overloaded", 3, 200)},
+	}
+	// Batched reports feed the same damping: two consecutive overloaded
+	// sightings order the migration, exactly as single reports would.
+	if err := r.ReportStatusBatch(batch); err != nil {
+		t.Fatal(err)
+	}
+	if sink.count() != 0 {
+		t.Fatal("order before warm-up complete")
+	}
+	if err := r.ReportStatusBatch(batch); err != nil {
+		t.Fatal(err)
+	}
+	if sink.count() != 1 {
+		t.Fatalf("orders = %d, want 1", sink.count())
+	}
+	if got := sink.orders[0]; got.Host != "ws1" || got.Order.DestHost != "ws4" {
+		t.Fatalf("order = %+v", got)
+	}
+}
+
+func TestBatcherLatestWinsAndFlushAtMaxPending(t *testing.T) {
+	clock := vclock.NewManual(vclock.Epoch)
+	ctr := metrics.NewCounters()
+	r := New(Config{Clock: clock})
+	b := NewBatcher(r, BatcherConfig{Clock: clock, MaxPending: 2, Counters: ctr})
+	for _, h := range []string{"ws1", "ws2"} {
+		if err := b.RegisterHost(h, staticFor(h)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Two reports from ws1 coalesce to the latest; nothing reaches the
+	// registry until the batch is due.
+	if err := b.ReportStatus("ws1", status("busy", 1.5, 40)); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.ReportStatus("ws1", status("free", 0.1, 3)); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Hosts()[0].Status.Load1; got != 0 {
+		t.Fatalf("report reached the registry before the flush (load %v)", got)
+	}
+	// The second distinct host reaches MaxPending and flushes both.
+	if err := b.ReportStatus("ws2", status("free", 0.2, 4)); err != nil {
+		t.Fatal(err)
+	}
+	hosts := r.Hosts()
+	if hosts[0].Status.Load1 != 0.1 || hosts[1].Status.Load1 != 0.2 {
+		t.Fatalf("loads after flush = %v/%v, want 0.1 (latest wins) and 0.2",
+			hosts[0].Status.Load1, hosts[1].Status.Load1)
+	}
+	if got := ctr.Get(metrics.CtrBatchFlushes); got != 1 {
+		t.Fatalf("flushes = %d, want 1", got)
+	}
+	if got := ctr.Get(metrics.CtrBatchedReports); got != 2 {
+		t.Fatalf("batched reports = %d, want 2 (latest-wins coalescing)", got)
+	}
+}
+
+func TestBatcherRecoversAfterRegistryRestart(t *testing.T) {
+	clock := vclock.NewManual(vclock.Epoch)
+	ctr := metrics.NewCounters()
+	r := New(Config{Clock: clock})
+	b := NewBatcher(r, BatcherConfig{Clock: clock, MaxPending: 2, Counters: ctr})
+	for _, h := range []string{"ws1", "ws2"} {
+		if err := b.RegisterHost(h, staticFor(h)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// The registry crashes and loses its soft state; the batcher's next
+	// flush re-registers its hosts from the retained statics and resends.
+	r.Restart()
+	if err := b.ReportStatus("ws1", status("busy", 1.5, 40)); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.ReportStatus("ws2", status("busy", 1.2, 30)); err != nil {
+		t.Fatal(err)
+	}
+	hosts := r.Hosts()
+	if len(hosts) != 2 || hosts[0].State != rules.Busy || hosts[1].State != rules.Busy {
+		t.Fatalf("hosts after recovery = %+v", hosts)
+	}
+	if got := ctr.Get(metrics.CtrReregisters); got != 2 {
+		t.Fatalf("re-registers = %d, want 2", got)
+	}
+}

@@ -1,0 +1,78 @@
+package registry
+
+import (
+	"time"
+
+	"autoresched/internal/events"
+	"autoresched/internal/metrics"
+	"autoresched/internal/rules"
+	"autoresched/internal/sysinfo"
+	"autoresched/internal/vclock"
+)
+
+// Option configures a registry built with NewRegistry, the functional-
+// options construction style shared with internal/proto. Each option maps
+// onto one Config field; see Config for semantics and defaults.
+type Option func(*Config)
+
+// NewRegistry creates a registry/scheduler from functional options. It is
+// the preferred constructor; New(Config) remains as a deprecated wrapper.
+func NewRegistry(opts ...Option) *Registry {
+	var cfg Config
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return New(cfg)
+}
+
+// WithName sets the registry's protocol name.
+func WithName(name string) Option { return func(c *Config) { c.Name = name } }
+
+// WithClock sets the clock driving lease expiry.
+func WithClock(clock vclock.Clock) Option { return func(c *Config) { c.Clock = clock } }
+
+// WithLease sets the host lease duration.
+func WithLease(d time.Duration) Option { return func(c *Config) { c.Lease = d } }
+
+// WithPolicy sets the migration policy.
+func WithPolicy(p *rules.MigrationPolicy) Option { return func(c *Config) { c.Policy = p } }
+
+// WithProbes sets the probe set policies evaluate against.
+func WithProbes(p *sysinfo.Probes) Option { return func(c *Config) { c.Probes = p } }
+
+// WithCommands sets the migrate-order sink, making the registry active.
+func WithCommands(s CommandSink) Option { return func(c *Config) { c.Commands = s } }
+
+// WithScheduler sets the placement scheduler.
+func WithScheduler(s Scheduler) Option { return func(c *Config) { c.Scheduler = s } }
+
+// WithParent sets the upper-level registry for hierarchical delegation.
+func WithParent(p *Registry) Option { return func(c *Config) { c.Parent = p } }
+
+// WithDomain names this registry's control domain under its parent and
+// enables the upward health reports.
+func WithDomain(name string) Option { return func(c *Config) { c.Domain = name } }
+
+// WithDomainLease sets how long child domains stay live without a health
+// report.
+func WithDomainLease(d time.Duration) Option { return func(c *Config) { c.DomainLease = d } }
+
+// WithHealthReportEvery caps how often health is pushed to the parent.
+func WithHealthReportEvery(d time.Duration) Option {
+	return func(c *Config) { c.HealthReportEvery = d }
+}
+
+// WithWarmup sets the warm-up damping window.
+func WithWarmup(n int) Option { return func(c *Config) { c.Warmup = n } }
+
+// WithCooldown sets the per-host cooldown between migrate orders.
+func WithCooldown(d time.Duration) Option { return func(c *Config) { c.Cooldown = d } }
+
+// WithOnEvent sets the per-event trace observer.
+func WithOnEvent(fn func(Event)) Option { return func(c *Config) { c.OnEvent = fn } }
+
+// WithEvents sets the unified runtime event sink.
+func WithEvents(s events.Sink) Option { return func(c *Config) { c.Events = s } }
+
+// WithCounters sets the control-plane counter set.
+func WithCounters(m *metrics.Counters) Option { return func(c *Config) { c.Counters = m } }

@@ -1,18 +1,30 @@
 // Package registry implements the registry/scheduler entity (Section 3.2):
 // soft-state host registration over the push model (hosts that stop
 // refreshing become unavailable), process registration with application
-// schemas, "first fit" destination selection, process selection by latest
-// estimated completion time (Section 4), and the hierarchical arrangement in
-// which a domain's registry delegates to its upper-level registry when no
-// local host fits.
+// schemas, pluggable placement (first fit by default, Section 4's process
+// selection by latest estimated completion time), and the hierarchical
+// arrangement in which a domain's registry delegates to its upper-level
+// registry when no local host fits.
+//
+// # Concurrency contract
+//
+// A Registry is safe for concurrent use. Read methods (Hosts, Processes,
+// Health, Trace, StateOf, Stats, Domains) return deep-enough copies that the
+// caller may use without synchronisation. Ordering is deterministic:
+// Hosts returns hosts in registration order, Processes returns processes in
+// PID order, Domains returns domains in attach order. Concurrent writers
+// interleave at method granularity — a snapshot reflects some serialisation
+// of the completed calls, never a torn record.
 package registry
 
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
+	"autoresched/internal/events"
 	"autoresched/internal/metrics"
 	"autoresched/internal/proto"
 	"autoresched/internal/rules"
@@ -44,9 +56,25 @@ type Config struct {
 	// Commands receives migrate orders; nil leaves the registry passive
 	// (candidates are still served on request).
 	Commands CommandSink
+	// Scheduler picks the process to offload and the destination host.
+	// Nil selects FirstFitScheduler (the paper's placement). A non-nil
+	// Scheduler takes precedence over Policy.Scheduler.
+	Scheduler Scheduler
 	// Parent is the upper-level registry consulted when no local host
 	// fits (the hierarchical arrangement of Section 3.2).
 	Parent *Registry
+	// Domain names this registry's control domain under Parent. When set,
+	// the registry reports its Health upward on a lease (piggybacked on
+	// status refreshes, at most once per HealthReportEvery), and the parent
+	// delegates placements across its live domains before consulting its
+	// own parent.
+	Domain string
+	// DomainLease is how long a child domain stays live at this registry
+	// without a health report; zero selects Lease.
+	DomainLease time.Duration
+	// HealthReportEvery caps how often this registry pushes Health to its
+	// Parent; zero selects 10 seconds (the monitor's refresh cadence).
+	HealthReportEvery time.Duration
 	// Warmup is how many consecutive qualifying reports a host must send
 	// before the scheduler acts — the configurable damping that gave the
 	// paper its 72-second reaction and avoided "fault migration caused by
@@ -58,6 +86,9 @@ type Config struct {
 	// OnEvent, if set, observes every scheduling-decision event as it
 	// happens (the trace is also kept in a ring buffer; see Trace).
 	OnEvent func(Event)
+	// Events, if set, additionally receives every trace event on the
+	// unified runtime sink (Source "registry").
+	Events events.Sink
 	// Counters, when set, receives the registry/* control-plane counters.
 	Counters *metrics.Counters
 }
@@ -98,17 +129,40 @@ type Registry struct {
 	cfg    Config
 	clock  vclock.Clock
 	probes *sysinfo.Probes
+	sched  Scheduler
 
-	mu       sync.Mutex
-	hosts    map[string]*hostEntry
-	procs    map[procKey]*ProcInfo
-	events   []Event
-	regSeq   int
-	decided  int // migrate orders issued
-	declined int // decision cycles that found no destination
+	mu    sync.Mutex
+	hosts map[string]*hostEntry
+	// order holds every entry sorted by regOrder — registration order.
+	// It is maintained incrementally (append on register, splice on
+	// unregister) so no request path ever re-sorts.
+	order []*hostEntry
+	// sets indexes the entries by their last reported state, each slice
+	// in registration order, so placement scans only the states it wants
+	// (the default policy touches just the Free set).
+	sets      map[rules.State][]*hostEntry
+	procs     map[procKey]*ProcInfo
+	hostProcs map[string]map[int]*ProcInfo
+	events    []Event
+	regSeq    int
+	decided   int // migrate orders issued
+	declined  int // decision cycles that found no destination
+
+	// Parent-side sharding state: child domains by name and in attach
+	// order, refreshed by health reports on a lease.
+	domains     map[string]*domainEntry
+	domainOrder []*domainEntry
+	domSeq      int
+
+	// Child-side bookkeeping for the upward health push.
+	lastHealthPush time.Time
+	healthPushed   bool
 }
 
 // New creates a registry/scheduler.
+//
+// Deprecated: use NewRegistry with functional options; New remains as a
+// compatibility wrapper for existing Config-based callers.
 func New(cfg Config) *Registry {
 	if cfg.Name == "" {
 		cfg.Name = "registry"
@@ -119,6 +173,12 @@ func New(cfg Config) *Registry {
 	if cfg.Lease <= 0 {
 		cfg.Lease = 35 * time.Second
 	}
+	if cfg.DomainLease <= 0 {
+		cfg.DomainLease = cfg.Lease
+	}
+	if cfg.HealthReportEvery <= 0 {
+		cfg.HealthReportEvery = 10 * time.Second
+	}
 	if cfg.Probes == nil {
 		cfg.Probes = sysinfo.StandardProbes()
 	}
@@ -128,13 +188,69 @@ func New(cfg Config) *Registry {
 	if cfg.Cooldown <= 0 {
 		cfg.Cooldown = 60 * time.Second
 	}
-	return &Registry{
-		cfg:    cfg,
-		clock:  cfg.Clock,
-		probes: cfg.Probes,
-		hosts:  make(map[string]*hostEntry),
-		procs:  make(map[procKey]*ProcInfo),
+	sched := cfg.Scheduler
+	if sched == nil && cfg.Policy != nil && cfg.Policy.Scheduler != "" {
+		if s, err := SchedulerByName(cfg.Policy.Scheduler); err == nil {
+			sched = s
+		}
 	}
+	if sched == nil {
+		sched = FirstFitScheduler{}
+	}
+	r := &Registry{
+		cfg:       cfg,
+		clock:     cfg.Clock,
+		probes:    cfg.Probes,
+		sched:     sched,
+		hosts:     make(map[string]*hostEntry),
+		sets:      newStateSets(),
+		procs:     make(map[procKey]*ProcInfo),
+		hostProcs: make(map[string]map[int]*ProcInfo),
+		domains:   make(map[string]*domainEntry),
+	}
+	if cfg.Parent != nil && cfg.Domain != "" {
+		// Announce the domain immediately so the parent can delegate to
+		// it; subsequent health reports keep the lease fresh.
+		cfg.Parent.ReportDomainHealth(cfg.Domain, r, r.Health())
+	}
+	return r
+}
+
+func newStateSets() map[rules.State][]*hostEntry {
+	return map[rules.State][]*hostEntry{
+		rules.Free:        nil,
+		rules.Busy:        nil,
+		rules.Overloaded:  nil,
+		rules.Unavailable: nil,
+	}
+}
+
+// insertOrdered splices e into s keeping regOrder ascending.
+func insertOrdered(s []*hostEntry, e *hostEntry) []*hostEntry {
+	i := sort.Search(len(s), func(i int) bool { return s[i].regOrder >= e.regOrder })
+	s = append(s, nil)
+	copy(s[i+1:], s[i:])
+	s[i] = e
+	return s
+}
+
+// removeOrdered splices e out of s (a no-op if absent).
+func removeOrdered(s []*hostEntry, e *hostEntry) []*hostEntry {
+	i := sort.Search(len(s), func(i int) bool { return s[i].regOrder >= e.regOrder })
+	if i < len(s) && s[i] == e {
+		s = append(s[:i], s[i+1:]...)
+	}
+	return s
+}
+
+// setStateLocked moves e between state sets when its reported state changes.
+func (r *Registry) setStateLocked(e *hostEntry, state rules.State) {
+	if e.info.State == state {
+		return
+	}
+	r.sets[e.info.State] = removeOrdered(r.sets[e.info.State], e)
+	e.info.State = state
+	r.sets[state] = insertOrdered(r.sets[state], e)
 }
 
 // RegisterHost records a host's static information (one-time registration).
@@ -149,12 +265,16 @@ func (r *Registry) RegisterHost(host string, static proto.StaticInfo) error {
 	if !ok {
 		r.regSeq++
 		e = &hostEntry{regOrder: r.regSeq}
+		e.info.State = rules.Free
 		r.hosts[host] = e
+		r.order = append(r.order, e)
+		r.sets[rules.Free] = insertOrdered(r.sets[rules.Free], e)
+	} else {
+		r.setStateLocked(e, rules.Free)
 	}
 	e.info.Name = host
 	e.info.Static = static
 	e.info.LastSeen = r.clock.Now()
-	e.info.State = rules.Free
 	return nil
 }
 
@@ -163,39 +283,58 @@ func (r *Registry) RegisterHost(host string, static proto.StaticInfo) error {
 // runs the scheduling decision.
 func (r *Registry) ReportStatus(host string, status proto.Status) error {
 	r.mu.Lock()
-	e, ok := r.hosts[host]
-	if !ok {
-		r.mu.Unlock()
-		return fmt.Errorf("registry: status from unregistered host %q", host)
-	}
-	state, err := rules.ParseState(status.State)
-	if err != nil {
+	if err := r.applyStatusLocked(host, status); err != nil {
 		r.mu.Unlock()
 		return err
 	}
-	e.info.Status = status
-	e.info.State = state
-	e.info.LastSeen = r.clock.Now()
+	push, health := r.healthDueLocked()
 	r.mu.Unlock()
 
+	if push {
+		r.cfg.Parent.ReportDomainHealth(r.cfg.Domain, r, health)
+	}
 	if r.cfg.Commands != nil {
 		r.decide(host)
 	}
 	return nil
 }
 
+// applyStatusLocked applies one status refresh; the caller holds the lock.
+func (r *Registry) applyStatusLocked(host string, status proto.Status) error {
+	e, ok := r.hosts[host]
+	if !ok {
+		return fmt.Errorf("registry: status from unregistered host %q", host)
+	}
+	state, err := rules.ParseState(status.State)
+	if err != nil {
+		return err
+	}
+	e.info.Status = status
+	r.setStateLocked(e, state)
+	e.info.LastSeen = r.clock.Now()
+	return nil
+}
+
 // Restart simulates a registry crash and restart: all soft state — host
-// registrations, process registrations, warmup and cooldown bookkeeping —
-// is dropped, exactly as a freshly started registry would have none of it.
-// The protocol's soft-state design makes this survivable: monitors
-// re-register when their next refresh is rejected, and the runtime resyncs
-// its processes. The decision trace is diagnostic state, not protocol
-// state, so it survives.
+// registrations, process registrations, warmup and cooldown bookkeeping,
+// child-domain leases — is dropped, exactly as a freshly started registry
+// would have none of it. The protocol's soft-state design makes this
+// survivable: monitors re-register when their next refresh is rejected, the
+// runtime resyncs its processes, and child registries re-announce their
+// domain on the next health push. The decision trace is diagnostic state,
+// not protocol state, so it survives.
 func (r *Registry) Restart() {
 	r.mu.Lock()
 	r.hosts = make(map[string]*hostEntry)
+	r.order = nil
+	r.sets = newStateSets()
 	r.procs = make(map[procKey]*ProcInfo)
+	r.hostProcs = make(map[string]map[int]*ProcInfo)
+	r.domains = make(map[string]*domainEntry)
+	r.domainOrder = nil
+	r.domSeq = 0
 	r.regSeq = 0
+	r.healthPushed = false
 	r.mu.Unlock()
 	r.cfg.Counters.Inc(metrics.CtrRegistryRestarts)
 	r.trace(EventRestart, "", 0, "", "soft state dropped")
@@ -205,12 +344,17 @@ func (r *Registry) Restart() {
 func (r *Registry) UnregisterHost(host string) error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	delete(r.hosts, host)
-	for k := range r.procs {
-		if k.host == host {
-			delete(r.procs, k)
-		}
+	e, ok := r.hosts[host]
+	if !ok {
+		return nil
 	}
+	delete(r.hosts, host)
+	r.order = removeOrdered(r.order, e)
+	r.sets[e.info.State] = removeOrdered(r.sets[e.info.State], e)
+	for pid := range r.hostProcs[host] {
+		delete(r.procs, procKey{host, pid})
+	}
+	delete(r.hostProcs, host)
 	return nil
 }
 
@@ -219,34 +363,19 @@ func (r *Registry) aliveLocked(e *hostEntry, now time.Time) bool {
 	return now.Sub(e.info.LastSeen) <= r.cfg.Lease
 }
 
-// Hosts returns every known host; hosts with expired leases are reported
-// Unavailable.
+// Hosts returns a copy of every known host, in registration order; hosts
+// with expired leases are reported Unavailable.
 func (r *Registry) Hosts() []HostInfo {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	now := r.clock.Now()
-	out := make([]HostInfo, 0, len(r.hosts))
-	for _, e := range r.ordered() {
+	out := make([]HostInfo, 0, len(r.order))
+	for _, e := range r.order {
 		info := e.info
 		if !r.aliveLocked(e, now) {
 			info.State = rules.Unavailable
 		}
 		out = append(out, info)
-	}
-	return out
-}
-
-// ordered returns host entries in registration order (the order "first fit"
-// scans). Callers hold the lock.
-func (r *Registry) ordered() []*hostEntry {
-	out := make([]*hostEntry, 0, len(r.hosts))
-	for _, e := range r.hosts {
-		out = append(out, e)
-	}
-	for i := 1; i < len(out); i++ {
-		for j := i; j > 0 && out[j-1].regOrder > out[j].regOrder; j-- {
-			out[j-1], out[j] = out[j], out[j-1]
-		}
 	}
 	return out
 }
@@ -267,13 +396,18 @@ func (r *Registry) RegisterProcess(host string, info proto.ProcessInfo) error {
 	if _, ok := r.hosts[host]; !ok {
 		return fmt.Errorf("registry: process from unregistered host %q", host)
 	}
-	r.procs[procKey{host, info.PID}] = &ProcInfo{
+	p := &ProcInfo{
 		Host:   host,
 		PID:    info.PID,
 		Name:   info.Name,
 		Start:  time.Unix(0, info.Start),
 		Schema: sch,
 	}
+	r.procs[procKey{host, info.PID}] = p
+	if r.hostProcs[host] == nil {
+		r.hostProcs[host] = make(map[int]*ProcInfo)
+	}
+	r.hostProcs[host][info.PID] = p
 	return nil
 }
 
@@ -282,54 +416,49 @@ func (r *Registry) ProcessExit(host string, pid int) error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	delete(r.procs, procKey{host, pid})
+	delete(r.hostProcs[host], pid)
 	return nil
 }
 
-// Processes returns the registered processes on a host.
+// Processes returns a copy of the registered processes on a host, in PID
+// order.
 func (r *Registry) Processes(host string) []ProcInfo {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	var out []ProcInfo
-	for k, p := range r.procs {
-		if k.host == host {
-			out = append(out, *p)
-		}
+	return r.processesLocked(host)
+}
+
+func (r *Registry) processesLocked(host string) []ProcInfo {
+	byPID := r.hostProcs[host]
+	if len(byPID) == 0 {
+		return nil
 	}
+	out := make([]ProcInfo, 0, len(byPID))
+	for _, p := range byPID {
+		out = append(out, *p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].PID < out[j].PID })
 	return out
 }
 
-// SelectProcess picks the process to migrate off a host: the one with the
-// latest estimated completion time, "to reduce the possibility of migrating
-// multiple processes" (Section 4). Completion is estimated from the
-// pid-file start time and the schema's execution estimate on the host's
-// computing power.
+// SelectProcess picks the process to migrate off a host by asking the
+// configured Scheduler; the default first-fit scheduler picks the process
+// with the latest estimated completion time, "to reduce the possibility of
+// migrating multiple processes" (Section 4).
 func (r *Registry) SelectProcess(host string) (ProcInfo, bool) {
 	r.mu.Lock()
-	defer r.mu.Unlock()
 	e, ok := r.hosts[host]
 	if !ok {
+		r.mu.Unlock()
 		return ProcInfo{}, false
 	}
 	speed := e.info.Static.CPUSpeed
-	var best *ProcInfo
-	var bestDone time.Time
-	for k, p := range r.procs {
-		if k.host != host {
-			continue
-		}
-		done := p.Start
-		if p.Schema != nil {
-			done = p.Schema.EstimatedCompletion(p.Start, speed)
-		}
-		if best == nil || done.After(bestDone) {
-			best = p
-			bestDone = done
-		}
-	}
-	if best == nil {
+	procs := r.processesLocked(host)
+	r.mu.Unlock()
+	if len(procs) == 0 {
 		return ProcInfo{}, false
 	}
-	return *best, true
+	return r.sched.SelectProcess(speed, procs)
 }
 
 // Stats reports how many migrate orders were issued and how many decision
@@ -363,9 +492,13 @@ func (h Health) AcceptsMigrations() bool { return h.Free > 0 }
 func (r *Registry) Health() Health {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	return r.healthLocked()
+}
+
+func (r *Registry) healthLocked() Health {
 	now := r.clock.Now()
 	h := Health{Processes: len(r.procs)}
-	for _, e := range r.hosts {
+	for _, e := range r.order {
 		h.Hosts++
 		if !r.aliveLocked(e, now) {
 			h.Unavailable++

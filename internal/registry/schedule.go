@@ -51,35 +51,63 @@ func (r *Registry) destinationOK(cand *hostEntry, proc ProcInfo) (bool, error) {
 
 func diskAvail(st proto.Status) int64 { return st.DiskAvail }
 
-// FirstFit scans hosts in registration order and returns the first that
-// qualifies as a destination for proc, excluding the source host. When no
-// local host fits and a parent registry is configured, the search continues
-// there — migration destinations are preferred inside one's own control
-// domain (Section 3.2).
+// FirstFit finds a destination for proc, excluding the source host. Despite
+// the historical name it runs the configured Scheduler: the local domain is
+// searched first (migration destinations are preferred inside one's own
+// control domain, Section 3.2), then this registry's live child domains,
+// then the parent registry.
 func (r *Registry) FirstFit(exclude string, proc ProcInfo) (proto.Candidate, bool) {
-	r.mu.Lock()
-	now := r.clock.Now()
-	var found *hostEntry
-	for _, e := range r.ordered() {
-		if e.info.Name == exclude || !r.aliveLocked(e, now) {
-			continue
-		}
-		ok, err := r.destinationOK(e, proc)
-		if err != nil || !ok {
-			continue
-		}
-		found = e
-		break
-	}
-	r.mu.Unlock()
+	return r.placeFrom("", exclude, proc)
+}
 
-	if found != nil {
-		return proto.Candidate{OK: true, Host: found.info.Name, Addr: found.info.Static.Addr}, true
+// placeFrom is the delegation walk. fromDomain names the child domain the
+// request escalated out of, so the parent does not hand the placement
+// straight back to the domain that already failed it.
+func (r *Registry) placeFrom(fromDomain, exclude string, proc ProcInfo) (proto.Candidate, bool) {
+	if cand, ok := r.placeLocal(exclude, proc); ok {
+		return cand, true
+	}
+	if cand, ok := r.placeDomains(fromDomain, exclude, proc); ok {
+		return cand, true
 	}
 	if r.cfg.Parent != nil {
-		return r.cfg.Parent.FirstFit(exclude, proc)
+		return r.cfg.Parent.placeFrom(r.cfg.Domain, exclude, proc)
 	}
 	return proto.Candidate{OK: false, Reason: "no host fits"}, false
+}
+
+// placeLocal asks the scheduler to place proc among this registry's own
+// eligible hosts. Under the default policy only the Free state set is
+// scanned — the indexed sets keep this cheap when most of a large cluster
+// is busy. The candidate stream runs under the registry lock; see
+// CandidateSeq.
+func (r *Registry) placeLocal(exclude string, proc ProcInfo) (proto.Candidate, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	now := r.clock.Now()
+	scan := r.order
+	if r.cfg.Policy == nil {
+		scan = r.sets[rules.Free]
+	}
+	seq := CandidateSeq(func(yield func(HostInfo) bool) {
+		for _, e := range scan {
+			if e.info.Name == exclude || !r.aliveLocked(e, now) {
+				continue
+			}
+			ok, err := r.destinationOK(e, proc)
+			if err != nil || !ok {
+				continue
+			}
+			if !yield(e.info) {
+				return
+			}
+		}
+	})
+	h, ok := r.sched.PickDestination(proc, seq)
+	if !ok {
+		return proto.Candidate{}, false
+	}
+	return proto.Candidate{OK: true, Host: h.Name, Addr: h.Static.Addr}, true
 }
 
 // Candidate serves the pull-style consult: the overloaded host asks for a
@@ -94,8 +122,8 @@ func (r *Registry) Candidate(host string) proto.Candidate {
 }
 
 // decide runs the scheduling decision for a host after a status refresh:
-// warm-up damping, cooldown, process selection, first-fit destination
-// choice, and finally the migrate order to the source host's commander.
+// warm-up damping, cooldown, process selection, destination choice, and
+// finally the migrate order to the source host's commander.
 func (r *Registry) decide(host string) {
 	r.mu.Lock()
 	e, ok := r.hosts[host]
@@ -158,8 +186,8 @@ func (r *Registry) decide(host string) {
 	r.trace(EventOrdered, host, proc.PID, cand.Host, "")
 }
 
-// Handler serves the XML protocol: monitors register and refresh, hosts ask
-// for candidates, processes come and go.
+// Handler serves the XML protocol: monitors register and refresh (singly or
+// batched), hosts ask for candidates, processes come and go.
 func (r *Registry) Handler() proto.Handler {
 	return func(m *proto.Message) (*proto.Message, error) {
 		switch m.Type {
@@ -167,6 +195,8 @@ func (r *Registry) Handler() proto.Handler {
 			return nil, r.RegisterHost(m.From, *m.Static)
 		case proto.TypeStatus:
 			return nil, r.ReportStatus(m.From, *m.Status)
+		case proto.TypeStatusBatch:
+			return nil, r.ReportStatusBatch(m.Batch)
 		case proto.TypeUnregister:
 			return nil, r.UnregisterHost(m.From)
 		case proto.TypeProcessRegister:

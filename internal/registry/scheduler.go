@@ -1,0 +1,123 @@
+package registry
+
+import (
+	"fmt"
+	"time"
+)
+
+// CandidateSeq streams eligible destination hosts to a Scheduler, in
+// registration order. The scheduler pulls candidates by calling the sequence
+// with a yield callback and stops the stream by returning false from it —
+// so first fit inspects exactly one host while least loaded drains the
+// stream. The sequence is only valid for the duration of the
+// PickDestination call and is produced under the registry lock: schedulers
+// must not call back into the Registry from inside it.
+type CandidateSeq func(yield func(HostInfo) bool)
+
+// Scheduler is the pluggable placement policy: which process leaves an
+// overloaded host, and which eligible host receives it. Eligibility
+// (liveness, destination policy, schema fit) is decided by the registry
+// before a host reaches the scheduler; the scheduler only ranks.
+//
+// Implementations must be safe for concurrent use; the registry calls them
+// from every decision path.
+type Scheduler interface {
+	// Name identifies the scheduler in policies and traces.
+	Name() string
+	// SelectProcess picks the process to offload from procs (non-empty,
+	// PID order), given the source host's CPU speed. Returning false
+	// vetoes the offload.
+	SelectProcess(cpuSpeed float64, procs []ProcInfo) (ProcInfo, bool)
+	// PickDestination picks the destination for proc from the candidate
+	// stream. Returning false declines the placement (the registry then
+	// delegates to sibling domains and the parent, if configured).
+	PickDestination(proc ProcInfo, candidates CandidateSeq) (HostInfo, bool)
+}
+
+// SchedulerByName resolves the built-in schedulers, for the pl_scheduler
+// policy-file key and command-line flags.
+func SchedulerByName(name string) (Scheduler, error) {
+	switch name {
+	case "", "firstfit", "first-fit":
+		return FirstFitScheduler{}, nil
+	case "leastloaded", "least-loaded":
+		return LeastLoadedScheduler{}, nil
+	default:
+		return nil, fmt.Errorf("registry: unknown scheduler %q", name)
+	}
+}
+
+// selectLatestCompletion is the paper's process choice (Section 4): the
+// process with the latest estimated completion time, so that one migration
+// relieves the host for the longest.
+func selectLatestCompletion(cpuSpeed float64, procs []ProcInfo) (ProcInfo, bool) {
+	if len(procs) == 0 {
+		return ProcInfo{}, false
+	}
+	best := procs[0]
+	bestDone := estimatedDone(procs[0], cpuSpeed)
+	for _, p := range procs[1:] {
+		if done := estimatedDone(p, cpuSpeed); done.After(bestDone) {
+			best, bestDone = p, done
+		}
+	}
+	return best, true
+}
+
+func estimatedDone(p ProcInfo, cpuSpeed float64) time.Time {
+	if p.Schema == nil {
+		return p.Start
+	}
+	return p.Schema.EstimatedCompletion(p.Start, cpuSpeed)
+}
+
+// FirstFitScheduler is the paper's placement and the default: offload the
+// latest-completing process onto the first eligible host in registration
+// order.
+type FirstFitScheduler struct{}
+
+// Name implements Scheduler.
+func (FirstFitScheduler) Name() string { return "firstfit" }
+
+// SelectProcess implements Scheduler.
+func (FirstFitScheduler) SelectProcess(cpuSpeed float64, procs []ProcInfo) (ProcInfo, bool) {
+	return selectLatestCompletion(cpuSpeed, procs)
+}
+
+// PickDestination implements Scheduler: the first candidate wins.
+func (FirstFitScheduler) PickDestination(proc ProcInfo, candidates CandidateSeq) (HostInfo, bool) {
+	var picked HostInfo
+	found := false
+	candidates(func(h HostInfo) bool {
+		picked, found = h, true
+		return false
+	})
+	return picked, found
+}
+
+// LeastLoadedScheduler drains the candidate stream and picks the host with
+// the lowest one-minute load average, breaking ties toward the earlier
+// registration — a better spread than first fit when many hosts qualify,
+// at the cost of scanning them all.
+type LeastLoadedScheduler struct{}
+
+// Name implements Scheduler.
+func (LeastLoadedScheduler) Name() string { return "leastloaded" }
+
+// SelectProcess implements Scheduler.
+func (LeastLoadedScheduler) SelectProcess(cpuSpeed float64, procs []ProcInfo) (ProcInfo, bool) {
+	return selectLatestCompletion(cpuSpeed, procs)
+}
+
+// PickDestination implements Scheduler.
+func (LeastLoadedScheduler) PickDestination(proc ProcInfo, candidates CandidateSeq) (HostInfo, bool) {
+	var picked HostInfo
+	found := false
+	candidates(func(h HostInfo) bool {
+		if !found || h.Status.Load1 < picked.Status.Load1 {
+			picked, found = h, true
+		}
+		return true
+	})
+	return picked, found
+}

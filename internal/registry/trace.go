@@ -3,6 +3,8 @@ package registry
 import (
 	"fmt"
 	"time"
+
+	"autoresched/internal/events"
 )
 
 // EventKind classifies a scheduling-decision event.
@@ -69,6 +71,23 @@ func (r *Registry) trace(kind EventKind, host string, pid int, dest, note string
 	r.mu.Unlock()
 	if r.cfg.OnEvent != nil {
 		r.cfg.OnEvent(e)
+	}
+	if r.cfg.Events != nil {
+		r.cfg.Events.Publish(e.Unified())
+	}
+}
+
+// Unified converts the trace event to the unified runtime event vocabulary
+// (the registry's adapter onto events.Sink).
+func (e Event) Unified() events.Event {
+	return events.Event{
+		Time:   e.At,
+		Source: events.SourceRegistry,
+		Kind:   string(e.Kind),
+		Host:   e.Host,
+		Dest:   e.Dest,
+		PID:    e.PID,
+		Note:   e.Note,
 	}
 }
 

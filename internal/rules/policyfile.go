@@ -26,9 +26,11 @@ import (
 //	pl_dest: loadAvg.sh(1) < 1
 //	pl_dest: numProcs.sh < 100
 //	pl_dest: netFlow.sh(max) <= 3
+//	pl_scheduler: leastloaded
 //
 // Triggers are any-of; source preconditions and destination conditions are
-// all-of (see MigrationPolicy).
+// all-of (see MigrationPolicy). pl_scheduler optionally names the placement
+// scheduler; the default is first fit.
 
 // ParseCondition parses one "script(param) OP threshold" condition.
 func ParseCondition(s string) (Condition, error) {
@@ -120,6 +122,8 @@ func ParsePolicies(r io.Reader) ([]*MigrationPolicy, error) {
 			err = appendCond(&cur.SourcePrecond, value)
 		case "pl_dest":
 			err = appendCond(&cur.Destination, value)
+		case "pl_scheduler":
+			cur.Scheduler = value
 		default:
 			if !strings.HasPrefix(key, "pl_") {
 				err = fmt.Errorf("unknown key %q", key)

@@ -1,0 +1,32 @@
+package rules
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParsePolicySchedulerKey(t *testing.T) {
+	src := `
+pl_name: p1
+pl_migrate: true
+pl_trigger: loadAvg.sh(1) > 2
+pl_scheduler: leastloaded
+
+pl_name: p2
+pl_migrate: true
+pl_trigger: numProcs.sh > 150
+`
+	ps, err := ParsePolicies(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ps) != 2 {
+		t.Fatalf("parsed %d policies", len(ps))
+	}
+	if ps[0].Scheduler != "leastloaded" {
+		t.Fatalf("p1 scheduler = %q, want leastloaded", ps[0].Scheduler)
+	}
+	if ps[1].Scheduler != "" {
+		t.Fatalf("p2 scheduler = %q, want default (empty)", ps[1].Scheduler)
+	}
+}

@@ -15,6 +15,12 @@
 // arrivals and departures, and progress is integrated exactly across those
 // segments, so byte counters and completion times are deterministic given a
 // clock.
+//
+// A flow's rate depends only on the population of its own two NIC
+// directions, so each NIC keeps its send and receive flow sets and a
+// membership change recomputes just the affected sets — at 512 hosts a
+// transfer starting on one link no longer touches every flow in the
+// cluster.
 package simnet
 
 import (
@@ -81,8 +87,11 @@ type nic struct {
 
 	sentBytes float64
 	recvBytes float64
-	sendFlows int
-	recvFlows int
+	// sendFlows and recvFlows are the flows using each direction of this
+	// NIC — the scope of a fair-share recomputation when one arrives or
+	// departs.
+	sendFlows map[*flow]struct{}
+	recvFlows map[*flow]struct{}
 }
 
 type flow struct {
@@ -127,7 +136,12 @@ func (n *Network) AddHostBandwidth(name string, capacity float64) error {
 	if _, ok := n.hosts[name]; ok {
 		return fmt.Errorf("simnet: host %q already exists", name)
 	}
-	n.hosts[name] = &nic{name: name, capacity: capacity}
+	n.hosts[name] = &nic{
+		name:      name,
+		capacity:  capacity,
+		sendFlows: make(map[*flow]struct{}),
+		recvFlows: make(map[*flow]struct{}),
+	}
 	return nil
 }
 
@@ -143,14 +157,13 @@ func (n *Network) SetDown(name string, down bool) error {
 	n.advanceLocked(n.clock.Now())
 	h.down = down
 	if down {
-		for f := range n.flows {
-			if f.from == h || f.to == h {
-				f.failed = true
-				n.finishLocked(f, ErrHostDown)
-			}
+		for _, f := range flowsOn(h) {
+			f.failed = true
+			n.finishLocked(f, ErrHostDown)
+			n.recomputeSideLocked(f.from.sendFlows)
+			n.recomputeSideLocked(f.to.recvFlows)
 		}
 	}
-	n.recomputeLocked()
 	n.scheduleLocked()
 	return nil
 }
@@ -166,10 +179,12 @@ func (n *Network) SetLinkFactor(a, b string, factor float64) error {
 	}
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	if _, ok := n.hosts[a]; !ok {
+	ha, ok := n.hosts[a]
+	if !ok {
 		return fmt.Errorf("%w: %q", ErrUnknownHost, a)
 	}
-	if _, ok := n.hosts[b]; !ok {
+	hb, ok := n.hosts[b]
+	if !ok {
 		return fmt.Errorf("%w: %q", ErrUnknownHost, b)
 	}
 	n.advanceLocked(n.clock.Now())
@@ -178,7 +193,9 @@ func (n *Network) SetLinkFactor(a, b string, factor float64) error {
 	} else {
 		n.factors[link(a, b)] = factor
 	}
-	n.recomputeLocked()
+	for _, f := range flowsBetween(ha, hb) {
+		n.recomputeFlowLocked(f)
+	}
 	n.scheduleLocked()
 	return nil
 }
@@ -202,16 +219,15 @@ func (n *Network) SetPartitioned(a, b string, partitioned bool) error {
 	n.advanceLocked(n.clock.Now())
 	if partitioned {
 		n.parts[link(a, b)] = true
-		for f := range n.flows {
-			if (f.from == ha && f.to == hb) || (f.from == hb && f.to == ha) {
-				f.failed = true
-				n.finishLocked(f, ErrPartitioned)
-			}
+		for _, f := range flowsBetween(ha, hb) {
+			f.failed = true
+			n.finishLocked(f, ErrPartitioned)
+			n.recomputeSideLocked(f.from.sendFlows)
+			n.recomputeSideLocked(f.to.recvFlows)
 		}
 	} else {
 		delete(n.parts, link(a, b))
 	}
-	n.recomputeLocked()
 	n.scheduleLocked()
 	return nil
 }
@@ -261,9 +277,12 @@ func (n *Network) Transfer(from, to string, size int64) error {
 	n.advanceLocked(n.clock.Now())
 	f := &flow{from: src, to: dst, total: float64(size), finished: make(chan error, 1)}
 	n.flows[f] = struct{}{}
-	src.sendFlows++
-	dst.recvFlows++
-	n.recomputeLocked()
+	src.sendFlows[f] = struct{}{}
+	dst.recvFlows[f] = struct{}{}
+	// Only the sender's other transmissions and the receiver's other
+	// receptions see their fair share change.
+	n.recomputeSideLocked(src.sendFlows)
+	n.recomputeSideLocked(dst.recvFlows)
 	n.scheduleLocked()
 	n.mu.Unlock()
 
@@ -295,13 +314,11 @@ func (n *Network) Rates(host string) (sendBps, recvBps float64, err error) {
 		return 0, 0, ErrUnknownHost
 	}
 	n.advanceLocked(n.clock.Now())
-	for f := range n.flows {
-		if f.from == h {
-			sendBps += f.rate
-		}
-		if f.to == h {
-			recvBps += f.rate
-		}
+	for f := range h.sendFlows {
+		sendBps += f.rate
+	}
+	for f := range h.recvFlows {
+		recvBps += f.rate
 	}
 	return sendBps, recvBps, nil
 }
@@ -315,13 +332,7 @@ func (n *Network) HostFlows(host string) (int, error) {
 	if !ok {
 		return 0, ErrUnknownHost
 	}
-	count := 0
-	for f := range n.flows {
-		if f.from == h || f.to == h {
-			count++
-		}
-	}
-	return count, nil
+	return len(h.sendFlows) + len(h.recvFlows), nil
 }
 
 // ActiveFlows reports the number of in-flight transfers.
@@ -342,34 +353,70 @@ func (n *Network) Hosts() []string {
 	return names
 }
 
-// finishLocked removes a flow and signals its waiter.
+// flowsOn snapshots the flows with an endpoint on h (callers mutate the
+// sets while iterating).
+func flowsOn(h *nic) []*flow {
+	out := make([]*flow, 0, len(h.sendFlows)+len(h.recvFlows))
+	for f := range h.sendFlows {
+		out = append(out, f)
+	}
+	for f := range h.recvFlows {
+		out = append(out, f)
+	}
+	return out
+}
+
+// flowsBetween snapshots the flows running between a and b, either
+// direction.
+func flowsBetween(a, b *nic) []*flow {
+	var out []*flow
+	for f := range a.sendFlows {
+		if f.to == b {
+			out = append(out, f)
+		}
+	}
+	for f := range b.sendFlows {
+		if f.to == a {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// finishLocked removes a flow and signals its waiter. The caller recomputes
+// the affected NIC sides afterwards.
 func (n *Network) finishLocked(f *flow, err error) {
 	if _, ok := n.flows[f]; !ok {
 		return
 	}
 	delete(n.flows, f)
-	f.from.sendFlows--
-	f.to.recvFlows--
+	delete(f.from.sendFlows, f)
+	delete(f.to.recvFlows, f)
 	f.finished <- err
 }
 
-// recomputeLocked refreshes every flow's rate from the current flow
-// population. Must be called after any membership change, with progress
-// already advanced to now.
-func (n *Network) recomputeLocked() {
-	for f := range n.flows {
-		sendShare := f.from.capacity / float64(f.from.sendFlows)
-		recvShare := f.to.capacity / float64(f.to.recvFlows)
-		f.rate = math.Min(sendShare, recvShare)
-		if factor, ok := n.factors[link(f.from.name, f.to.name)]; ok {
-			f.rate *= factor
-		}
+// recomputeFlowLocked refreshes one flow's rate from its two NIC directions.
+func (n *Network) recomputeFlowLocked(f *flow) {
+	sendShare := f.from.capacity / float64(len(f.from.sendFlows))
+	recvShare := f.to.capacity / float64(len(f.to.recvFlows))
+	f.rate = math.Min(sendShare, recvShare)
+	if factor, ok := n.factors[link(f.from.name, f.to.name)]; ok {
+		f.rate *= factor
+	}
+}
+
+// recomputeSideLocked refreshes every flow sharing one direction of one NIC
+// — the whole blast radius of an arrival or departure there. Must be called
+// with progress already advanced to now.
+func (n *Network) recomputeSideLocked(side map[*flow]struct{}) {
+	for f := range side {
+		n.recomputeFlowLocked(f)
 	}
 }
 
 // advanceLocked integrates flow progress from lastAdv to now, completing
-// flows exactly at their finish instants (rates are recomputed at each
-// completion so later segments use the freed capacity).
+// flows exactly at their finish instants (the freed capacity is handed to
+// the finished flows' NIC neighbours before later segments are integrated).
 func (n *Network) advanceLocked(now time.Time) {
 	for {
 		dt := now.Sub(n.lastAdv).Seconds()
@@ -406,7 +453,10 @@ func (n *Network) advanceLocked(now time.Time) {
 		for _, f := range finished {
 			n.finishLocked(f, nil)
 		}
-		n.recomputeLocked()
+		for _, f := range finished {
+			n.recomputeSideLocked(f.from.sendFlows)
+			n.recomputeSideLocked(f.to.recvFlows)
+		}
 	}
 }
 
