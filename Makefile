@@ -1,7 +1,8 @@
 # Developer entry points. `make check` is what CI (and the tier-1 verify)
 # runs; `make race` additionally race-tests the concurrency-heavy packages;
-# `make ci` is the full gate (vet + build + test + race + a 64-host scale
-# smoke); `make bench` regenerates BENCH_scale.json.
+# `make ci` is the full gate (vet + build + test + race, a repeated race run
+# of the simulation/experiment packages, a 64-host scale smoke, and the
+# benchmark drift guard); `make bench` regenerates BENCH_scale.json.
 
 GO ?= go
 
@@ -13,7 +14,7 @@ RACE_PKGS = ./internal/proto ./internal/monitor ./internal/registry \
             ./internal/faults ./internal/metrics ./internal/simnet \
             ./internal/events
 
-.PHONY: all build vet test race check ci chaos scale bench
+.PHONY: all build vet test race check ci chaos scale bench benchguard
 
 all: check
 
@@ -31,10 +32,15 @@ race:
 
 check: vet build test
 
-# The full gate: everything `check` and `race` run, plus a single 64-host
-# scale sweep as an end-to-end smoke of the control plane.
+# The full gate: everything `check` and `race` run, a repeated race-enabled
+# run of the network simulation and experiment suites (flushing out
+# order-dependent flakiness in the fair-share solver and the determinism
+# fences), a single 64-host scale sweep as an end-to-end smoke of the
+# control plane, and the benchmark drift guard.
 ci: check race
+	$(GO) test -race -count=2 ./internal/simnet ./internal/experiments
 	$(GO) run ./cmd/repro -exp scale -hosts 64 -seed 42
+	$(MAKE) benchguard
 
 # Two chaos runs with the same seed must print identical fault schedules
 # and counters (the deterministic section above `timings`).
@@ -55,3 +61,13 @@ bench: build
 	      -benchtime 1000x ./internal/registry ; \
 	  $(GO) test -run '^$$' -bench BenchmarkScale64 -benchtime 1x ./internal/experiments ; } \
 	| $(GO) run ./cmd/benchjson -o BENCH_scale.json
+
+# Drift guard: regenerate BENCH_scale.json and fail if any benchmark
+# regressed more than 3x against the committed report — a coarse fence
+# against algorithmic regressions that survives machine-to-machine ns/op
+# variation.
+benchguard: build
+	{ $(GO) test -run '^$$' -bench 'BenchmarkRegistryReportStatus|BenchmarkCandidate' \
+	      -benchtime 1000x ./internal/registry ; \
+	  $(GO) test -run '^$$' -bench BenchmarkScale64 -benchtime 1x ./internal/experiments ; } \
+	| $(GO) run ./cmd/benchjson -o BENCH_scale.json -baseline BENCH_scale.json -max-ratio 3

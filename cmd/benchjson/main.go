@@ -6,6 +6,13 @@
 // Usage:
 //
 //	go test -bench 'Candidate|ReportStatus|Scale64' ./... | benchjson -o BENCH_scale.json
+//
+// With -baseline it also guards against drift: any benchmark present in
+// both reports whose ns/op regressed by more than -max-ratio fails the run
+// (exit 1). Absolute ns/op varies across machines, so the guard is a
+// coarse 3x fence against algorithmic regressions, not a perf SLO.
+//
+//	... | benchjson -o BENCH_scale.json -baseline BENCH_scale.json -max-ratio 3
 package main
 
 import (
@@ -48,6 +55,8 @@ var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+(\d+)\s+([\d.]+) ns/op`)
 
 func main() {
 	out := flag.String("o", "BENCH_scale.json", "output file")
+	baseline := flag.String("baseline", "", "prior report to compare against; regressions beyond -max-ratio fail the run")
+	maxRatio := flag.Float64("max-ratio", 3, "maximum allowed new/old ns/op ratio per benchmark")
 	flag.Parse()
 
 	var rep report
@@ -72,6 +81,12 @@ func main() {
 	}
 
 	rep.Derived = derive(rep.Benchmarks)
+
+	var drift []string
+	if *baseline != "" {
+		drift = checkDrift(*baseline, rep.Benchmarks, *maxRatio)
+	}
+
 	data, err := json.MarshalIndent(rep, "", "  ")
 	fatal(err)
 	fatal(os.WriteFile(*out, append(data, '\n'), 0o644))
@@ -82,6 +97,40 @@ func main() {
 	if rep.Derived.CandidateGrowth64To512 > 0 {
 		fmt.Printf("candidate growth 64->512 hosts: %.2fx (8x hosts)\n", rep.Derived.CandidateGrowth64To512)
 	}
+	if len(drift) > 0 {
+		for _, line := range drift {
+			fmt.Fprintln(os.Stderr, "benchjson: DRIFT:", line)
+		}
+		os.Exit(1)
+	}
+}
+
+// checkDrift compares the new results against a prior report and returns a
+// description of every benchmark that regressed past maxRatio. A missing or
+// unreadable baseline is fatal (a drift guard that silently skips isn't
+// one); benchmarks present on only one side are ignored, so adding or
+// renaming benchmarks never trips it.
+func checkDrift(path string, benchmarks []Benchmark, maxRatio float64) []string {
+	data, err := os.ReadFile(path)
+	fatal(err)
+	var old report
+	fatal(json.Unmarshal(data, &old))
+	oldNs := make(map[string]float64, len(old.Benchmarks))
+	for _, b := range old.Benchmarks {
+		oldNs[b.Name] = b.NsPerOp
+	}
+	var drift []string
+	for _, b := range benchmarks {
+		prev, ok := oldNs[b.Name]
+		if !ok || prev <= 0 {
+			continue
+		}
+		if ratio := b.NsPerOp / prev; ratio > maxRatio {
+			drift = append(drift, fmt.Sprintf("%s: %.0f ns/op vs baseline %.0f ns/op (%.1fx > %.1fx)",
+				b.Name, b.NsPerOp, prev, ratio, maxRatio))
+		}
+	}
+	return drift
 }
 
 // trimProcs drops the trailing -N GOMAXPROCS suffix Go appends to names.

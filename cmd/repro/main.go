@@ -15,11 +15,16 @@
 //	repro -exp scale          # 64/256/512-host sweeps under churn (not in "all")
 //	repro -exp scale -hosts 64,128   # custom sweep sizes
 //	repro -scale 100          # virtual-time compression factor
+//	repro -exp chaos -metrics run.json   # also dump the metrics registry
 //
 // The chaos and scale experiments are deterministic per -seed in their
-// headline sections: the chaos fault schedule and robustness counters, and
-// the scale sweeps' completion/correctness lines, are byte-identical across
-// runs. Both are excluded from "all" to keep that target's runtime bounded.
+// headline sections: the chaos fault schedule, robustness counters and
+// migration phase counts, the scale sweeps' completion/correctness lines,
+// and the migration cost model's quantile table are byte-identical across
+// runs. The measured phase durations below those sections carry scheduling
+// jitter (wall wake-up latency multiplied by the time-scale factor) and are
+// labeled approximate. Both are excluded from "all" to keep that target's
+// runtime bounded.
 package main
 
 import (
@@ -42,6 +47,7 @@ func main() {
 	hosts := flag.String("hosts", "", "scale experiment sweep sizes, comma-separated (default 64,256,512)")
 	series := flag.Bool("series", false, "also print the sampled series tables")
 	csvDir := flag.String("csv", "", "directory to write the sampled series as CSV files")
+	metricsPath := flag.String("metrics", "", "write the run's metrics registry (counters, gauges, histograms) as JSON to this file")
 	flag.Parse()
 	scaleSet := false
 	flag.Visit(func(f *flag.Flag) {
@@ -53,6 +59,9 @@ func main() {
 	params := experiments.Params{Scale: *scale, Seed: *seed}
 	want := func(name string) bool { return *exp == "all" || *exp == name }
 	ran := false
+	// The run-wide metrics accumulator: experiments merge their per-run
+	// registries here, and -metrics snapshots it at exit.
+	mreg := metrics.NewRegistry()
 
 	if want("table1") {
 		ran = true
@@ -62,6 +71,7 @@ func main() {
 		ran = true
 		res, err := experiments.RunOverhead(experiments.OverheadConfig{Params: params})
 		fatal(err)
+		mreg.Merge(res.Metrics)
 		fmt.Print(res.Render())
 		if *series {
 			fmt.Println(metrics.Table(res.Recorder.Start(),
@@ -106,9 +116,11 @@ func main() {
 		if !scaleSet {
 			chaosParams.Scale = 0 // let chaos pick its own (higher) default
 		}
-		rows, err := experiments.RunChaos(experiments.ChaosConfig{Params: chaosParams})
+		rows, err := experiments.RunChaos(experiments.ChaosConfig{Params: chaosParams, Metrics: mreg})
 		fatal(err)
 		fmt.Print(experiments.RenderChaos(rows))
+		fmt.Println()
+		fmt.Print(experiments.RenderMigrationModel(*seed, 64))
 		fmt.Println()
 	}
 	if *exp == "scale" {
@@ -118,12 +130,22 @@ func main() {
 			scaleParams.Scale = 0 // let the scale experiment pick its own default
 		}
 		rows, err := experiments.RunScale(experiments.ScaleConfig{
-			Params: scaleParams,
-			Hosts:  parseHosts(*hosts),
+			Params:  scaleParams,
+			Hosts:   parseHosts(*hosts),
+			Metrics: mreg,
 		})
 		fatal(err)
 		fmt.Print(experiments.RenderScale(rows))
 		fmt.Println()
+		fmt.Print(experiments.RenderMigrationModel(*seed, 64))
+		fmt.Println()
+	}
+	if *metricsPath != "" {
+		f, err := os.Create(*metricsPath)
+		fatal(err)
+		fatal(mreg.WriteJSON(f))
+		fatal(f.Close())
+		fmt.Printf("wrote metrics snapshot to %s\n", *metricsPath)
 	}
 	if !ran {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)

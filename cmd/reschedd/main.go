@@ -17,17 +17,26 @@
 // migration itself needs migration-enabled applications (see the examples);
 // this daemon demonstrates the monitoring/registration/decision plane on
 // real hosts.
+//
+// Either role serves observability endpoints when -metrics is set:
+//
+//	reschedd -role registry -listen :7070 -metrics :8081
+//	curl localhost:8081/metrics          # Prometheus text exposition
+//	go tool pprof localhost:8081/debug/pprof/profile
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
+	"autoresched/internal/metrics"
 	"autoresched/internal/monitor"
 	"autoresched/internal/proto"
 	"autoresched/internal/registry"
@@ -43,13 +52,17 @@ func main() {
 	rulesPath := flag.String("rules", "", "monitor: rule file (rl_* format); empty uses built-in load/proc rules")
 	interval := flag.Duration("interval", 10*time.Second, "monitor: monitoring frequency")
 	procRoot := flag.String("proc", "/proc", "monitor: proc filesystem root")
+	metricsAddr := flag.String("metrics", "", "serve Prometheus /metrics and /debug/pprof on this address (e.g. :8081); empty disables")
 	flag.Parse()
+
+	mreg := metrics.NewRegistry()
+	serveMetrics(*metricsAddr, mreg)
 
 	switch *role {
 	case "registry":
-		runRegistry(*listen, *policyPath)
+		runRegistry(*listen, *policyPath, mreg)
 	case "monitor":
-		runMonitor(*regAddr, *rulesPath, *interval, *procRoot)
+		runMonitor(*regAddr, *rulesPath, *interval, *procRoot, mreg)
 	default:
 		fmt.Fprintln(os.Stderr, "reschedd: -role must be registry or monitor")
 		flag.Usage()
@@ -57,7 +70,34 @@ func main() {
 	}
 }
 
-func runRegistry(listen, policyPath string) {
+// serveMetrics starts the observability endpoint: Prometheus text on
+// /metrics and the standard pprof handlers on /debug/pprof/. Both roles
+// share it; an empty address disables it.
+func serveMetrics(addr string, mreg *metrics.Registry) {
+	if addr == "" {
+		return
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		if err := mreg.WritePrometheus(w); err != nil {
+			log.Printf("reschedd: /metrics: %v", err)
+		}
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	go func() {
+		if err := http.ListenAndServe(addr, mux); err != nil {
+			log.Printf("reschedd: metrics server: %v", err)
+		}
+	}()
+	log.Printf("serving /metrics and /debug/pprof on %s", addr)
+}
+
+func runRegistry(listen, policyPath string, mreg *metrics.Registry) {
 	var policy *rules.MigrationPolicy
 	if policyPath != "" {
 		parsed, err := rules.ParsePolicyFile(policyPath)
@@ -70,9 +110,13 @@ func runRegistry(listen, policyPath string) {
 		policy = parsed[len(parsed)-1] // the last policy in the file rules
 		log.Printf("using migration policy %q", policy.Name)
 	}
+	// Pre-create the decision-latency histogram so /metrics serves it
+	// (empty) before the first placement.
+	mreg.Histogram(registry.MetricDecideSeconds)
 	reg := registry.New(registry.Config{
-		Name:   "registry",
-		Policy: policy,
+		Name:    "registry",
+		Policy:  policy,
+		Metrics: mreg,
 		OnEvent: func(e registry.Event) {
 			log.Printf("decision: %s", e)
 		},
@@ -132,7 +176,7 @@ func (c *clientReporter) UnregisterHost(host string) error {
 	return err
 }
 
-func runMonitor(regAddr, rulesPath string, interval time.Duration, procRoot string) {
+func runMonitor(regAddr, rulesPath string, interval time.Duration, procRoot string, mreg *metrics.Registry) {
 	if regAddr == "" {
 		log.Fatal("reschedd: -registry is required for the monitor role")
 	}
@@ -161,12 +205,16 @@ func runMonitor(regAddr, rulesPath string, interval time.Duration, procRoot stri
 		}
 	}
 
+	// Pre-create the cycle-latency histogram so /metrics serves it (empty)
+	// before the first monitoring cycle.
+	mreg.Histogram(monitor.MetricCycleSeconds)
 	mon, err := monitor.New(monitor.Config{
 		Host:             host,
 		Source:           sysinfo.NewProcSource(procRoot),
 		Engine:           engine,
 		Reporter:         &clientReporter{cli: cli},
 		DefaultFrequency: interval,
+		Metrics:          mreg,
 	})
 	if err != nil {
 		log.Fatalf("reschedd: monitor: %v", err)

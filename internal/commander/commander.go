@@ -14,6 +14,7 @@ import (
 	"sync"
 	"time"
 
+	"autoresched/internal/events"
 	"autoresched/internal/hpcm"
 	"autoresched/internal/metrics"
 	"autoresched/internal/proto"
@@ -38,6 +39,10 @@ type Config struct {
 	DedupWindow time.Duration
 	// Counters, when set, receives the commander/* control-plane counters.
 	Counters *metrics.Counters
+	// Events, when set, receives one SourceCommander/"order" event per
+	// executed (non-deduped) migrate order, stamped with the clock's time.
+	// The span builder anchors migration latency on this event.
+	Events events.Sink
 }
 
 // Commander is one host's commander entity.
@@ -157,6 +162,16 @@ func (c *Commander) Migrate(order proto.MigrateOrder) error {
 		if err := os.WriteFile(path, []byte(content), 0o600); err != nil {
 			return fmt.Errorf("commander: address file: %w", err)
 		}
+	}
+	if c.cfg.Events != nil {
+		c.cfg.Events.Publish(events.Event{
+			Time:   c.cfg.Clock.Now(),
+			Source: events.SourceCommander,
+			Kind:   "order",
+			Host:   c.host,
+			Dest:   order.DestHost,
+			PID:    order.PID,
+		})
 	}
 	p.Signal(hpcm.Command{DestHost: order.DestHost, DestAddr: order.DestAddr, Policy: order.Policy})
 	c.mu.Lock()

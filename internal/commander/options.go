@@ -3,6 +3,7 @@ package commander
 import (
 	"time"
 
+	"autoresched/internal/events"
 	"autoresched/internal/metrics"
 	"autoresched/internal/vclock"
 )
@@ -43,4 +44,9 @@ func WithDedupWindow(d time.Duration) Option {
 // WithCounters sets the control-plane counter set.
 func WithCounters(m *metrics.Counters) Option {
 	return func(o *options) { o.cfg.Counters = m }
+}
+
+// WithEvents sets the sink receiving the commander's "order" events.
+func WithEvents(s events.Sink) Option {
+	return func(o *options) { o.cfg.Events = s }
 }

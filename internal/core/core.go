@@ -103,10 +103,18 @@ type Options struct {
 	// runtime's own counting observer).
 	Observer hpcm.MigrationObserver
 	// Events, when set, receives the unified runtime event stream: registry
-	// decisions (Source "registry") and migration phases (Source "hpcm")
-	// flow through this one sink; pass the same sink to the fault injector
-	// to fold its events (Source "faults") in too.
+	// decisions (Source "registry"), commander orders (Source "commander")
+	// and migration phases (Source "hpcm") flow through this one sink; pass
+	// the same sink to the fault injector to fold its events (Source
+	// "faults") in too.
 	Events events.Sink
+	// Metrics, when set, receives the runtime's gauges and latency
+	// histograms from every layer: the registry's hosts gauge and decide
+	// timings, monitor cycle durations, hpcm migration/downtime/checkpoint
+	// histograms, and the per-migration phase spans (span/*) derived from
+	// the event stream by a metrics.Spans sink the runtime installs
+	// alongside Events.
+	Metrics *metrics.Registry
 	// WrapReporter, when set, wraps each node's status reporter. The fault
 	// injector uses this to drop, duplicate or delay heartbeats on the
 	// monitor->registry path.
@@ -193,6 +201,7 @@ type System struct {
 	mw       *hpcm.Middleware
 	reg      *registry.Registry
 	batcher  *registry.Batcher // non-nil when BatchStatusEvery is set
+	events   events.Sink       // combined sink: Options.Events + span builder
 
 	mu    sync.Mutex
 	nodes map[string]*Node
@@ -223,6 +232,17 @@ func New(opts Options) (*System, error) {
 		nodes:   make(map[string]*Node),
 	}
 	s.universe = universe
+	// The event sink every layer publishes to: the caller's sink plus,
+	// when metrics are on, the span builder deriving per-phase migration
+	// latency histograms from the same stream.
+	sink := opts.Events
+	if opts.Metrics != nil {
+		if opts.Counters != nil {
+			opts.Metrics.AttachCounters(opts.Counters)
+		}
+		sink = events.Multi(sink, metrics.NewSpans(opts.Metrics))
+	}
+	s.events = sink
 	// The runtime's own observer keeps the commit/abort counters; a
 	// user-supplied observer (fault injection) chains after it.
 	observer := func(ev hpcm.MigrationEvent) {
@@ -235,8 +255,8 @@ func New(opts Options) (*System, error) {
 		if opts.Observer != nil {
 			opts.Observer(ev)
 		}
-		if opts.Events != nil {
-			opts.Events.Publish(events.Event{
+		if sink != nil {
+			sink.Publish(events.Event{
 				Time:   clock.Now(),
 				Source: events.SourceHPCM,
 				Kind:   string(ev.Phase),
@@ -255,6 +275,7 @@ func New(opts Options) (*System, error) {
 		Checkpoints:     opts.Checkpoints,
 		CheckpointEvery: opts.CheckpointEvery,
 		Observer:        observer,
+		Metrics:         opts.Metrics,
 	})
 	if err != nil {
 		return nil, err
@@ -272,7 +293,8 @@ func New(opts Options) (*System, error) {
 		registry.WithDomain(opts.Domain),
 		registry.WithCounters(opts.Counters),
 		registry.WithOnEvent(s.onRegistryEvent),
-		registry.WithEvents(opts.Events),
+		registry.WithEvents(sink),
+		registry.WithMetrics(opts.Metrics),
 	)
 	if opts.BatchStatusEvery > 0 {
 		s.batcher = registry.NewBatcher(s.reg, registry.BatcherConfig{
@@ -349,6 +371,7 @@ func (s *System) AddNode(host string) (*Node, error) {
 		commander.WithClock(s.clock),
 		commander.WithDedupWindow(s.opts.OrderDedupWindow),
 		commander.WithCounters(s.opts.Counters),
+		commander.WithEvents(s.events),
 	)
 
 	var charger hpcm.HostProc
@@ -387,6 +410,7 @@ func (s *System) AddNode(host string) (*Node, error) {
 		monitor.WithCommandAddr("cmd://" + host),
 		monitor.WithSoftware([]string{"hpcm", "lam-mpi"}),
 		monitor.WithCounters(s.opts.Counters),
+		monitor.WithMetrics(s.opts.Metrics),
 	}
 	if charger != nil {
 		monOpts = append(monOpts, monitor.WithCharger(charger, s.opts.GatherCost))

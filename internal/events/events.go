@@ -16,16 +16,17 @@ import (
 
 // Source names the subsystem an event originated from.
 const (
-	SourceRegistry = "registry"
-	SourceHPCM     = "hpcm"
-	SourceFaults   = "faults"
+	SourceRegistry  = "registry"
+	SourceHPCM      = "hpcm"
+	SourceFaults    = "faults"
+	SourceCommander = "commander"
 )
 
 // Event is one normalised runtime event. Source and Kind identify it;
 // the remaining fields are set when the source vocabulary carries them.
 type Event struct {
 	Time   time.Time
-	Source string // SourceRegistry | SourceHPCM | SourceFaults
+	Source string // SourceRegistry | SourceHPCM | SourceFaults | SourceCommander
 	Kind   string // the source's own kind vocabulary (e.g. "ordered", "resume")
 	Host   string // the host the event concerns (migration source, fault target)
 	Dest   string // destination host, for placement/migration events

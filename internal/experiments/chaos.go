@@ -24,6 +24,10 @@ type ChaosConfig struct {
 	Params
 	// Scenarios selects a subset by name; empty runs all.
 	Scenarios []string
+	// Metrics, when set, accumulates every scenario's metrics registry
+	// (histograms merged bucket-wise) for a run-wide snapshot — the
+	// cmd/repro -metrics flag feeds from here.
+	Metrics *metrics.Registry
 }
 
 // ChaosRow is one scenario's outcome. Schedule, the counters, Survived,
@@ -42,6 +46,11 @@ type ChaosRow struct {
 	Retries   int
 	Schedule  []string // applied fault events + fired phase traps
 	Counters  map[string]int64
+	// Spans holds the per-phase migration-latency summaries (span/*
+	// histograms). The counts are phase-driven and deterministic per seed;
+	// the quantile strings carry scheduling jitter (wall wake-up latency ×
+	// Scale) and are reported in the approximate section.
+	Spans []metrics.SpanStat
 
 	VirtualSec   float64 // approximate
 	InflationPct float64 // vs the baseline scenario; approximate
@@ -163,6 +172,7 @@ func runChaosScenario(cfg ChaosConfig, sc chaosScenario) (ChaosRow, error) {
 	}
 	clock := cl.Clock()
 	ctr := metrics.NewCounters()
+	mreg := metrics.NewRegistry()
 	in := faults.NewInjector(faults.Config{Clock: clock, Counters: ctr})
 	sys, err := core.New(core.Options{
 		Cluster:          cl,
@@ -177,6 +187,7 @@ func runChaosScenario(cfg ChaosConfig, sc chaosScenario) (ChaosRow, error) {
 		FailoverRetries:  2,
 		OrderDedupWindow: 30 * time.Second,
 		Counters:         ctr,
+		Metrics:          mreg,
 		Observer:         in.Observer(),
 		WrapReporter:     in.WrapReporter,
 	})
@@ -251,6 +262,8 @@ func runChaosScenario(cfg ChaosConfig, sc chaosScenario) (ChaosRow, error) {
 	for _, name := range chaosCounterNames {
 		row.Counters[name] = ctr.Get(name)
 	}
+	row.Spans = mreg.SpanStats("span/")
+	cfg.Metrics.Merge(mreg)
 	want := workload.ExpectedSums(tree)
 	mu.Lock()
 	row.Correct = len(sums) == tree.Rounds
@@ -286,15 +299,23 @@ func renderRowDeterministic(b *strings.Builder, r ChaosRow) {
 			fmt.Fprintf(b, "  %-28s %d\n", name, v)
 		}
 	}
+	for _, st := range r.Spans {
+		if st.Count == 0 {
+			continue
+		}
+		// Counts only: the phase sequence is deterministic, the measured
+		// durations are not (wall jitter × Scale).
+		fmt.Fprintf(b, "  %-28s n=%d\n", st.Name, st.Count)
+	}
 }
 
 // RenderChaosDeterministic prints the seed-reproducible part of the report:
-// the fault schedule and the robustness counters. Two runs with the same
-// seed produce byte-identical output (the acceptance check for the
-// experiment's determinism).
+// the fault schedule, the robustness counters and the migration phase
+// counts. Two runs with the same seed produce byte-identical output (the
+// acceptance check for the experiment's determinism).
 func RenderChaosDeterministic(rows []ChaosRow) string {
 	var b strings.Builder
-	b.WriteString("Chaos — fault schedule and robustness counters (deterministic per seed)\n")
+	b.WriteString("Chaos — fault schedule, counters and phase counts (deterministic per seed)\n")
 	for _, r := range rows {
 		renderRowDeterministic(&b, r)
 	}
@@ -319,6 +340,16 @@ func RenderChaos(rows []ChaosRow) string {
 	for _, r := range rows {
 		fmt.Fprintf(&b, "%-26s %10.1f %13.1f  %-10s %12d\n",
 			r.Scenario, r.VirtualSec, r.InflationPct, r.FinalHost, r.Checkpoints)
+	}
+	b.WriteString("\nmigration phases, measured (approximate: durations carry wall jitter x scale)\n")
+	for _, r := range rows {
+		for _, st := range r.Spans {
+			if st.Count == 0 {
+				continue
+			}
+			fmt.Fprintf(&b, "%-26s %-14s n=%-3d p50=%-8s p95=%-8s p99=%s\n",
+				r.Scenario, st.Name, st.Count, st.P50, st.P95, st.P99)
+		}
 	}
 	return b.String()
 }

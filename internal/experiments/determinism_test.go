@@ -1,0 +1,67 @@
+package experiments
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestChaosDeterministicAcrossSeeds runs a migration-heavy scenario subset
+// twice for each of three seeds and requires the deterministic report —
+// fault schedule, robustness counters, migration phase counts, plus the
+// migration cost model's quantile table — to be byte-identical between the
+// two runs. This is the regression fence for the observability layer: a
+// span that leaks scheduling jitter into the deterministic section, or a
+// histogram whose quantiles stop being pure functions of their inputs,
+// breaks it.
+func TestChaosDeterministicAcrossSeeds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-seed chaos determinism sweep in -short mode")
+	}
+	scenarios := []string{"degraded-migration", "partition-abort", "duplicate-order"}
+	for _, seed := range []int64{1, 2, 42} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			t.Parallel()
+			cfg := ChaosConfig{
+				Params:    Params{Scale: 1000, Seed: seed},
+				Scenarios: scenarios,
+			}
+			run := func() string {
+				rows, err := RunChaos(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return RenderChaosDeterministic(rows) + RenderMigrationModel(seed, 64)
+			}
+			out1, out2 := run(), run()
+			if out1 != out2 {
+				t.Fatalf("deterministic sections differ:\n--- first\n%s\n--- second\n%s", out1, out2)
+			}
+		})
+	}
+}
+
+// TestMigrationModelDeterministic pins the model sweep itself: same seed →
+// byte-identical table, different seed → (almost surely) a different one,
+// and every span histogram populated.
+func TestMigrationModelDeterministic(t *testing.T) {
+	a, b := RenderMigrationModel(7, 32), RenderMigrationModel(7, 32)
+	if a != b {
+		t.Fatalf("model not deterministic:\n--- first\n%s\n--- second\n%s", a, b)
+	}
+	stats := MigrationModel(7, 32)
+	if len(stats) != 5 {
+		t.Fatalf("span stats = %d, want 5", len(stats))
+	}
+	for _, st := range stats {
+		if st.Count != 32 {
+			t.Errorf("%s count = %d, want 32", st.Name, st.Count)
+		}
+		if st.P50 == "0" || st.P50 == "" {
+			t.Errorf("%s p50 empty", st.Name)
+		}
+	}
+	if RenderMigrationModel(8, 32) == a {
+		t.Fatal("different seeds produced identical model tables")
+	}
+}

@@ -7,6 +7,7 @@ import (
 
 	"autoresched/internal/core"
 	"autoresched/internal/metrics"
+	"autoresched/internal/monitor"
 	"autoresched/internal/workload"
 )
 
@@ -19,6 +20,10 @@ type OverheadResult struct {
 	// names: ws2/load1, ws2/load5, ws2/cpu, ws2/sentKBs, ws2/recvKBs.
 	Recorder        *metrics.Recorder
 	WithoutRecorder *metrics.Recorder
+	// Metrics is the with-rescheduler arm's metrics registry; its
+	// monitor/cycle_seconds histogram quantifies the per-cycle cost the
+	// overhead percentages aggregate.
+	Metrics *metrics.Registry
 
 	// Figure 5 summaries.
 	Load1With, Load1Without float64
@@ -62,11 +67,14 @@ func RunOverhead(cfg OverheadConfig) (*OverheadResult, error) {
 	res := &OverheadResult{}
 	var recs [2]*metrics.Recorder
 	for i, withRescheduler := range []bool{false, true} {
-		rec, err := runOverheadArm(cfg, withRescheduler)
+		rec, mreg, err := runOverheadArm(cfg, withRescheduler)
 		if err != nil {
 			return nil, err
 		}
 		recs[i] = rec
+		if withRescheduler {
+			res.Metrics = mreg
+		}
 	}
 	res.Recorder = recs[1]
 	res.WithoutRecorder = recs[0]
@@ -92,11 +100,12 @@ func RunOverhead(cfg OverheadConfig) (*OverheadResult, error) {
 	return res, nil
 }
 
-// runOverheadArm runs one arm of the experiment.
-func runOverheadArm(cfg OverheadConfig, withRescheduler bool) (*metrics.Recorder, error) {
+// runOverheadArm runs one arm of the experiment. The returned registry is
+// non-nil only for the with-rescheduler arm.
+func runOverheadArm(cfg OverheadConfig, withRescheduler bool) (*metrics.Recorder, *metrics.Registry, error) {
 	cl, names, err := newCluster(cfg.Params, 2)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	clock := cl.Clock()
 	rec := metrics.NewRecorder(clock)
@@ -120,18 +129,21 @@ func runOverheadArm(cfg OverheadConfig, withRescheduler bool) (*metrics.Recorder
 	defer in.Stop()
 
 	var sys *core.System
+	var mreg *metrics.Registry
 	if withRescheduler {
+		mreg = metrics.NewRegistry()
 		sys, err = core.New(core.Options{
 			Cluster:         cl,
 			MonitorInterval: cfg.Interval,
 			GatherCost:      cfg.GatherCost,
 			RegistryHost:    names[0],
+			Metrics:         mreg,
 		})
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		if err := sys.AddNodes(names...); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		defer sys.Stop()
 	}
@@ -141,7 +153,7 @@ func runOverheadArm(cfg OverheadConfig, withRescheduler bool) (*metrics.Recorder
 	s := newSampler(rec, cl, "ws2", "ws2", cfg.Interval)
 	clock.Sleep(cfg.Duration)
 	s.Stop()
-	return rec, nil
+	return rec, mreg, nil
 }
 
 // Render prints the Figure 5/6 reproduction as text.
@@ -164,6 +176,13 @@ func (r *OverheadResult) Render() string {
 	}
 	if r.WithoutRecorder != nil {
 		fmt.Fprintf(&b, "  load1 (without): %s\n", metrics.Sparkline(r.WithoutRecorder.Series("ws2/load1")))
+	}
+	if r.Metrics != nil {
+		if h := r.Metrics.Histogram(monitor.MetricCycleSeconds); h.Count() > 0 {
+			fmt.Fprintf(&b, "  monitoring cycle (virtual): n=%d p50=%s p95=%s p99=%s\n",
+				h.Count(), metrics.FormatSeconds(h.Quantile(0.50)),
+				metrics.FormatSeconds(h.Quantile(0.95)), metrics.FormatSeconds(h.Quantile(0.99)))
+		}
 	}
 	return b.String()
 }

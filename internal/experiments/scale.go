@@ -35,6 +35,10 @@ type ScaleConfig struct {
 	// every k-th host — the churn the registry must index through; zero
 	// selects 8.
 	BackgroundEvery int
+	// Metrics, when set, accumulates every sweep's metrics registry
+	// (histograms merged bucket-wise) for a run-wide snapshot — the
+	// cmd/repro -metrics flag feeds from here.
+	Metrics *metrics.Registry
 }
 
 // ScaleRow is one sweep's outcome. Hosts, Apps, Completed, Correct and
@@ -56,6 +60,10 @@ type ScaleRow struct {
 	MigrationsCommitted int64   // approximate
 	EventsSeen          int     // unified-sink events captured; approximate
 	DecisionMicros      float64 // mean wall-clock placement latency; approximate
+	// Spans holds the per-phase migration-latency summaries. At scale the
+	// migration counts themselves are load-dependent, so the whole slice —
+	// counts and quantiles — is approximate.
+	Spans []metrics.SpanStat
 }
 
 func (cfg ScaleConfig) withScaleDefaults() ScaleConfig {
@@ -124,6 +132,7 @@ func runScaleSweep(cfg ScaleConfig, nHosts int) (ScaleRow, error) {
 	}
 	clock := cl.Clock()
 	ctr := metrics.NewCounters()
+	mreg := metrics.NewRegistry()
 	ring := &events.Ring{Cap: 4096}
 	heartbeats := &atomic.Int64{}
 	sys, err := core.New(core.Options{
@@ -134,6 +143,7 @@ func runScaleSweep(cfg ScaleConfig, nHosts int) (ScaleRow, error) {
 		ChunkBytes:       8 << 20,
 		BatchStatusEvery: cfg.Interval / 2,
 		Counters:         ctr,
+		Metrics:          mreg,
 		Events:           ring,
 		WrapReporter: func(host string, r monitor.Reporter) monitor.Reporter {
 			return &countingReporter{n: heartbeats, inner: r}
@@ -256,6 +266,8 @@ func runScaleSweep(cfg ScaleConfig, nHosts int) (ScaleRow, error) {
 		DecisionMicros:      decisionMicros,
 	}
 	row.MigrationsOrdered, _ = reg.Stats()
+	row.Spans = mreg.SpanStats("span/")
+	cfg.Metrics.Merge(mreg)
 	if elapsed > 0 {
 		row.HeartbeatsPerSec = float64(row.Heartbeats) / elapsed.Seconds()
 	}
@@ -299,6 +311,16 @@ func RenderScale(rows []ScaleRow) string {
 		fmt.Fprintf(&b, "%-6d %10.1f %11d %5.1f %8d %8d %10d %7d %13.1f\n",
 			r.Hosts, r.VirtualSec, r.Heartbeats, r.HeartbeatsPerSec, r.BatchFlushes,
 			r.MigrationsOrdered, r.MigrationsCommitted, r.EventsSeen, r.DecisionMicros)
+	}
+	b.WriteString("\nmigration phases, measured (approximate: counts are load-dependent, durations carry wall jitter x scale)\n")
+	for _, r := range rows {
+		for _, st := range r.Spans {
+			if st.Count == 0 {
+				continue
+			}
+			fmt.Fprintf(&b, "hosts=%-4d %-14s n=%-3d p50=%-8s p95=%-8s p99=%s\n",
+				r.Hosts, st.Name, st.Count, st.P50, st.P95, st.P99)
+		}
 	}
 	return b.String()
 }

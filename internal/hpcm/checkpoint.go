@@ -143,6 +143,12 @@ func (c *Context) checkpointNow(label string) error {
 	if mw.ckptStore == nil {
 		return errors.New("hpcm: no checkpoint store configured")
 	}
+	if mw.metrics != nil {
+		start := time.Now()
+		defer func() {
+			mw.metrics.Histogram(MetricCheckpointSeconds).Observe(time.Since(start).Seconds())
+		}()
+	}
 	eager, lazy, err := c.state.collect()
 	if err != nil {
 		return fmt.Errorf("hpcm: checkpoint collection: %w", err)

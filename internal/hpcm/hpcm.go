@@ -37,6 +37,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"autoresched/internal/metrics"
 	"autoresched/internal/mpi"
 	"autoresched/internal/vclock"
 )
@@ -93,7 +94,19 @@ type Options struct {
 	// Observer, when set, receives migration phase events synchronously
 	// from the migrating goroutine (fault injection, metrics).
 	Observer MigrationObserver
+	// Metrics, when set, receives the middleware's latency histograms:
+	// hpcm/migration_seconds and hpcm/downtime_seconds (virtual-clock, per
+	// committed migration) and hpcm/checkpoint_seconds (wall-clock, per
+	// checkpoint write). Nil disables.
+	Metrics *metrics.Registry
 }
+
+// Metric names the middleware exports when Options.Metrics is set.
+const (
+	MetricMigrationSeconds  = "hpcm/migration_seconds"
+	MetricDowntimeSeconds   = "hpcm/downtime_seconds"
+	MetricCheckpointSeconds = "hpcm/checkpoint_seconds"
+)
 
 // nullBinder satisfies HostBinder without any host model.
 type nullBinder struct{}
@@ -118,6 +131,7 @@ type Middleware struct {
 	ckptStore CheckpointStore
 	ckptEvery time.Duration
 	observer  MigrationObserver
+	metrics   *metrics.Registry
 	procs     sync.Map // live process directory: name -> *Process
 }
 
@@ -140,6 +154,7 @@ func New(opts Options) (*Middleware, error) {
 		ckptStore: opts.Checkpoints,
 		ckptEvery: opts.CheckpointEvery,
 		observer:  opts.Observer,
+		metrics:   opts.Metrics,
 	}, nil
 }
 

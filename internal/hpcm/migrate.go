@@ -174,6 +174,7 @@ func (c *Context) migrate(label string, sig pendingCmd) error {
 	case p.events <- rec:
 	default:
 	}
+	mw.metrics.Histogram(MetricDowntimeSeconds).Observe(rec.Downtime().Seconds())
 	mw.observe(event(PhaseResume, nil))
 
 	// A failure from here on is post-commit: the destination owns the
@@ -227,7 +228,9 @@ func (c *Context) migrate(label string, sig pendingCmd) error {
 
 	p.mu.Lock()
 	p.records[recIdx].RestoreDone = clock.Now()
+	done := p.records[recIdx]
 	p.mu.Unlock()
+	mw.metrics.Histogram(MetricMigrationSeconds).Observe(done.MigrationTime().Seconds())
 	mw.observe(event(PhaseRestore, nil))
 	return ErrMigrated
 }

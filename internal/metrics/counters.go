@@ -100,10 +100,17 @@ func (c *Counters) Names() []string {
 
 // Render prints the non-zero counters, one per line, sorted by name.
 func (c *Counters) Render() string {
+	names := c.Names()
+	width := 28
+	for _, name := range names {
+		if c.Get(name) != 0 && len(name) > width {
+			width = len(name)
+		}
+	}
 	var b strings.Builder
-	for _, name := range c.Names() {
+	for _, name := range names {
 		if v := c.Get(name); v != 0 {
-			fmt.Fprintf(&b, "%-28s %d\n", name, v)
+			fmt.Fprintf(&b, "%-*s %d\n", width, name, v)
 		}
 	}
 	return b.String()

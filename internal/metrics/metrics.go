@@ -102,7 +102,12 @@ type Recorder struct {
 type poller struct {
 	stop    chan struct{}
 	stopped chan struct{}
+	once    sync.Once
 }
+
+// halt asks the poll goroutine to exit. Idempotent, so the individual stop
+// function and StopPolls can both fire without a double close.
+func (p *poller) halt() { p.once.Do(func() { close(p.stop) }) }
 
 // NewRecorder creates a recorder stamped against clock.
 func NewRecorder(clock vclock.Clock) *Recorder {
@@ -137,7 +142,13 @@ func (r *Recorder) Poll(name string, interval time.Duration, fn func() (float64,
 	r.polls = append(r.polls, p)
 	r.mu.Unlock()
 	go func() {
-		defer close(p.stopped)
+		// A poll that ends on its own (sampling error) must leave r.polls,
+		// or the stale entry would accumulate and StopPolls would wait on
+		// pollers long dead.
+		defer func() {
+			r.removePoll(p)
+			close(p.stopped)
+		}()
 		for {
 			timer := r.clock.NewTimer(interval)
 			select {
@@ -153,12 +164,21 @@ func (r *Recorder) Poll(name string, interval time.Duration, fn func() (float64,
 			r.Record(name, v)
 		}
 	}()
-	var once sync.Once
 	return func() {
-		once.Do(func() {
-			close(p.stop)
-			<-p.stopped
-		})
+		p.halt()
+		<-p.stopped
+	}
+}
+
+// removePoll drops one poller from the registry.
+func (r *Recorder) removePoll(p *poller) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for i, q := range r.polls {
+		if q == p {
+			r.polls = append(r.polls[:i], r.polls[i+1:]...)
+			return
+		}
 	}
 }
 
@@ -169,7 +189,7 @@ func (r *Recorder) StopPolls() {
 	r.polls = nil
 	r.mu.Unlock()
 	for _, p := range polls {
-		close(p.stop)
+		p.halt()
 	}
 	for _, p := range polls {
 		<-p.stopped

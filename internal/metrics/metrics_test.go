@@ -1,6 +1,7 @@
 package metrics
 
 import (
+	"errors"
 	"math"
 	"strings"
 	"testing"
@@ -213,5 +214,61 @@ func TestMeanBoundedProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// Regression: a poll that ends on a sampling error must remove itself from
+// the recorder, and its stop function plus StopPolls must both stay safe —
+// the stale entry used to make StopPolls close an already-closed channel.
+func TestPollErrorPrunesPoller(t *testing.T) {
+	clock := vclock.NewManual(vclock.Epoch)
+	r := NewRecorder(clock)
+	stop := r.Poll("failing", time.Second, func() (float64, error) {
+		return 0, errors.New("sensor broke")
+	})
+	clock.WaitUntilWaiters(1)
+	clock.Advance(time.Second) // fn fires, errors, poller exits
+
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		r.mu.Lock()
+		n := len(r.polls)
+		r.mu.Unlock()
+		if n == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("stale poller still registered: %d", n)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	stop()        // must not hang or panic on the already-dead poller
+	r.StopPolls() // must not double-close the poller's stop channel
+}
+
+// Regression: the individual stop function and StopPolls may both fire for
+// the same live poller; the second close used to panic.
+func TestStopThenStopPolls(t *testing.T) {
+	clock := vclock.NewManual(vclock.Epoch)
+	r := NewRecorder(clock)
+	stop := r.Poll("a", time.Second, func() (float64, error) { return 1, nil })
+	stop()
+	r.StopPolls()
+}
+
+func TestRenderWidensForLongNames(t *testing.T) {
+	c := NewCounters()
+	long := "registry/some_extremely_long_counter_name_total"
+	c.Inc(long)
+	c.Inc("short")
+	out := c.Render()
+	for _, line := range strings.Split(strings.TrimSpace(out), "\n") {
+		i := strings.LastIndex(line, " ")
+		if i <= len(long)-1 && !strings.HasPrefix(line, long) {
+			t.Fatalf("column not aligned past longest name:\n%s", out)
+		}
+	}
+	if !strings.Contains(out, long+" 1") {
+		t.Fatalf("long name squeezed:\n%s", out)
 	}
 }

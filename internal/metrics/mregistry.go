@@ -1,0 +1,265 @@
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Registry is the single home of a runtime's metrics: counters, gauges and
+// histograms, created on first use and rendered in sorted name order so
+// both exposition formats are deterministic. A nil *Registry is usable —
+// every getter returns a nil metric whose methods no-op — so components
+// take an optional registry and instrument unconditionally.
+type Registry struct {
+	mu       sync.Mutex
+	counters *Counters
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry creates an empty metrics registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		gauges: make(map[string]*Gauge),
+		hists:  make(map[string]*Histogram),
+	}
+}
+
+// AttachCounters folds an existing counter set into the registry's output.
+// The registry does not copy: the counters keep living where they are and
+// are read at render time.
+func (r *Registry) AttachCounters(c *Counters) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.counters = c
+	r.mu.Unlock()
+}
+
+// Histogram returns the named histogram, creating it on first use.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = NewHistogram(name)
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = NewGauge(name)
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// HistogramNames returns the registered histogram names, sorted.
+func (r *Registry) HistogramNames() []string {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	names := make([]string, 0, len(r.hists))
+	for name := range r.hists {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Merge folds another registry's histograms and gauges into this one
+// (histograms add bucket-wise, gauges take the other's value) and adds its
+// attached counters into this registry's attached counter set when both
+// exist. Experiments use this to accumulate per-scenario registries into
+// one run-wide snapshot.
+func (r *Registry) Merge(o *Registry) {
+	if r == nil || o == nil {
+		return
+	}
+	o.mu.Lock()
+	hists := make(map[string]*Histogram, len(o.hists))
+	for k, v := range o.hists {
+		hists[k] = v
+	}
+	gauges := make(map[string]*Gauge, len(o.gauges))
+	for k, v := range o.gauges {
+		gauges[k] = v
+	}
+	octr := o.counters
+	o.mu.Unlock()
+
+	for name, h := range hists {
+		r.Histogram(name).Merge(h)
+	}
+	for name, g := range gauges {
+		r.Gauge(name).Set(g.Value())
+	}
+	if octr != nil {
+		r.mu.Lock()
+		mine := r.counters
+		r.mu.Unlock()
+		if mine != nil {
+			for name, v := range octr.Snapshot() {
+				mine.Add(name, v)
+			}
+		}
+	}
+}
+
+// Snapshot is a point-in-time JSON-friendly copy of every metric.
+type Snapshot struct {
+	Counters   map[string]int64             `json:"counters,omitempty"`
+	Gauges     map[string]float64           `json:"gauges,omitempty"`
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+}
+
+// Snapshot copies the registry's state.
+func (r *Registry) Snapshot() Snapshot {
+	s := Snapshot{}
+	if r == nil {
+		return s
+	}
+	r.mu.Lock()
+	ctr := r.counters
+	hists := make(map[string]*Histogram, len(r.hists))
+	for k, v := range r.hists {
+		hists[k] = v
+	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for k, v := range r.gauges {
+		gauges[k] = v
+	}
+	r.mu.Unlock()
+
+	if ctr != nil {
+		s.Counters = ctr.Snapshot()
+	}
+	if len(gauges) > 0 {
+		s.Gauges = make(map[string]float64, len(gauges))
+		for name, g := range gauges {
+			s.Gauges[name] = g.Value()
+		}
+	}
+	if len(hists) > 0 {
+		s.Histograms = make(map[string]HistogramSnapshot, len(hists))
+		for name, h := range hists {
+			s.Histograms[name] = h.Snapshot()
+		}
+	}
+	return s
+}
+
+// WriteJSON emits the snapshot as indented JSON.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Snapshot())
+}
+
+// promName sanitizes a metric name into the Prometheus charset.
+func promName(name string) string {
+	var b strings.Builder
+	for i, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_':
+			b.WriteRune(r)
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				b.WriteByte('_')
+			}
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// WritePrometheus emits every metric in the Prometheus text exposition
+// format (text/plain; version 0.0.4): counters with a _total suffix,
+// gauges as-is, histograms with cumulative le buckets, _sum and _count.
+// Metrics appear in sorted name order.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	ctr := r.counters
+	hists := make(map[string]*Histogram, len(r.hists))
+	for k, v := range r.hists {
+		hists[k] = v
+	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for k, v := range r.gauges {
+		gauges[k] = v
+	}
+	r.mu.Unlock()
+
+	var b strings.Builder
+	if ctr != nil {
+		snap := ctr.Snapshot()
+		names := make([]string, 0, len(snap))
+		for name := range snap {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			pn := promName(name) + "_total"
+			fmt.Fprintf(&b, "# TYPE %s counter\n%s %d\n", pn, pn, snap[name])
+		}
+	}
+	{
+		names := make([]string, 0, len(gauges))
+		for name := range gauges {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			pn := promName(name)
+			fmt.Fprintf(&b, "# TYPE %s gauge\n%s %g\n", pn, pn, gauges[name].Value())
+		}
+	}
+	{
+		names := make([]string, 0, len(hists))
+		for name := range hists {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			pn := promName(name)
+			bounds, cums, total, sum := hists[name].cumulativeBuckets()
+			fmt.Fprintf(&b, "# TYPE %s histogram\n", pn)
+			for i, le := range bounds {
+				fmt.Fprintf(&b, "%s_bucket{le=%q} %d\n", pn, formatLE(le), cums[i])
+			}
+			fmt.Fprintf(&b, "%s_bucket{le=\"+Inf\"} %d\n", pn, total)
+			fmt.Fprintf(&b, "%s_sum %g\n", pn, sum)
+			fmt.Fprintf(&b, "%s_count %d\n", pn, total)
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// formatLE renders a bucket bound the way Prometheus clients expect.
+func formatLE(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }

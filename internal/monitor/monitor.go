@@ -70,7 +70,15 @@ type Config struct {
 	Software []string
 	// Counters, when set, receives the monitor/* control-plane counters.
 	Counters *metrics.Counters
+	// Metrics, when set, receives the monitor's latency histograms
+	// (monitor/cycle_seconds, virtual-clock duration of one
+	// gather-evaluate-report cycle). Nil disables.
+	Metrics *metrics.Registry
 }
+
+// MetricCycleSeconds is the virtual-time duration of one monitor cycle —
+// the per-host rescheduler overhead Figure 5 measures.
+const MetricCycleSeconds = "monitor/cycle_seconds"
 
 // Sample is one monitoring-database record.
 type Sample struct {
@@ -207,6 +215,12 @@ func (m *Monitor) frequency() time.Duration {
 // The loop calls it periodically; tests and the pull-mode registry may call
 // it directly.
 func (m *Monitor) Cycle() (Sample, error) {
+	if m.cfg.Metrics != nil {
+		start := m.clock.Now()
+		defer func() {
+			m.cfg.Metrics.Histogram(MetricCycleSeconds).Observe(m.clock.Now().Sub(start).Seconds())
+		}()
+	}
 	if m.cfg.Charger != nil && m.cfg.GatherCost > 0 {
 		// The gathering scripts consume CPU on the monitored host; this is
 		// the rescheduler overhead of Figure 5.

@@ -60,3 +60,7 @@ func WithSoftware(pkgs []string) Option { return func(c *Config) { c.Software = 
 
 // WithCounters sets the control-plane counter set.
 func WithCounters(m *metrics.Counters) Option { return func(c *Config) { c.Counters = m } }
+
+// WithMetrics sets the metrics registry receiving the monitor's latency
+// histograms.
+func WithMetrics(m *metrics.Registry) Option { return func(c *Config) { c.Metrics = m } }

@@ -301,6 +301,12 @@ func (c *Client) reconnect() error {
 // exponential backoff; remote handler errors are returned immediately,
 // since the request was already processed.
 func (c *Client) Call(m *Message) (*Message, error) {
+	if c.opts.Metrics != nil {
+		start := time.Now()
+		defer func() {
+			c.opts.Metrics.Histogram(MetricCallSeconds).Observe(time.Since(start).Seconds())
+		}()
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.seq++

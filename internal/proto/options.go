@@ -41,6 +41,9 @@ type Options struct {
 	DedupWindow int
 	// Counters, when set, receives the proto/* control-plane counters.
 	Counters *metrics.Counters
+	// Metrics, when set, receives the proto/call_seconds histogram: the
+	// wall-clock duration of each Call, retries and backoff included.
+	Metrics *metrics.Registry
 	// Injector, when set, intercepts outbound messages (drop, duplicate,
 	// delay) — the proto-level fault hook the chaos engine drives.
 	Injector FaultInjector
@@ -90,6 +93,10 @@ func (o Options) backoffFor(attempt int, rng *rand.Rand) time.Duration {
 	}
 	return d
 }
+
+// MetricCallSeconds is the wall-clock duration of one client Call (an
+// approximate metric — retries, backoff and the wire round trip included).
+const MetricCallSeconds = "proto/call_seconds"
 
 // Verdict is a fault injector's decision about one outbound message.
 type Verdict struct {

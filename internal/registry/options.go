@@ -76,3 +76,7 @@ func WithEvents(s events.Sink) Option { return func(c *Config) { c.Events = s } 
 
 // WithCounters sets the control-plane counter set.
 func WithCounters(m *metrics.Counters) Option { return func(c *Config) { c.Counters = m } }
+
+// WithMetrics sets the metrics registry receiving the registry's gauges
+// and latency histograms.
+func WithMetrics(m *metrics.Registry) Option { return func(c *Config) { c.Metrics = m } }

@@ -91,7 +91,19 @@ type Config struct {
 	Events events.Sink
 	// Counters, when set, receives the registry/* control-plane counters.
 	Counters *metrics.Counters
+	// Metrics, when set, receives the registry's gauges and latency
+	// histograms (registry/hosts, registry/decide_seconds). Nil disables.
+	Metrics *metrics.Registry
 }
+
+// Metric names the registry exports when Config.Metrics is set. The hosts
+// gauge tracks registrations; decide_seconds is the wall-clock cost of one
+// scheduling decision (an approximate metric — it never feeds the
+// deterministic experiment sections).
+const (
+	MetricHosts         = "registry/hosts"
+	MetricDecideSeconds = "registry/decide_seconds"
+)
 
 // HostInfo is the registry's view of one host.
 type HostInfo struct {
@@ -275,6 +287,7 @@ func (r *Registry) RegisterHost(host string, static proto.StaticInfo) error {
 	e.info.Name = host
 	e.info.Static = static
 	e.info.LastSeen = r.clock.Now()
+	r.cfg.Metrics.Gauge(MetricHosts).Set(float64(len(r.hosts)))
 	return nil
 }
 
@@ -337,6 +350,7 @@ func (r *Registry) Restart() {
 	r.healthPushed = false
 	r.mu.Unlock()
 	r.cfg.Counters.Inc(metrics.CtrRegistryRestarts)
+	r.cfg.Metrics.Gauge(MetricHosts).Set(0)
 	r.trace(EventRestart, "", 0, "", "soft state dropped")
 }
 
@@ -355,6 +369,7 @@ func (r *Registry) UnregisterHost(host string) error {
 		delete(r.procs, procKey{host, pid})
 	}
 	delete(r.hostProcs, host)
+	r.cfg.Metrics.Gauge(MetricHosts).Set(float64(len(r.hosts)))
 	return nil
 }
 

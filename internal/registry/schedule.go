@@ -2,6 +2,7 @@ package registry
 
 import (
 	"fmt"
+	"time"
 
 	"autoresched/internal/proto"
 	"autoresched/internal/rules"
@@ -125,6 +126,12 @@ func (r *Registry) Candidate(host string) proto.Candidate {
 // warm-up damping, cooldown, process selection, destination choice, and
 // finally the migrate order to the source host's commander.
 func (r *Registry) decide(host string) {
+	if r.cfg.Metrics != nil {
+		start := time.Now()
+		defer func() {
+			r.cfg.Metrics.Histogram(MetricDecideSeconds).Observe(time.Since(start).Seconds())
+		}()
+	}
 	r.mu.Lock()
 	e, ok := r.hosts[host]
 	if !ok {
