@@ -1,7 +1,8 @@
 # Developer entry points. `make check` is what CI (and the tier-1 verify)
-# runs; `make race` additionally race-tests the concurrency-heavy packages;
-# `make ci` is the full gate (vet + build + test + race, a repeated race run
-# of the simulation/experiment packages, a 64-host scale smoke, and the
+# runs; `make lint` runs the static gates (gofmt, go vet, reschedvet);
+# `make race` additionally race-tests the concurrency-heavy packages;
+# `make ci` is the full gate (lint + build + test + race, a repeated race
+# run of the simulation/experiment packages, a 64-host scale smoke, and the
 # benchmark drift guard); `make bench` regenerates BENCH_scale.json.
 
 GO ?= go
@@ -14,7 +15,7 @@ RACE_PKGS = ./internal/proto ./internal/monitor ./internal/registry \
             ./internal/faults ./internal/metrics ./internal/simnet \
             ./internal/events
 
-.PHONY: all build vet test race check ci chaos scale bench benchguard
+.PHONY: all build vet fmtcheck lint test race check ci chaos scale bench benchguard
 
 all: check
 
@@ -24,13 +25,25 @@ build:
 vet:
 	$(GO) vet ./...
 
+# gofmt drift fails the build; the shell substitution makes the offending
+# files part of the error output.
+fmtcheck:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt drift in:"; echo "$$out"; exit 1; fi
+
+# The static gates: formatting, go vet, and the project's own analyzer
+# (cmd/reschedvet), which enforces the determinism and robustness
+# invariants documented in DESIGN.md ("Static invariants").
+lint: fmtcheck vet
+	$(GO) run ./cmd/reschedvet ./...
+
 test:
 	$(GO) test ./...
 
 race:
 	$(GO) test -race $(RACE_PKGS)
 
-check: vet build test
+check: lint build test
 
 # The full gate: everything `check` and `race` run, a repeated race-enabled
 # run of the network simulation and experiment suites (flushing out

@@ -1,0 +1,234 @@
+package analysis
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// moduleRoot walks up from the test's working directory to the directory
+// holding go.mod.
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatalf("getwd: %v", err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatalf("no go.mod above test directory")
+		}
+		dir = parent
+	}
+}
+
+// The module-wide load (go list -export -deps + type-check) is the
+// expensive step, so every test shares one loader. The fixture packages
+// type-check against the same dependency universe.
+var (
+	loadOnce sync.Once
+	loader   *Loader
+	modPkgs  []*Package
+	loadErr  error
+)
+
+func sharedLoader(t *testing.T) (*Loader, []*Package) {
+	t.Helper()
+	loadOnce.Do(func() {
+		root := moduleRoot(t)
+		loader, modPkgs, loadErr = NewLoader(root, []string{"./..."})
+	})
+	if loadErr != nil {
+		t.Fatalf("loading module: %v", loadErr)
+	}
+	return loader, modPkgs
+}
+
+// TestModuleClean is the gate the CI target depends on: the repository's
+// own packages must produce zero unsuppressed findings under the default
+// config.
+func TestModuleClean(t *testing.T) {
+	_, pkgs := sharedLoader(t)
+	findings := RunChecks(DefaultConfig(), pkgs)
+	kept, _ := Filter(findings, pkgs)
+	for _, f := range kept {
+		t.Errorf("unsuppressed finding: %s", f)
+	}
+}
+
+// fixtures maps each testdata package to the import path it impersonates.
+// The registry entry is the acceptance case: a time.Now() added to
+// internal/registry must be reported.
+var fixtures = []struct {
+	dir        string
+	importPath string
+}{
+	{"registry", "autoresched/internal/registry"},
+	{"allowed", "autoresched/cmd/demo"},
+	{"nilrecv", "autoresched/internal/metrics"},
+	{"discard", "example/discard"},
+	{"mutex", "example/mutexdemo"},
+	{"options", "example/optdemo"},
+}
+
+func TestFixtures(t *testing.T) {
+	l, _ := sharedLoader(t)
+	for _, fx := range fixtures {
+		t.Run(fx.dir, func(t *testing.T) {
+			pkg, err := l.LoadDir(filepath.Join("testdata", "src", fx.dir), fx.importPath)
+			if err != nil {
+				t.Fatalf("loading fixture: %v", err)
+			}
+			findings := RunChecks(DefaultConfig(), []*Package{pkg})
+			kept, _ := Filter(findings, []*Package{pkg})
+			matchWants(t, pkg, kept)
+		})
+	}
+}
+
+// want is one expectation parsed from a `// want `+"`regex`"+` comment,
+// anchored to the line the comment sits on.
+type want struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	hit  bool
+}
+
+// matchWants checks findings against the fixture's want comments in both
+// directions: every want must be matched by a finding on its line, and
+// every finding must be expected by a want on its line.
+func matchWants(t *testing.T, pkg *Package, findings []Finding) {
+	t.Helper()
+	var wants []*want
+	for _, file := range pkg.Files {
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				pat, ok := parseWant(t, c.Text)
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				wants = append(wants, &want{
+					file: pos.Filename,
+					line: pos.Line,
+					re:   regexp.MustCompile(pat),
+				})
+			}
+		}
+	}
+	for _, f := range findings {
+		matched := false
+		for _, w := range wants {
+			if w.file == f.Pos.Filename && w.line == f.Pos.Line && w.re.MatchString(f.String()) {
+				w.hit = true
+				matched = true
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected finding: %s", f)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s:%d: want %q, no matching finding", w.file, w.line, w.re)
+		}
+	}
+}
+
+// parseWant extracts the pattern of a `// want "..."` (or backquoted)
+// comment; non-want comments return ok=false.
+func parseWant(t *testing.T, comment string) (string, bool) {
+	t.Helper()
+	rest, ok := strings.CutPrefix(strings.TrimSpace(strings.TrimPrefix(comment, "//")), "want ")
+	if !ok {
+		return "", false
+	}
+	rest = strings.TrimSpace(rest)
+	if len(rest) >= 2 && rest[0] == '`' && rest[len(rest)-1] == '`' {
+		return rest[1 : len(rest)-1], true
+	}
+	s, err := strconv.Unquote(rest)
+	if err != nil {
+		t.Fatalf("malformed want comment %q: %v", comment, err)
+	}
+	return s, true
+}
+
+// TestSuppressionSemantics pins down the suppression rules on the
+// suppress fixture: reasoned suppressions (trailing or above-line) hide
+// their finding, a reasonless one is itself reported without hiding
+// anything, and a wrong-check suppression hides nothing.
+func TestSuppressionSemantics(t *testing.T) {
+	l, _ := sharedLoader(t)
+	pkg, err := l.LoadDir(filepath.Join("testdata", "src", "suppress"), "example/suppressdemo")
+	if err != nil {
+		t.Fatalf("loading fixture: %v", err)
+	}
+	findings := RunChecks(DefaultConfig(), []*Package{pkg})
+	kept, suppressed := Filter(findings, []*Package{pkg})
+
+	if suppressed != 2 {
+		t.Errorf("suppressed = %d, want 2 (trailing + above-line)", suppressed)
+	}
+	byCheck := map[string]int{}
+	for _, f := range kept {
+		byCheck[f.Check]++
+	}
+	if byCheck[CheckSuppression] != 1 {
+		t.Errorf("suppression findings = %d, want 1 (the reasonless comment)", byCheck[CheckSuppression])
+	}
+	if byCheck["determinism"] != 2 {
+		t.Errorf("surviving determinism findings = %d, want 2 (reasonless + wrong check)", byCheck["determinism"])
+		for _, f := range kept {
+			t.Logf("kept: %s", f)
+		}
+	}
+}
+
+// TestDisabledChecks verifies the config kill-switch: disabling
+// determinism silences the registry fixture entirely.
+func TestDisabledChecks(t *testing.T) {
+	l, _ := sharedLoader(t)
+	pkg, err := l.LoadDir(filepath.Join("testdata", "src", "registry"), "autoresched/internal/registry")
+	if err != nil {
+		t.Fatalf("loading fixture: %v", err)
+	}
+	cfg := DefaultConfig()
+	cfg.DisabledChecks = []string{"determinism"}
+	findings := RunChecks(cfg, []*Package{pkg})
+	kept, _ := Filter(findings, []*Package{pkg})
+	for _, f := range kept {
+		t.Errorf("finding survived a disabled check: %s", f)
+	}
+}
+
+func TestMatchPackage(t *testing.T) {
+	cases := []struct {
+		pattern, path string
+		want          bool
+	}{
+		{"internal/vclock", "autoresched/internal/vclock", true},
+		{"internal/vclock", "internal/vclock", true},
+		{"internal/vclock", "autoresched/internal/vclockx", false},
+		{"cmd/...", "autoresched/cmd/reschedvet", true},
+		{"cmd/...", "autoresched/cmd", true},
+		{"cmd/...", "autoresched/internal/commander", false},
+		{"net", "net", true},
+		{"net", "net/http", false},
+		{"internal/proto", "autoresched/internal/proto", true},
+	}
+	for _, c := range cases {
+		if got := matchPackage(c.pattern, c.path); got != c.want {
+			t.Errorf("matchPackage(%q, %q) = %v, want %v", c.pattern, c.path, got, c.want)
+		}
+	}
+}

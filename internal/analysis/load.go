@@ -1,0 +1,171 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// Package is one loaded, type-checked package: the unit a Check runs on.
+type Package struct {
+	Path  string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Loader parses and type-checks packages without golang.org/x/tools: the
+// go command supplies compiled export data for every dependency (via
+// `go list -export -deps`), and go/importer's gc importer reads it through
+// a lookup function. Only the packages under analysis are type-checked
+// from source, so the load cost stays proportional to the module, not its
+// transitive closure.
+//
+// Test files are not loaded: the invariants the checks enforce are about
+// runtime code, and the determinism policy explicitly allowlists *_test.go.
+type Loader struct {
+	fset    *token.FileSet
+	exports map[string]string // import path -> export data file
+	imp     types.ImporterFrom
+}
+
+// listedPkg is the subset of `go list -json` output the loader consumes.
+type listedPkg struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string
+	Export     string
+	Standard   bool
+	DepOnly    bool
+}
+
+// NewLoader runs `go list -export` over patterns in dir and type-checks
+// every matched non-dependency package, returning them in listing order.
+// The returned Loader can then type-check extra out-of-tree package
+// directories (fixtures) against the same dependency universe.
+func NewLoader(dir string, patterns []string) (*Loader, []*Package, error) {
+	args := append([]string{"list", "-export", "-deps",
+		"-json=ImportPath,Dir,GoFiles,Export,Standard,DepOnly"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, nil, fmt.Errorf("go list -export: %v\n%s", err, stderr.String())
+	}
+
+	l := &Loader{
+		fset:    token.NewFileSet(),
+		exports: make(map[string]string),
+	}
+	l.imp = importer.ForCompiler(l.fset, "gc", l.lookup).(types.ImporterFrom)
+
+	var targets []listedPkg
+	dec := json.NewDecoder(&stdout)
+	for {
+		var p listedPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, nil, fmt.Errorf("go list -export: decoding output: %v", err)
+		}
+		if p.Export != "" {
+			l.exports[p.ImportPath] = p.Export
+		}
+		if !p.Standard && !p.DepOnly {
+			targets = append(targets, p)
+		}
+	}
+
+	var pkgs []*Package
+	for _, t := range targets {
+		files := make([]string, len(t.GoFiles))
+		for i, f := range t.GoFiles {
+			files[i] = filepath.Join(t.Dir, f)
+		}
+		pkg, err := l.load(t.ImportPath, files)
+		if err != nil {
+			return nil, nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return l, pkgs, nil
+}
+
+// lookup feeds the gc importer the export data file of an import path.
+func (l *Loader) lookup(path string) (io.ReadCloser, error) {
+	f, ok := l.exports[path]
+	if !ok {
+		return nil, fmt.Errorf("analysis: no export data for %q (not in the dependency graph of the listed patterns)", path)
+	}
+	return os.Open(f)
+}
+
+// LoadDir parses every non-test .go file in dir as one package with the
+// given import path and type-checks it. Fixture tests use this to check
+// files that are outside the module's package graph; the synthetic import
+// path lets a fixture impersonate any package the config treats specially.
+func (l *Loader) LoadDir(dir, importPath string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		files = append(files, filepath.Join(dir, name))
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("analysis: no .go files in %s", dir)
+	}
+	return l.load(importPath, files)
+}
+
+// load parses and type-checks one package from explicit file paths.
+func (l *Loader) load(importPath string, filenames []string) (*Package, error) {
+	var files []*ast.File
+	for _, name := range filenames {
+		f, err := parser.ParseFile(l.fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	var typeErrs []error
+	conf := types.Config{
+		Importer: l.imp,
+		Error:    func(err error) { typeErrs = append(typeErrs, err) },
+	}
+	tpkg, _ := conf.Check(importPath, l.fset, files, info)
+	if len(typeErrs) > 0 {
+		return nil, fmt.Errorf("analysis: type-checking %s: %v", importPath, typeErrs[0])
+	}
+	return &Package{
+		Path:  importPath,
+		Fset:  l.fset,
+		Files: files,
+		Types: tpkg,
+		Info:  info,
+	}, nil
+}

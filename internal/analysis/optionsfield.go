@@ -1,0 +1,102 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// checkOptionsField flags dead configuration: an exported field on a
+// struct type named Options that the declaring package never reads.
+// Options structs are write-only for callers — the declaring package is
+// the one that must consume each knob — so a field with no read is a
+// setting that silently does nothing, the config analogue of a dropped
+// error.
+//
+// Writes (assignments, composite literal keys) do not count as reads;
+// taking a field's address does.
+func checkOptionsField(cfg Config, pkg *Package) []Finding {
+	// Exported fields of structs named Options, keyed by object.
+	type fieldInfo struct {
+		structName string
+		ident      *ast.Ident
+	}
+	fields := make(map[types.Object]fieldInfo)
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok || ts.Name.Name != "Options" {
+					continue
+				}
+				st, ok := ts.Type.(*ast.StructType)
+				if !ok {
+					continue
+				}
+				for _, f := range st.Fields.List {
+					for _, name := range f.Names {
+						if name.IsExported() {
+							fields[pkg.Info.Defs[name]] = fieldInfo{ts.Name.Name, name}
+						}
+					}
+				}
+			}
+		}
+	}
+	if len(fields) == 0 {
+		return nil
+	}
+
+	// Selector expressions that are pure write targets (the LHS of a
+	// plain assignment). Compound assignments (+=) read too.
+	writes := make(map[*ast.SelectorExpr]bool)
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			assign, ok := n.(*ast.AssignStmt)
+			if !ok || assign.Tok.String() != "=" {
+				return true
+			}
+			for _, lhs := range assign.Lhs {
+				if sel, ok := ast.Unparen(lhs).(*ast.SelectorExpr); ok {
+					writes[sel] = true
+				}
+			}
+			return true
+		})
+	}
+
+	read := make(map[types.Object]bool)
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || writes[sel] {
+				return true
+			}
+			selection, ok := pkg.Info.Selections[sel]
+			if !ok || selection.Kind() != types.FieldVal {
+				return true
+			}
+			if _, tracked := fields[selection.Obj()]; tracked {
+				read[selection.Obj()] = true
+			}
+			return true
+		})
+	}
+
+	var findings []Finding
+	for obj, info := range fields {
+		if read[obj] {
+			continue
+		}
+		findings = append(findings, Finding{
+			Pos:   pkg.Fset.Position(info.ident.Pos()),
+			Check: "optionsfield",
+			Msg: "exported field " + info.structName + "." + info.ident.Name +
+				" is never read by " + pkg.Types.Name() + " (dead configuration)",
+		})
+	}
+	return findings
+}

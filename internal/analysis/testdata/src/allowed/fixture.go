@@ -1,0 +1,17 @@
+// Fixture loaded as autoresched/cmd/demo: binaries are allowlisted for
+// wall-clock use, so nothing here may be reported.
+package main
+
+import (
+	"math/rand"
+	"time"
+)
+
+func now() time.Time { return time.Now() }
+
+func draw() int { return rand.Intn(6) }
+
+func main() {
+	_ = now()
+	_ = draw()
+}

@@ -1,0 +1,41 @@
+// Fixture for the discarded-error check: calls into the control-plane
+// packages (internal/proto here) must not drop their errors.
+package discard
+
+import (
+	"io"
+
+	"autoresched/internal/proto"
+)
+
+func blanked(w io.Writer, data []byte) {
+	_ = proto.WriteFrame(w, data) // want `\[discardederr\] error returned by proto\.WriteFrame is assigned to _`
+}
+
+func bare(w io.Writer, data []byte) {
+	proto.WriteFrame(w, data) // want `\[discardederr\] error returned by proto\.WriteFrame is dropped by a bare call`
+}
+
+func multi(c *proto.Client, m *proto.Message) *proto.Message {
+	resp, _ := c.Call(m) // want `\[discardederr\] error returned by \(proto\.Client\)\.Call is assigned to _`
+	return resp
+}
+
+// handled propagates the error: compliant.
+func handled(w io.Writer, data []byte) error {
+	return proto.WriteFrame(w, data)
+}
+
+// checked consumes the error: compliant.
+func checked(r io.Reader) []byte {
+	data, err := proto.ReadFrame(r)
+	if err != nil {
+		return nil
+	}
+	return data
+}
+
+// deferred teardown is exempt: defer c.Close() has no useful error path.
+func deferred(c *proto.Client) {
+	defer c.Close()
+}

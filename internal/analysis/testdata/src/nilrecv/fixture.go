@@ -1,0 +1,53 @@
+// Fixture loaded as autoresched/internal/metrics: every exported
+// pointer-receiver method on an exported type must open with a
+// nil-receiver guard.
+package metrics
+
+// Meter is an exported type with pointer-receiver methods.
+type Meter struct{ v int }
+
+// Value opens with the guard: compliant.
+func (m *Meter) Value() int {
+	if m == nil {
+		return 0
+	}
+	return m.v
+}
+
+// Inverted guard order is also compliant.
+func (m *Meter) Peek() int {
+	if nil == m {
+		return 0
+	}
+	return m.v
+}
+
+func (m *Meter) Add(d int) { // want `\[nilreceiver\] exported method \(\*Meter\)\.Add must begin with a nil-receiver guard`
+	m.v += d
+}
+
+func (m *Meter) Reset() { // want `\[nilreceiver\] exported method \(\*Meter\)\.Reset must begin with a nil-receiver guard`
+	v := 0
+	if m == nil {
+		return
+	}
+	m.v = v
+}
+
+func (*Meter) Kind() string { // want `\[nilreceiver\] exported method \(\*Meter\)\.Kind has an unnamed receiver`
+	return "meter"
+}
+
+// Snapshot has a value receiver: a nil pointer cannot reach it.
+func (m Meter) Snapshot() int { return m.v }
+
+// bump is unexported: internal callers own the nil discipline.
+func (m *Meter) bump() { m.v++ }
+
+// gauge is unexported, so its methods are out of scope.
+type gauge struct{ v int }
+
+func (g *gauge) Set(v int) { g.v = v }
+
+var _ = (&Meter{}).bump
+var _ = (&gauge{}).Set

@@ -1,0 +1,24 @@
+// Fixture for the options-hygiene check: an exported Options field the
+// declaring package never reads is dead configuration.
+package optdemo
+
+// Options configures the demo component.
+type Options struct {
+	// Workers is read by apply: live configuration.
+	Workers int
+	// Verbose is accepted but never consulted.
+	Verbose bool // want `\[optionsfield\] exported field Options\.Verbose is never read by optdemo \(dead configuration\)`
+
+	// limit is unexported: out of scope.
+	limit int
+}
+
+func apply(o Options) int {
+	o.Verbose = false // a plain-assignment write does not count as a read
+	return o.Workers
+}
+
+func setLimit(o *Options) { o.limit = 3 }
+
+var _ = apply
+var _ = setLimit

@@ -1,0 +1,41 @@
+// Fixture loaded as autoresched/internal/registry: the acceptance case for
+// the determinism check — a wall-clock read slipped into the registry must
+// be reported.
+package registry
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Timestamp reads the wall clock directly — the exact regression the
+// determinism check exists to catch.
+func Timestamp() time.Time {
+	return time.Now() // want `\[determinism\] time\.Now reads the wall clock`
+}
+
+// Pause sleeps on the real clock.
+func Pause() {
+	time.Sleep(time.Millisecond) // want `\[determinism\] time\.Sleep reads the wall clock`
+}
+
+// Draw uses the process-global, wall-seeded source.
+func Draw() int {
+	return rand.Intn(10) // want `\[determinism\] rand\.Intn draws from the global wall-seeded source`
+}
+
+// SeededDraw is fine: methods on an explicitly seeded *rand.Rand are
+// deterministic.
+func SeededDraw(rng *rand.Rand) int {
+	return rng.Intn(10)
+}
+
+// DeadlinePassed is fine: time.Time methods are pure value operations.
+func DeadlinePassed(deadline, now time.Time) bool {
+	return now.After(deadline)
+}
+
+// AllowedTimestamp shows a reasoned site suppression surviving the check.
+func AllowedTimestamp() time.Time {
+	return time.Now() //lint:allow determinism fixture demonstrates a reasoned suppression
+}

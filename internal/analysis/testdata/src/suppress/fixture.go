@@ -1,0 +1,35 @@
+// Fixture for suppression semantics. The expectations live in the test
+// (TestSuppressionSemantics) rather than want comments, because a
+// malformed //lint:allow is itself the finding under test and cannot
+// share its line with a want marker.
+package suppressdemo
+
+import "time"
+
+// stamp is suppressed with a reason: no finding survives.
+func stamp() time.Time {
+	return time.Now() //lint:allow determinism demo of a valid trailing suppression
+}
+
+// stampAbove is suppressed from the line above: no finding survives.
+func stampAbove() time.Time {
+	//lint:allow determinism demo of an above-line suppression
+	return time.Now()
+}
+
+// stampBad has a reasonless suppression: the comment is reported and the
+// finding it sits on survives.
+func stampBad() time.Time {
+	//lint:allow determinism
+	return time.Now()
+}
+
+// stampWrong suppresses the wrong check: the determinism finding survives.
+func stampWrong() time.Time {
+	return time.Now() //lint:allow nilreceiver misdirected suppression
+}
+
+var _ = stamp
+var _ = stampAbove
+var _ = stampBad
+var _ = stampWrong

@@ -239,7 +239,7 @@ func runChaosScenario(cfg ChaosConfig, sc chaosScenario) (ChaosRow, error) {
 			select {
 			case <-app.Settled():
 				settled = true
-			case <-time.After(100 * time.Millisecond):
+			case <-clock.After(100 * time.Millisecond):
 			}
 		}
 	}

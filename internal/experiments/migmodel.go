@@ -42,10 +42,10 @@ func MigrationModel(seed int64, n int) []metrics.SpanStat {
 		size *= 0.75 + 0.5*rng.Float64()
 		eager := size * (0.2 + 0.3*rng.Float64())
 
-		pollWait := secs(rng.Float64() * 2)                      // order → next poll point
-		initLat := spawnLat + secs(rng.Float64()*0.05)           // spawn + handshake
-		transfer := secs(eager / bandwidth)                      // eager state on the wire
-		restore := secs((size - eager) / bandwidth)              // lazy pages on demand
+		pollWait := secs(rng.Float64() * 2)            // order → next poll point
+		initLat := spawnLat + secs(rng.Float64()*0.05) // spawn + handshake
+		transfer := secs(eager / bandwidth)            // eager state on the wire
+		restore := secs((size - eager) / bandwidth)    // lazy pages on demand
 		proc := fmt.Sprintf("model%d", i)
 
 		order := t

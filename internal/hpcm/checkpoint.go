@@ -144,9 +144,9 @@ func (c *Context) checkpointNow(label string) error {
 		return errors.New("hpcm: no checkpoint store configured")
 	}
 	if mw.metrics != nil {
-		start := time.Now()
+		start := time.Now() //lint:allow determinism checkpoint_seconds is a wall-clock metric by contract (approximate section)
 		defer func() {
-			mw.metrics.Histogram(MetricCheckpointSeconds).Observe(time.Since(start).Seconds())
+			mw.metrics.Histogram(MetricCheckpointSeconds).Observe(time.Since(start).Seconds()) //lint:allow determinism checkpoint_seconds is a wall-clock metric by contract
 		}()
 	}
 	eager, lazy, err := c.state.collect()

@@ -114,7 +114,9 @@ type nullBinder struct{}
 type nullProc struct{ started time.Time }
 
 func (nullBinder) Attach(string, string, int64) (HostProc, error) {
-	return &nullProc{started: time.Now()}, nil
+	// The wall start is intentional: Started() feeds completion estimates,
+	// and pinning it to a fixed epoch reorders migration selection.
+	return &nullProc{started: time.Now()}, nil //lint:allow determinism nullProc start feeds completion estimates; pinning it reorders scheduling
 }
 func (p *nullProc) PID() int              { return 0 }
 func (p *nullProc) Started() time.Time    { return p.started }

@@ -57,7 +57,12 @@ func (c *Counters) Add(name string, delta int64) {
 }
 
 // Inc increments a counter by one.
-func (c *Counters) Inc(name string) { c.Add(name, 1) }
+func (c *Counters) Inc(name string) {
+	if c == nil {
+		return
+	}
+	c.Add(name, 1)
+}
 
 // Get returns a counter's value (0 if never incremented or nil receiver).
 func (c *Counters) Get(name string) int64 {
@@ -71,10 +76,10 @@ func (c *Counters) Get(name string) int64 {
 
 // Snapshot returns a copy of all counters.
 func (c *Counters) Snapshot() map[string]int64 {
-	out := make(map[string]int64)
 	if c == nil {
-		return out
+		return map[string]int64{}
 	}
+	out := make(map[string]int64)
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	for k, v := range c.m {
@@ -100,6 +105,9 @@ func (c *Counters) Names() []string {
 
 // Render prints the non-zero counters, one per line, sorted by name.
 func (c *Counters) Render() string {
+	if c == nil {
+		return ""
+	}
 	names := c.Names()
 	width := 28
 	for _, name := range names {

@@ -16,8 +16,8 @@ import (
 // byte-identical quantiles even when the raw values jitter.
 const (
 	bucketsPerDecade = 5
-	histDecades      = 10    // 1e-6 s .. 1e4 s
-	histMin          = 1e-6  // upper bound of the first bucket, seconds
+	histDecades      = 10   // 1e-6 s .. 1e4 s
+	histMin          = 1e-6 // upper bound of the first bucket, seconds
 	numBounds        = bucketsPerDecade*histDecades + 1
 )
 
@@ -113,7 +113,10 @@ func (h *Histogram) Sum() float64 {
 // Merge folds another histogram's counts into this one. Buckets are shared
 // by construction, so merging is a plain per-bucket addition.
 func (h *Histogram) Merge(o *Histogram) {
-	if h == nil || o == nil {
+	if h == nil {
+		return
+	}
+	if o == nil {
 		return
 	}
 	o.mu.Lock()
@@ -171,6 +174,9 @@ func (h *Histogram) quantileLocked(q float64) float64 {
 // a sample population whose values sit near a decade bound still flips
 // between adjacent decades when the underlying timings jitter.
 func (h *Histogram) DecadeQuantile(q float64) float64 {
+	if h == nil {
+		return 0
+	}
 	v := h.Quantile(q)
 	if v == 0 || math.IsInf(v, 1) {
 		return v

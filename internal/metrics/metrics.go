@@ -32,6 +32,9 @@ type Series struct {
 
 // Values returns just the sample values.
 func (s *Series) Values() []float64 {
+	if s == nil {
+		return nil
+	}
 	out := make([]float64, len(s.Points))
 	for i, p := range s.Points {
 		out[i] = p.V
@@ -40,10 +43,18 @@ func (s *Series) Values() []float64 {
 }
 
 // Mean returns the arithmetic mean of the series (0 for empty).
-func (s *Series) Mean() float64 { return Mean(s.Values()) }
+func (s *Series) Mean() float64 {
+	if s == nil {
+		return 0
+	}
+	return Mean(s.Values())
+}
 
 // Max returns the maximum value (0 for empty).
 func (s *Series) Max() float64 {
+	if s == nil {
+		return 0
+	}
 	best := math.Inf(-1)
 	for _, p := range s.Points {
 		if p.V > best {
@@ -58,6 +69,9 @@ func (s *Series) Max() float64 {
 
 // Window returns the sub-series within [from, to).
 func (s *Series) Window(from, to time.Time) *Series {
+	if s == nil {
+		return &Series{}
+	}
 	out := &Series{Name: s.Name}
 	for _, p := range s.Points {
 		if !p.T.Before(from) && p.T.Before(to) {
@@ -88,7 +102,10 @@ func OverheadPct(with, without float64) float64 {
 	return 100 * (with - without) / without
 }
 
-// Recorder collects named series against a clock.
+// Recorder collects named series against a clock. A nil *Recorder is a
+// no-op: recording is dropped, lookups return empty series, and Poll
+// returns a stop function without starting a poller, so components can
+// treat the recorder as optional.
 type Recorder struct {
 	clock vclock.Clock
 	start time.Time
@@ -119,10 +136,18 @@ func NewRecorder(clock vclock.Clock) *Recorder {
 }
 
 // Start returns the recorder's creation instant.
-func (r *Recorder) Start() time.Time { return r.start }
+func (r *Recorder) Start() time.Time {
+	if r == nil {
+		return time.Time{}
+	}
+	return r.start
+}
 
 // Record appends a sample to a series, creating it on first use.
 func (r *Recorder) Record(name string, v float64) {
+	if r == nil {
+		return
+	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	s, ok := r.series[name]
@@ -137,6 +162,9 @@ func (r *Recorder) Record(name string, v float64) {
 // Poll samples fn every interval into the named series until StopPolls (or
 // the returned stop function) is called. Sampling errors end the poll.
 func (r *Recorder) Poll(name string, interval time.Duration, fn func() (float64, error)) (stop func()) {
+	if r == nil {
+		return func() {}
+	}
 	p := &poller{stop: make(chan struct{}), stopped: make(chan struct{})}
 	r.mu.Lock()
 	r.polls = append(r.polls, p)
@@ -184,6 +212,9 @@ func (r *Recorder) removePoll(p *poller) {
 
 // StopPolls halts every poller started with Poll.
 func (r *Recorder) StopPolls() {
+	if r == nil {
+		return
+	}
 	r.mu.Lock()
 	polls := r.polls
 	r.polls = nil
@@ -198,6 +229,9 @@ func (r *Recorder) StopPolls() {
 
 // Series returns a copy of the named series (empty series if unknown).
 func (r *Recorder) Series(name string) *Series {
+	if r == nil {
+		return &Series{Name: name}
+	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	s, ok := r.series[name]
@@ -210,6 +244,9 @@ func (r *Recorder) Series(name string) *Series {
 
 // Names returns the recorded series names in first-use order.
 func (r *Recorder) Names() []string {
+	if r == nil {
+		return nil
+	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return append([]string(nil), r.order...)
@@ -319,6 +356,9 @@ func Sparkline(s *Series) string {
 // Quantile returns the q-quantile (0..1) of the series values by linear
 // interpolation; 0 for an empty series.
 func (s *Series) Quantile(q float64) float64 {
+	if s == nil {
+		return 0
+	}
 	if len(s.Points) == 0 {
 		return 0
 	}

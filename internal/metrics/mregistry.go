@@ -93,7 +93,10 @@ func (r *Registry) HistogramNames() []string {
 // exist. Experiments use this to accumulate per-scenario registries into
 // one run-wide snapshot.
 func (r *Registry) Merge(o *Registry) {
-	if r == nil || o == nil {
+	if r == nil {
+		return
+	}
+	if o == nil {
 		return
 	}
 	o.mu.Lock()
@@ -135,10 +138,10 @@ type Snapshot struct {
 
 // Snapshot copies the registry's state.
 func (r *Registry) Snapshot() Snapshot {
-	s := Snapshot{}
 	if r == nil {
-		return s
+		return Snapshot{}
 	}
+	s := Snapshot{}
 	r.mu.Lock()
 	ctr := r.counters
 	hists := make(map[string]*Histogram, len(r.hists))
@@ -169,8 +172,13 @@ func (r *Registry) Snapshot() Snapshot {
 	return s
 }
 
-// WriteJSON emits the snapshot as indented JSON.
+// WriteJSON emits the snapshot as indented JSON. A nil registry writes
+// the empty snapshot, keeping the output shape stable.
 func (r *Registry) WriteJSON(w io.Writer) error {
+	if r == nil {
+		_, err := io.WriteString(w, "{}\n")
+		return err
+	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(r.Snapshot())

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"autoresched/internal/metrics"
+	"autoresched/internal/vclock"
 )
 
 // maxFrame bounds a single message to keep a malformed peer from forcing a
@@ -54,6 +55,7 @@ type Conn struct {
 	wr       sync.Mutex
 	injector FaultInjector
 	counters *metrics.Counters
+	clock    vclock.Clock
 }
 
 // NewConn wraps a stream.
@@ -65,6 +67,18 @@ func (c *Conn) SetInjector(f FaultInjector, counters *metrics.Counters) {
 	c.counters = counters
 }
 
+// SetClock sets the clock pacing injected delays. Nil (the default)
+// selects the real clock.
+func (c *Conn) SetClock(clock vclock.Clock) { c.clock = clock }
+
+func (c *Conn) sleep(d time.Duration) {
+	if c.clock != nil {
+		c.clock.Sleep(d)
+		return
+	}
+	vclock.Real().Sleep(d)
+}
+
 // Send encodes and writes one message. An installed fault injector may
 // drop it (Send reports success; the peer never sees the message),
 // duplicate it, or delay it.
@@ -73,7 +87,7 @@ func (c *Conn) Send(m *Message) error {
 		v := c.injector.Outbound(m)
 		if v.Delay > 0 {
 			c.counters.Inc(metrics.CtrProtoDelayed)
-			time.Sleep(v.Delay)
+			c.sleep(v.Delay)
 		}
 		if v.Drop {
 			c.counters.Inc(metrics.CtrProtoDropped)
@@ -290,6 +304,7 @@ func (c *Client) reconnect() error {
 	}
 	c.raw = raw
 	c.conn = NewConn(raw)
+	c.conn.SetClock(c.opts.Clock)
 	if c.opts.Injector != nil {
 		c.conn.SetInjector(c.opts.Injector, c.opts.Counters)
 	}
@@ -302,9 +317,9 @@ func (c *Client) reconnect() error {
 // since the request was already processed.
 func (c *Client) Call(m *Message) (*Message, error) {
 	if c.opts.Metrics != nil {
-		start := time.Now()
+		start := time.Now() //lint:allow determinism call_seconds is a wall-clock metric by contract (approximate section)
 		defer func() {
-			c.opts.Metrics.Histogram(MetricCallSeconds).Observe(time.Since(start).Seconds())
+			c.opts.Metrics.Histogram(MetricCallSeconds).Observe(time.Since(start).Seconds()) //lint:allow determinism call_seconds is a wall-clock metric by contract
 		}()
 	}
 	c.mu.Lock()
@@ -320,7 +335,7 @@ func (c *Client) Call(m *Message) (*Message, error) {
 	retries := c.opts.retries()
 	for attempt := 1; attempt <= retries; attempt++ {
 		if d := c.opts.backoffFor(attempt, c.rng); d > 0 {
-			time.Sleep(d)
+			c.opts.clock().Sleep(d)
 		}
 		c.opts.Counters.Inc(metrics.CtrProtoRetries)
 		if rerr := c.reconnect(); rerr != nil {
@@ -341,7 +356,9 @@ func (c *Client) callOnce(m *Message) (*Message, error) {
 		return nil, fmt.Errorf("proto: client closed")
 	}
 	if d := c.opts.CallTimeout; d > 0 {
-		c.raw.SetDeadline(time.Now().Add(d))
+		// The kernel's socket deadline is necessarily a wall instant.
+		c.raw.SetDeadline(time.Now().Add(d)) //lint:allow determinism net deadlines are wall instants
+
 		defer c.raw.SetDeadline(time.Time{})
 	}
 	if err := c.conn.Send(m); err != nil {
@@ -361,13 +378,13 @@ func (c *Client) callOnce(m *Message) (*Message, error) {
 // (reconnects included).
 func (c *Client) Close() error {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	c.closed = true
 	c.conn = nil
-	if c.raw != nil {
-		err := c.raw.Close()
-		c.raw = nil
-		return err
+	raw := c.raw
+	c.raw = nil
+	c.mu.Unlock()
+	if raw != nil {
+		return raw.Close()
 	}
 	return nil
 }

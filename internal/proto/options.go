@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"autoresched/internal/metrics"
+	"autoresched/internal/vclock"
 )
 
 // Options tunes the robustness behaviour of clients and servers. The zero
@@ -47,6 +48,17 @@ type Options struct {
 	// Injector, when set, intercepts outbound messages (drop, duplicate,
 	// delay) — the proto-level fault hook the chaos engine drives.
 	Injector FaultInjector
+	// Clock paces retry backoff and injected delays. Nil selects the real
+	// clock; sim harnesses pass their scaled or manual clock so proto
+	// sleeps stay in virtual time.
+	Clock vclock.Clock
+}
+
+func (o Options) clock() vclock.Clock {
+	if o.Clock == nil {
+		return vclock.Real()
+	}
+	return o.Clock
 }
 
 func (o Options) dialTimeout() time.Duration {

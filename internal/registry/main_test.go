@@ -1,0 +1,12 @@
+package registry
+
+import (
+	"testing"
+
+	"autoresched/internal/testutil"
+)
+
+// TestMain fails the package's test run if goroutines started by the tests
+// are still alive after they finish — servers, pollers and batchers must all
+// shut down cleanly.
+func TestMain(m *testing.M) { testutil.VerifyTestMain(m) }

@@ -1,0 +1,133 @@
+// Package testutil holds shared test harness helpers. It is test-support
+// code: production packages must not import it.
+package testutil
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// VerifyTestMain runs a package's tests and then fails the run if goroutines
+// started during the tests are still alive afterwards. Wire it in as
+//
+//	func TestMain(m *testing.M) { testutil.VerifyTestMain(m) }
+//
+// Leak detection is snapshot-based: stacks present before m.Run are
+// grandfathered (the test binary's own plumbing), and goroutines that are
+// merely slow to wind down get a grace period of retries before they count
+// as leaks. The check needs only the standard library — runtime.Stack gives
+// us every goroutine's creation site.
+func VerifyTestMain(m *testing.M) {
+	before := goroutineStacks()
+	code := m.Run()
+	if code == 0 {
+		if leaked := awaitNoLeaks(before); len(leaked) > 0 {
+			fmt.Fprintf(os.Stderr, "testutil: %d leaked goroutine(s) after tests:\n\n", len(leaked))
+			for _, s := range leaked {
+				fmt.Fprintf(os.Stderr, "%s\n\n", s)
+			}
+			code = 1
+		}
+	}
+	os.Exit(code)
+}
+
+// awaitNoLeaks polls until every goroutine not in the before set has exited,
+// or the grace period runs out, and returns the stragglers' stacks. Shutdown
+// is asynchronous all over this codebase (servers drain accept loops,
+// pollers notice a closed channel on their next tick), so one immediate
+// snapshot would be all false positives.
+func awaitNoLeaks(before map[string]bool) []string {
+	var leaked []string
+	for attempt := 0; attempt < 40; attempt++ {
+		leaked = leaked[:0]
+		for _, s := range stackDump() {
+			if !before[creationSite(s)] && !ignorable(s) {
+				leaked = append(leaked, s)
+			}
+		}
+		if len(leaked) == 0 {
+			return nil
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	return leaked
+}
+
+// goroutineStacks returns one stack trace per live goroutine, keyed for the
+// before-set by creation site.
+func goroutineStacks() map[string]bool {
+	set := make(map[string]bool)
+	for _, s := range stackDump() {
+		set[creationSite(s)] = true
+	}
+	return set
+}
+
+func stackDump() []string {
+	buf := make([]byte, 1<<20)
+	for {
+		n := runtime.Stack(buf, true)
+		if n < len(buf) {
+			buf = buf[:n]
+			break
+		}
+		buf = make([]byte, 2*len(buf))
+	}
+	var out []string
+	for _, s := range strings.Split(string(buf), "\n\n") {
+		if strings.TrimSpace(s) != "" {
+			out = append(out, strings.TrimSpace(s))
+		}
+	}
+	return out
+}
+
+// creationSite extracts the "created by ..." line (plus the goroutine's
+// current top frame's function) as a stable identity for a goroutine class.
+// Goroutine IDs are useless across snapshots — the same leak gets a new ID
+// every run — but the creation site names the code that must be fixed.
+func creationSite(stack string) string {
+	lines := strings.Split(stack, "\n")
+	var top, created string
+	if len(lines) > 1 {
+		top = strings.TrimSpace(lines[1])
+	}
+	for _, l := range lines {
+		if strings.HasPrefix(strings.TrimSpace(l), "created by ") {
+			created = strings.TrimSpace(l)
+			break
+		}
+	}
+	return created + " | " + top
+}
+
+// ignorable reports stacks that are runtime or testing machinery, never a
+// product leak: the garbage collector's workers, the testing package's own
+// goroutines, and this checker itself.
+func ignorable(stack string) bool {
+	for _, frag := range []string{
+		"runtime.gc",
+		"runtime.bgsweep",
+		"runtime.bgscavenge",
+		"runtime.forcegchelper",
+		"runtime/trace",
+		"testing.(*M).",
+		"testing.(*T).",
+		"testing.tRunner",
+		"testutil.VerifyTestMain",
+		"os/signal.signal_recv",
+		"os/signal.loop",
+		"runtime.ReadTrace",
+	} {
+		if strings.Contains(stack, frag) {
+			return true
+		}
+	}
+	// The first line of the first stack is this goroutine itself.
+	return strings.HasPrefix(stack, "goroutine 1 ")
+}

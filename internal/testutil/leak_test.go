@@ -1,0 +1,58 @@
+package testutil
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestLeakDetection checks the core mechanics: a goroutine spawned after the
+// snapshot shows up as a leak, and disappears from the diff once released.
+func TestLeakDetection(t *testing.T) {
+	before := goroutineStacks()
+
+	release := make(chan struct{})
+	started := make(chan struct{})
+	go func() {
+		close(started)
+		<-release
+	}()
+	<-started
+
+	leaked := diffStacks(before)
+	if len(leaked) == 0 {
+		t.Fatalf("blocked goroutine not detected as a leak")
+	}
+	found := false
+	for _, s := range leaked {
+		if strings.Contains(s, "TestLeakDetection") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("leak stacks do not name the spawning test:\n%s", strings.Join(leaked, "\n\n"))
+	}
+
+	close(release)
+	if leaked := awaitNoLeaks(before); len(leaked) > 0 {
+		t.Fatalf("released goroutine still reported leaked:\n%s", strings.Join(leaked, "\n\n"))
+	}
+}
+
+// diffStacks is one non-waiting pass of the leak scan.
+func diffStacks(before map[string]bool) []string {
+	var leaked []string
+	for _, s := range stackDump() {
+		if !before[creationSite(s)] && !ignorable(s) {
+			leaked = append(leaked, s)
+		}
+	}
+	return leaked
+}
+
+func TestIgnorableFiltersHarness(t *testing.T) {
+	for _, s := range stackDump() {
+		if strings.Contains(s, "testing.tRunner") && !ignorable(s) {
+			t.Fatalf("test harness stack not ignorable:\n%s", s)
+		}
+	}
+}
