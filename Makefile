@@ -3,7 +3,8 @@
 # `make race` additionally race-tests the concurrency-heavy packages;
 # `make ci` is the full gate (lint + build + test + race, a repeated race
 # run of the simulation/experiment packages, a 64-host scale smoke, and the
-# benchmark drift guard); `make bench` regenerates BENCH_scale.json.
+# benchmark drift guard); `make bench` regenerates BENCH_scale.json and
+# BENCH_livemig.json.
 
 GO ?= go
 
@@ -13,7 +14,7 @@ GO ?= go
 RACE_PKGS = ./internal/proto ./internal/monitor ./internal/registry \
             ./internal/commander ./internal/hpcm ./internal/core \
             ./internal/faults ./internal/metrics ./internal/simnet \
-            ./internal/events
+            ./internal/events ./internal/livemig
 
 .PHONY: all build vet fmtcheck lint test race check ci chaos scale bench benchguard
 
@@ -68,19 +69,24 @@ scale: build
 # Scheduling microbenchmarks -> BENCH_scale.json: status-ingest throughput
 # (direct vs batched), candidate selection at 512 hosts (state-indexed vs
 # the seed's re-sort baseline), the 64->512 growth sweep, and one whole
-# 64-host sweep end to end.
+# 64-host sweep end to end. Live-migration microbenchmarks (paged writes,
+# dirty scans, modeled downtime) -> BENCH_livemig.json.
 bench: build
 	{ $(GO) test -run '^$$' -bench 'BenchmarkRegistryReportStatus|BenchmarkCandidate' \
 	      -benchtime 1000x ./internal/registry ; \
 	  $(GO) test -run '^$$' -bench BenchmarkScale64 -benchtime 1x ./internal/experiments ; } \
 	| $(GO) run ./cmd/benchjson -o BENCH_scale.json
+	$(GO) test -run '^$$' -bench . -benchtime 1000x ./internal/livemig \
+	| $(GO) run ./cmd/benchjson -o BENCH_livemig.json
 
-# Drift guard: regenerate BENCH_scale.json and fail if any benchmark
-# regressed more than 3x against the committed report — a coarse fence
-# against algorithmic regressions that survives machine-to-machine ns/op
-# variation.
+# Drift guard: regenerate the benchmark reports and fail if any benchmark
+# regressed more than 3x against the committed ones — a coarse fence
+# against algorithmic regressions (and >3x downtime blowups in the live
+# migration model) that survives machine-to-machine ns/op variation.
 benchguard: build
 	{ $(GO) test -run '^$$' -bench 'BenchmarkRegistryReportStatus|BenchmarkCandidate' \
 	      -benchtime 1000x ./internal/registry ; \
 	  $(GO) test -run '^$$' -bench BenchmarkScale64 -benchtime 1x ./internal/experiments ; } \
 	| $(GO) run ./cmd/benchjson -o BENCH_scale.json -baseline BENCH_scale.json -max-ratio 3
+	$(GO) test -run '^$$' -bench . -benchtime 1000x ./internal/livemig \
+	| $(GO) run ./cmd/benchjson -o BENCH_livemig.json -baseline BENCH_livemig.json -max-ratio 3

@@ -13,6 +13,7 @@
 //	repro -exp table2         # comparison of policies
 //	repro -exp chaos          # seeded fault-injection survival (not in "all")
 //	repro -exp scale          # 64/256/512-host sweeps under churn (not in "all")
+//	repro -exp livemig        # precopy vs stop-and-copy downtime sweep
 //	repro -exp scale -hosts 64,128   # custom sweep sizes
 //	repro -scale 100          # virtual-time compression factor
 //	repro -exp chaos -metrics run.json   # also dump the metrics registry
@@ -41,7 +42,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: fig5|fig6|fig7|fig8|table1|table2|chaos|scale|all")
+	exp := flag.String("exp", "all", "experiment: fig5|fig6|fig7|fig8|table1|table2|chaos|scale|livemig|all")
 	scale := flag.Float64("scale", 100, "virtual-time compression (virtual seconds per wall second)")
 	seed := flag.Int64("seed", 1, "workload seed")
 	hosts := flag.String("hosts", "", "scale experiment sweep sizes, comma-separated (default 64,256,512)")
@@ -138,6 +139,12 @@ func main() {
 		fmt.Print(experiments.RenderScale(rows))
 		fmt.Println()
 		fmt.Print(experiments.RenderMigrationModel(*seed, 64))
+		fmt.Println()
+	}
+	if want("livemig") {
+		ran = true
+		rows := experiments.RunLivemig(experiments.LivemigConfig{Metrics: mreg})
+		fmt.Print(experiments.RenderLivemig(rows))
 		fmt.Println()
 	}
 	if *metricsPath != "" {

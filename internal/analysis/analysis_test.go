@@ -72,6 +72,7 @@ var fixtures = []struct {
 	importPath string
 }{
 	{"registry", "autoresched/internal/registry"},
+	{"livemig", "autoresched/internal/livemig"},
 	{"allowed", "autoresched/cmd/demo"},
 	{"nilrecv", "autoresched/internal/metrics"},
 	{"discard", "example/discard"},

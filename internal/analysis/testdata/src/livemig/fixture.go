@@ -1,0 +1,31 @@
+// Fixture loaded as autoresched/internal/livemig: the live-migration engine
+// is inside the determinism fence — precopy round pacing must come from the
+// virtual clock and seeded sources, so a wall-clock read or a global random
+// draw slipped into it must be reported.
+package livemig
+
+import (
+	"math/rand"
+	"time"
+)
+
+// RoundStamp reads the wall clock for a precopy round timestamp — the exact
+// regression that would make round decisions diverge across runs.
+func RoundStamp() time.Time {
+	return time.Now() // want `\[determinism\] time\.Now reads the wall clock`
+}
+
+// Backoff sleeps on the real clock between rounds.
+func Backoff() {
+	time.Sleep(time.Millisecond) // want `\[determinism\] time\.Sleep reads the wall clock`
+}
+
+// PickPage draws a page index from the global wall-seeded source.
+func PickPage(total int) int {
+	return rand.Intn(total) // want `\[determinism\] rand\.Intn draws from the global wall-seeded source`
+}
+
+// SeededPick is fine: an explicitly seeded *rand.Rand is deterministic.
+func SeededPick(rng *rand.Rand, total int) int {
+	return rng.Intn(total)
+}

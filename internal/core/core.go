@@ -18,6 +18,7 @@ import (
 	"autoresched/internal/commander"
 	"autoresched/internal/events"
 	"autoresched/internal/hpcm"
+	"autoresched/internal/livemig"
 	"autoresched/internal/metrics"
 	"autoresched/internal/monitor"
 	"autoresched/internal/mpi"
@@ -119,6 +120,12 @@ type Options struct {
 	// injector uses this to drop, duplicate or delay heartbeats on the
 	// monitor->registry path.
 	WrapReporter func(host string, r monitor.Reporter) monitor.Reporter
+	// Live enables iterative-precopy live migration for applications that
+	// register a livemig.Pages region: pages stream while the application
+	// keeps computing, and only the final dirty residual is transferred
+	// inside the freeze window. A zero-value Config selects the livemig
+	// defaults; nil keeps every migration stop-and-copy.
+	Live *livemig.Config
 }
 
 // DefaultEngine returns a rule engine encoding the paper's running
@@ -276,6 +283,7 @@ func New(opts Options) (*System, error) {
 		CheckpointEvery: opts.CheckpointEvery,
 		Observer:        observer,
 		Metrics:         opts.Metrics,
+		Live:            opts.Live,
 	})
 	if err != nil {
 		return nil, err

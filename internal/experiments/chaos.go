@@ -10,6 +10,7 @@ import (
 	"autoresched/internal/core"
 	"autoresched/internal/faults"
 	"autoresched/internal/hpcm"
+	"autoresched/internal/livemig"
 	"autoresched/internal/metrics"
 	"autoresched/internal/workload"
 )
@@ -28,6 +29,12 @@ type ChaosConfig struct {
 	// (histograms merged bucket-wise) for a run-wide snapshot — the
 	// cmd/repro -metrics flag feeds from here.
 	Metrics *metrics.Registry
+	// Live, when set, enables iterative-precopy live migration: the tree
+	// workload carries a paged ballast region, every migrate order takes the
+	// live path, and a ninth scenario crashes the destination mid-precopy.
+	// Nil keeps the classic stop-and-copy runs (and their byte-identical
+	// reports).
+	Live *livemig.Config
 }
 
 // ChaosRow is one scenario's outcome. Schedule, the counters, Survived,
@@ -84,10 +91,11 @@ type chaosScenario struct {
 
 // chaosScenarios is the fixed scenario set. Offsets are virtual seconds
 // after launch; the workload runs several hundred virtual seconds, so every
-// fault lands mid-computation.
-func chaosScenarios() []chaosScenario {
+// fault lands mid-computation. live appends the precopy-specific scenario,
+// which only makes sense when the live path is enabled.
+func chaosScenarios(live bool) []chaosScenario {
 	at := func(s int) time.Duration { return time.Duration(s) * time.Second }
-	return []chaosScenario{
+	scenarios := []chaosScenario{
 		{"baseline", faults.Plan{Name: "baseline"}},
 		{"heartbeat-faults", faults.Plan{Name: "heartbeat-faults", Events: []faults.Event{
 			{After: at(40), Kind: faults.KindDropStatus, Host: "ws2", Count: 2},
@@ -119,6 +127,18 @@ func chaosScenarios() []chaosScenario {
 			{After: at(50), Kind: faults.KindMigrate, Proc: chaosApp, Dest: "ws2", Count: 3},
 		}}},
 	}
+	if live {
+		// The destination dies after the first precopy round: the freeze (or
+		// next round) hits a dead host, the attempt aborts pre-commit, and
+		// the runtime falls back to checkpoint recovery.
+		scenarios = append(scenarios, chaosScenario{
+			"crash-dest-mid-precopy", faults.Plan{Name: "crash-dest-mid-precopy", Events: []faults.Event{
+				{After: at(40), Kind: faults.KindCrashOnPhase, Proc: chaosApp, Phase: hpcm.PhasePrecopy, Round: 1, Target: "dest"},
+				{After: at(50), Kind: faults.KindMigrate, Proc: chaosApp, Dest: "ws2"},
+			}},
+		})
+	}
+	return scenarios
 }
 
 func (cfg ChaosConfig) withChaosDefaults() ChaosConfig {
@@ -147,7 +167,7 @@ func RunChaos(cfg ChaosConfig) ([]ChaosRow, error) {
 	}
 	var rows []ChaosRow
 	baseline := 0.0
-	for _, sc := range chaosScenarios() {
+	for _, sc := range chaosScenarios(cfg.Live != nil) {
 		if !selected(sc.name) {
 			continue
 		}
@@ -190,6 +210,7 @@ func runChaosScenario(cfg ChaosConfig, sc chaosScenario) (ChaosRow, error) {
 		Metrics:          mreg,
 		Observer:         in.Observer(),
 		WrapReporter:     in.WrapReporter,
+		Live:             cfg.Live,
 	})
 	if err != nil {
 		return ChaosRow{}, err
@@ -207,6 +228,11 @@ func runChaosScenario(cfg ChaosConfig, sc chaosScenario) (ChaosRow, error) {
 	tree := workload.TreeConfig{
 		Levels: 10, Rounds: 40, Seed: cfg.Seed + 1,
 		WorkPerNode: 600, BytesPerNode: 8,
+	}
+	if cfg.Live != nil {
+		// A paged bulk region makes the run eligible for the live path.
+		tree.BallastBytes = 4 << 20
+		tree.PagedBallast = true
 	}
 	var mu sync.Mutex
 	sums := map[int]int64{}

@@ -44,7 +44,8 @@ const (
 	KindMigrate Kind = "migrate"
 	// KindCrashOnPhase arms a one-shot trap: when a migration of Proc
 	// reaches Phase (an hpcm.Phase* constant), crash Target ("source" or
-	// "dest") of that migration.
+	// "dest") of that migration. For hpcm.PhasePrecopy, Round > 0 narrows
+	// the trap to that precopy round (0 fires on the first round seen).
 	KindCrashOnPhase Kind = "crash-on-phase"
 )
 
@@ -62,6 +63,7 @@ type Event struct {
 	Factor float64
 	Delay  time.Duration
 	Phase  string
+	Round  int    // precopy round a crash-on-phase trap waits for (0: any)
 	Target string // "source" | "dest"
 }
 
@@ -92,6 +94,9 @@ func (e Event) String() string {
 	}
 	if e.Phase != "" {
 		fmt.Fprintf(&b, " phase=%s", e.Phase)
+	}
+	if e.Round > 0 {
+		fmt.Fprintf(&b, " round=%d", e.Round)
 	}
 	if e.Target != "" {
 		fmt.Fprintf(&b, " target=%s", e.Target)

@@ -67,10 +67,12 @@ type tapState struct {
 	delayBy time.Duration
 }
 
-// phaseTrap is an armed one-shot crash-on-migration-phase trigger.
+// phaseTrap is an armed one-shot crash-on-migration-phase trigger. round,
+// when positive, narrows a precopy trap to one exact round.
 type phaseTrap struct {
 	proc   string
 	phase  string
+	round  int
 	target string
 	fired  bool
 }
@@ -194,7 +196,7 @@ func (in *Injector) apply(ev Event) {
 		err = in.migrate(ev)
 	case KindCrashOnPhase:
 		in.mu.Lock()
-		in.traps = append(in.traps, &phaseTrap{proc: ev.Proc, phase: ev.Phase, target: ev.Target})
+		in.traps = append(in.traps, &phaseTrap{proc: ev.Proc, phase: ev.Phase, round: ev.Round, target: ev.Target})
 		in.mu.Unlock()
 	default:
 		err = fmt.Errorf("faults: unknown kind %q", ev.Kind)
@@ -261,6 +263,9 @@ func (in *Injector) Observer() hpcm.MigrationObserver {
 		var victim string
 		for _, tr := range in.traps {
 			if tr.fired || tr.proc != ev.Proc || tr.phase != ev.Phase {
+				continue
+			}
+			if tr.round > 0 && tr.round != ev.Round {
 				continue
 			}
 			tr.fired = true

@@ -149,7 +149,7 @@ func (c *Context) checkpointNow(label string) error {
 			mw.metrics.Histogram(MetricCheckpointSeconds).Observe(time.Since(start).Seconds()) //lint:allow determinism checkpoint_seconds is a wall-clock metric by contract
 		}()
 	}
-	eager, lazy, err := c.state.collect()
+	eager, lazy, err := c.state.collect("")
 	if err != nil {
 		return fmt.Errorf("hpcm: checkpoint collection: %w", err)
 	}

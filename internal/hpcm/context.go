@@ -1,8 +1,10 @@
 package hpcm
 
 import (
+	"fmt"
 	"time"
 
+	"autoresched/internal/livemig"
 	"autoresched/internal/mpi"
 	"autoresched/internal/vclock"
 )
@@ -47,6 +49,20 @@ func (c *Context) Register(name string, ptr any) error {
 // touching it on a resumed incarnation.
 func (c *Context) RegisterLazy(name string, ptr any) error {
 	return c.state.register(name, ptr, true)
+}
+
+// RegisterPages declares a paged bulk memory region (lazy, like
+// RegisterLazy: call Await before touching it on a resumed incarnation).
+// When the middleware runs with Options.Live and this is the process's only
+// paged region, migrations take the iterative-precopy live path: pages
+// stream while the application keeps computing, and the process freezes
+// only for the residual dirty set. On the classic path — and in
+// checkpoints — the region moves as its flat image.
+func (c *Context) RegisterPages(name string, pages *livemig.Pages) error {
+	if pages == nil {
+		return fmt.Errorf("hpcm: RegisterPages %q with nil region", name)
+	}
+	return c.state.register(name, pages, true)
 }
 
 // Await blocks until the named lazy state is restored. On fresh
@@ -95,6 +111,12 @@ func (c *Context) PollPoint(label string) error {
 	if c.proc.killed.Load() {
 		return ErrKilled
 	}
+	// A live attempt in flight resolves here: while precopy rounds are on
+	// the wire the application keeps computing; once the driver reached a
+	// terminal decision this poll-point freezes or falls back.
+	if handled, err := c.pollLive(label); handled {
+		return err
+	}
 	select {
 	case sig := <-c.proc.signal:
 		// Safety checkpoint: an aborted migration falls back to state no
@@ -106,6 +128,11 @@ func (c *Context) PollPoint(label string) error {
 		}
 		c.proc.xfer.Add(1)
 		defer c.proc.xfer.Done()
+		if c.proc.mw.live != nil {
+			if started, err := c.startLive(label, sig); started || err != nil {
+				return err
+			}
+		}
 		return c.migrate(label, sig)
 	default:
 		return c.maybeCheckpoint(label)

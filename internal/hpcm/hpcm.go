@@ -37,6 +37,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"autoresched/internal/livemig"
 	"autoresched/internal/metrics"
 	"autoresched/internal/mpi"
 	"autoresched/internal/vclock"
@@ -96,9 +97,18 @@ type Options struct {
 	Observer MigrationObserver
 	// Metrics, when set, receives the middleware's latency histograms:
 	// hpcm/migration_seconds and hpcm/downtime_seconds (virtual-clock, per
-	// committed migration) and hpcm/checkpoint_seconds (wall-clock, per
-	// checkpoint write). Nil disables.
+	// committed migration), hpcm/checkpoint_seconds (wall-clock, per
+	// checkpoint write), and — on the live path — hpcm/precopy_rounds and
+	// hpcm/pages_resent (per committed live migration). Nil disables.
 	Metrics *metrics.Registry
+	// Live, when set, enables the iterative-precopy live migration path for
+	// processes that registered exactly one paged memory region
+	// (Context.RegisterPages): pages stream to the destination while the
+	// source keeps computing, and the process freezes only for the residual
+	// delta — falling back to the classic stop-and-copy migration when the
+	// dirty set does not converge. Processes without a paged region migrate
+	// classically regardless.
+	Live *livemig.Config
 }
 
 // Metric names the middleware exports when Options.Metrics is set.
@@ -106,6 +116,8 @@ const (
 	MetricMigrationSeconds  = "hpcm/migration_seconds"
 	MetricDowntimeSeconds   = "hpcm/downtime_seconds"
 	MetricCheckpointSeconds = "hpcm/checkpoint_seconds"
+	MetricPrecopyRounds     = "hpcm/precopy_rounds"
+	MetricPagesResent       = "hpcm/pages_resent"
 )
 
 // nullBinder satisfies HostBinder without any host model.
@@ -134,6 +146,7 @@ type Middleware struct {
 	ckptEvery time.Duration
 	observer  MigrationObserver
 	metrics   *metrics.Registry
+	live      *livemig.Config
 	procs     sync.Map // live process directory: name -> *Process
 }
 
@@ -148,6 +161,16 @@ func New(opts Options) (*Middleware, error) {
 	if opts.ChunkBytes <= 0 {
 		opts.ChunkBytes = 1 << 20
 	}
+	if opts.Metrics != nil {
+		// Pre-create the histograms so /metrics exposes them (empty) even
+		// before the first migration.
+		for _, name := range []string{
+			MetricMigrationSeconds, MetricDowntimeSeconds, MetricCheckpointSeconds,
+			MetricPrecopyRounds, MetricPagesResent,
+		} {
+			opts.Metrics.Histogram(name)
+		}
+	}
 	return &Middleware{
 		universe:  opts.Universe,
 		clock:     opts.Universe.Clock(),
@@ -157,6 +180,7 @@ func New(opts Options) (*Middleware, error) {
 		ckptEvery: opts.CheckpointEvery,
 		observer:  opts.Observer,
 		metrics:   opts.Metrics,
+		live:      opts.Live,
 	}, nil
 }
 
@@ -177,7 +201,8 @@ type Process struct {
 	mu       sync.Mutex
 	host     string
 	hostProc HostProc
-	saved    *savedState // the current resumed incarnation's inbound state
+	saved    *savedState  // the current resumed incarnation's inbound state
+	live     *liveAttempt // in-flight precopy attempt, resolved at a poll-point
 	records  []Record
 	migrs    int
 	preinit  map[string]string // destination -> waiting port (Section 5.2)
@@ -204,6 +229,14 @@ type Record struct {
 	ResumeAt time.Time
 	// RestoreDone is when the last lazy state chunk was restored.
 	RestoreDone time.Time
+	// FreezeAt is when a live migration froze the source for the residual
+	// transfer; zero for classic stop-and-copy migrations.
+	FreezeAt time.Time
+	// PrecopyRounds and PagesResent summarise the live path: iterative
+	// rounds run before the freeze, and pages shipped more than once
+	// (rounds 2..N plus the freeze residual). Zero for classic migrations.
+	PrecopyRounds int
+	PagesResent   int
 	// EagerBytes and LazyBytes are the transferred memory-state sizes;
 	// CommBytes is the communication state (queued undelivered messages)
 	// that moved with the process.
@@ -217,8 +250,14 @@ type Record struct {
 func (r Record) MigrationTime() time.Duration { return r.RestoreDone.Sub(r.CommandAt) }
 
 // Downtime is how long the application made no progress: command arrival to
-// destination resume.
-func (r Record) Downtime() time.Duration { return r.ResumeAt.Sub(r.CommandAt) }
+// destination resume for classic migrations, freeze to destination resume
+// for live ones (the source keeps computing through the precopy rounds).
+func (r Record) Downtime() time.Duration {
+	if !r.FreezeAt.IsZero() {
+		return r.ResumeAt.Sub(r.FreezeAt)
+	}
+	return r.ResumeAt.Sub(r.CommandAt)
+}
 
 // Start launches a migration-enabled process named name on host.
 func (m *Middleware) Start(name, host string, main Main) (*Process, error) {
@@ -356,6 +395,10 @@ func (p *Process) finish(err error) {
 	p.preinit = nil
 	p.mu.Unlock()
 
+	// A live attempt still copying is pointless now: cancel it so its
+	// destination discards the partial region and the driver goroutine
+	// (tracked by xfer) winds down.
+	p.cancelLive()
 	hp.Exit()
 	p.mw.deregister(p)
 	p.mbox.close()

@@ -1,0 +1,426 @@
+package hpcm
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"autoresched/internal/livemig"
+	"autoresched/internal/mpi"
+	"autoresched/internal/vclock"
+)
+
+const (
+	livePages     = 16
+	livePageWords = 8 // 64-byte pages
+)
+
+// pagedMain is a staged computation over a single paged region: every stage
+// rewrites the first word of dirtyPages pages with stage-distinct values.
+// gate, when non-nil, is consumed once per stage; otherwise each stage
+// advances the virtual clock so precopy rounds have time to ship.
+func pagedMain(stages, dirtyPages int, gate chan struct{}, sum *float64, mu *sync.Mutex) Main {
+	return func(ctx *Context) error {
+		var next int
+		pages, err := livemig.NewPages(livePages*livePageWords*8, livePageWords*8)
+		if err != nil {
+			return err
+		}
+		if err := ctx.Register("next", &next); err != nil {
+			return err
+		}
+		if err := ctx.RegisterPages("grid", pages); err != nil {
+			return err
+		}
+		if ctx.Resumed() {
+			if err := ctx.Await("grid"); err != nil {
+				return err
+			}
+		} else {
+			// Distinctive initial values: they ship only in precopy round 1
+			// (or the classic image), so the final checksum proves the whole
+			// region moved, not just the dirtied pages.
+			for w := 0; w < livePages*livePageWords; w++ {
+				pages.SetFloat64(w, float64(w))
+			}
+		}
+		for next < stages {
+			if gate != nil {
+				<-gate
+			} else {
+				ctx.Sleep(10 * time.Millisecond)
+			}
+			for i := 0; i < dirtyPages; i++ {
+				pages.SetFloat64(i*livePageWords, float64((next+1)*1000+i))
+			}
+			next++
+			if err := ctx.PollPoint(fmt.Sprintf("s-%d", next)); err != nil {
+				return err
+			}
+		}
+		var total float64
+		for w := 0; w < livePages*livePageWords; w++ {
+			total += pages.Float64(w)
+		}
+		mu.Lock()
+		*sum = total
+		mu.Unlock()
+		return nil
+	}
+}
+
+// expectedPagedSum is pagedMain's final checksum after all stages.
+func expectedPagedSum(stages, dirtyPages int) float64 {
+	total := 0.0
+	for w := 0; w < livePages*livePageWords; w++ {
+		total += float64(w)
+	}
+	for i := 0; i < dirtyPages; i++ {
+		total += float64(stages*1000+i) - float64(i*livePageWords)
+	}
+	return total
+}
+
+func newLiveMW(t *testing.T, transport mpi.Transport, live *livemig.Config, obs MigrationObserver) (*Middleware, vclock.Clock) {
+	t.Helper()
+	clock := vclock.Scaled(vclock.Epoch, 200)
+	if st, ok := transport.(*latchTransport); ok && st.inner == nil {
+		st.inner = mpi.ModelTransport{Clock: clock, Latency: time.Millisecond, Bandwidth: 1e6}
+	}
+	if transport == nil {
+		transport = mpi.ModelTransport{Clock: clock, Latency: time.Millisecond, Bandwidth: 1e6}
+	}
+	u := mpi.NewUniverse(mpi.Options{
+		Clock:        clock,
+		Transport:    transport,
+		SpawnLatency: 10 * time.Millisecond,
+	})
+	mw, err := New(Options{Universe: u, Hosts: &testBinder{}, Live: live, Observer: obs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return mw, clock
+}
+
+// phaseLog collects migration events for sequence assertions.
+type phaseLog struct {
+	mu     sync.Mutex
+	events []MigrationEvent
+}
+
+func (l *phaseLog) observe(ev MigrationEvent) {
+	l.mu.Lock()
+	l.events = append(l.events, ev)
+	l.mu.Unlock()
+}
+
+func (l *phaseLog) phases() []string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]string, len(l.events))
+	for i, ev := range l.events {
+		out[i] = ev.Phase
+	}
+	return out
+}
+
+func (l *phaseLog) find(phase string) (MigrationEvent, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for _, ev := range l.events {
+		if ev.Phase == phase {
+			return ev, true
+		}
+	}
+	return MigrationEvent{}, false
+}
+
+func TestLiveMigrationFreezesAndPreservesRegion(t *testing.T) {
+	const stages, dirty = 400, 2
+	log := &phaseLog{}
+	mw, _ := newLiveMW(t, nil, &livemig.Config{}, log.observe)
+	var sum float64
+	var mu sync.Mutex
+	p, err := mw.Start("app", "ws1", pagedMain(stages, dirty, nil, &sum, &mu))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Signal(Command{DestHost: "ws2"})
+	if err := p.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if p.Migrations() != 1 || p.Host() != "ws2" {
+		t.Fatalf("migrations=%d host=%s", p.Migrations(), p.Host())
+	}
+	mu.Lock()
+	got := sum
+	mu.Unlock()
+	if want := expectedPagedSum(stages, dirty); got != want {
+		t.Fatalf("checksum = %v, want %v (region corrupted in transit)", got, want)
+	}
+	rec := p.Records()[0]
+	if rec.FreezeAt.IsZero() {
+		t.Fatalf("live migration recorded no freeze: %+v", rec)
+	}
+	if rec.PrecopyRounds < 1 {
+		t.Fatalf("precopy rounds = %d", rec.PrecopyRounds)
+	}
+	if rec.Downtime() <= 0 {
+		t.Fatalf("downtime = %v", rec.Downtime())
+	}
+	// The freeze window must be strictly smaller than the full
+	// command-to-resume span: the precopy rounds happened outside it.
+	if full := rec.ResumeAt.Sub(rec.CommandAt); rec.Downtime() >= full {
+		t.Fatalf("downtime %v not below full span %v", rec.Downtime(), full)
+	}
+	if rec.FreezeAt.Before(rec.InitDone) || rec.ResumeAt.Before(rec.FreezeAt) {
+		t.Fatalf("phases out of order: %+v", rec)
+	}
+	ev, ok := log.find(PhasePrecopy)
+	if !ok || ev.Round != 1 {
+		t.Fatalf("first precopy event = %+v (ok=%v)", ev, ok)
+	}
+	for _, phase := range []string{PhaseStart, PhaseInit, PhaseFreeze, PhaseResume, PhaseRestore} {
+		if _, ok := log.find(phase); !ok {
+			t.Fatalf("phase %q never observed: %v", phase, log.phases())
+		}
+	}
+	if _, ok := log.find(PhaseAborted); ok {
+		t.Fatalf("unexpected abort: %v", log.phases())
+	}
+}
+
+// latchTransport holds the first cross-host send until released — pinning
+// precopy round 1 on the wire while the application keeps dirtying pages —
+// and closes held when the hold begins, so a test knows the round's
+// snapshot watermark is already taken.
+type latchTransport struct {
+	inner mpi.Transport
+
+	mu      sync.Mutex
+	armed   bool
+	held    chan struct{}
+	release chan struct{}
+}
+
+func (t *latchTransport) Send(from, to string, bytes int64) error {
+	t.mu.Lock()
+	hold := t.armed
+	if hold {
+		t.armed = false
+		close(t.held)
+	}
+	release := t.release
+	t.mu.Unlock()
+	if hold {
+		<-release
+	}
+	return t.inner.Send(from, to, bytes)
+}
+
+func TestLiveFallbackRunsClassicMigration(t *testing.T) {
+	const stages, dirty = 5, 2
+	latch := &latchTransport{
+		armed:   true,
+		held:    make(chan struct{}),
+		release: make(chan struct{}),
+	}
+	log := &phaseLog{}
+	// One round only, and any residual triggers fallback.
+	cfg := &livemig.Config{MaxRounds: 1, FallbackFraction: 0.01}
+	mw, _ := newLiveMW(t, latch, cfg, log.observe)
+	gate := make(chan struct{})
+	var sum float64
+	var mu sync.Mutex
+	p, err := mw.Start("app", "ws1", pagedMain(stages, dirty, gate, &sum, &mu))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Signal(Command{DestHost: "ws2"})
+	gate <- struct{}{} // stage 1: poll consumes the command, precopy starts
+	<-latch.held       // round 1 snapshotted and pinned on the wire
+	gate <- struct{}{} // stage 2: dirties pages behind round 1's watermark
+	gate <- struct{}{} // stage 3: more dirtying; round 1 still on the wire
+	close(latch.release)
+	// Round 1 lands with a dirty residual; wait for the driver's verdict
+	// before feeding the stage whose poll-point resolves it.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if _, ok := log.find(PhasePrecopy); ok {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("precopy round 1 never reported")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	time.Sleep(10 * time.Millisecond) // let the driver publish its decision
+	gate <- struct{}{}                // stage 4 (or later): fallback resolves here
+	gate <- struct{}{}                // stage 5
+	if err := p.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if p.Migrations() != 1 || p.Host() != "ws2" {
+		t.Fatalf("migrations=%d host=%s", p.Migrations(), p.Host())
+	}
+	mu.Lock()
+	got := sum
+	mu.Unlock()
+	if want := expectedPagedSum(stages, dirty); got != want {
+		t.Fatalf("checksum = %v, want %v", got, want)
+	}
+	rec := p.Records()[0]
+	if !rec.FreezeAt.IsZero() || rec.PrecopyRounds != 0 {
+		t.Fatalf("fallback produced a live record: %+v", rec)
+	}
+	ab, ok := log.find(PhaseAborted)
+	if !ok || ab.Err == nil || !strings.Contains(ab.Err.Error(), "did not converge") {
+		t.Fatalf("aborted event = %+v (ok=%v)", ab, ok)
+	}
+	if _, ok := log.find(PhaseResume); !ok {
+		t.Fatalf("classic migration never resumed: %v", log.phases())
+	}
+}
+
+func TestLiveWithoutPagedRegionMigratesClassically(t *testing.T) {
+	log := &phaseLog{}
+	mw, _ := newLiveMW(t, nil, &livemig.Config{}, log.observe)
+	gate := make(chan struct{})
+	var got []int
+	var mu sync.Mutex
+	p, err := mw.Start("app", "ws1", stagedMain(3, gate, &got, &mu))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Signal(Command{DestHost: "ws2"})
+	for i := 0; i < 3; i++ {
+		gate <- struct{}{}
+	}
+	if err := p.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if p.Migrations() != 1 || p.Host() != "ws2" {
+		t.Fatalf("migrations=%d host=%s", p.Migrations(), p.Host())
+	}
+	for _, phase := range []string{PhasePrecopy, PhaseFreeze} {
+		if _, ok := log.find(phase); ok {
+			t.Fatalf("live phase %q for a process with no paged region: %v", phase, log.phases())
+		}
+	}
+}
+
+func TestPagedRegionMigratesClassicallyWithoutLiveOption(t *testing.T) {
+	const stages, dirty = 6, 2
+	log := &phaseLog{}
+	mw, _ := newLiveMW(t, nil, nil, log.observe) // no Options.Live
+	gate := make(chan struct{})
+	var sum float64
+	var mu sync.Mutex
+	p, err := mw.Start("app", "ws1", pagedMain(stages, dirty, gate, &sum, &mu))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Signal(Command{DestHost: "ws2"})
+	for i := 0; i < stages; i++ {
+		gate <- struct{}{}
+	}
+	if err := p.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if p.Migrations() != 1 || p.Host() != "ws2" {
+		t.Fatalf("migrations=%d host=%s", p.Migrations(), p.Host())
+	}
+	mu.Lock()
+	got := sum
+	mu.Unlock()
+	if want := expectedPagedSum(stages, dirty); got != want {
+		t.Fatalf("checksum = %v, want %v (flat-image transfer broken)", got, want)
+	}
+	if _, ok := log.find(PhasePrecopy); ok {
+		t.Fatalf("precopy ran without Options.Live: %v", log.phases())
+	}
+}
+
+// cuttableTransport fails every send once cut — the source host dropping
+// off the network.
+type cuttableTransport struct {
+	inner mpi.Transport
+	cut   atomic.Bool
+}
+
+func (t *cuttableTransport) Send(from, to string, bytes int64) error {
+	if t.cut.Load() {
+		return errors.New("network cut: source host lost")
+	}
+	return t.inner.Send(from, to, bytes)
+}
+
+// TestSourceLossMidLazyStreamAbortsDestinationCleanly kills the source's
+// network right after the commit point, mid-tagLazy stream: the committed
+// destination must not wedge — its Await unblocks with the post-commit
+// failure and the process settles with a Committed MigrationFailure.
+func TestSourceLossMidLazyStreamAbortsDestinationCleanly(t *testing.T) {
+	clock := vclock.Scaled(vclock.Epoch, 200)
+	cut := &cuttableTransport{inner: mpi.ModelTransport{Clock: clock, Latency: time.Millisecond, Bandwidth: 1e6}}
+	u := mpi.NewUniverse(mpi.Options{Clock: clock, Transport: cut, SpawnLatency: 10 * time.Millisecond})
+	log := &phaseLog{}
+	mw, err := New(Options{
+		Universe: u,
+		Hosts:    &testBinder{},
+		Observer: func(ev MigrationEvent) {
+			if ev.Phase == PhaseResume {
+				// The destination has taken over; the lazy stream is next.
+				cut.cut.Store(true)
+			}
+			log.observe(ev)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	main := func(ctx *Context) error {
+		bulk := make([]byte, 1<<20)
+		if err := ctx.RegisterLazy("bulk", &bulk); err != nil {
+			return err
+		}
+		if !ctx.Resumed() {
+			if err := ctx.PollPoint("go"); err != nil {
+				return err
+			}
+			return errors.New("expected migration at the first poll point")
+		}
+		return ctx.Await("bulk")
+	}
+	p, err := mw.Start("app", "ws1", main)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Signal(Command{DestHost: "ws2"})
+	err = p.Wait()
+	var mf *MigrationFailure
+	if !errors.As(err, &mf) {
+		t.Fatalf("Wait = %v, want *MigrationFailure", err)
+	}
+	if !mf.Committed || mf.Phase != PhaseRestore {
+		t.Fatalf("failure = %+v, want committed post-commit failure", mf)
+	}
+	if !strings.Contains(err.Error(), "lazy state transfer") {
+		t.Fatalf("failure cause = %v, want lazy state transfer", err)
+	}
+	// Committed: the migration counts even though restoration broke.
+	if p.Migrations() != 1 {
+		t.Fatalf("migrations = %d", p.Migrations())
+	}
+	if _, ok := log.find(PhaseFailed); !ok {
+		t.Fatalf("PhaseFailed never observed: %v", log.phases())
+	}
+	select {
+	case <-p.Done():
+	default:
+		t.Fatal("process did not settle")
+	}
+}

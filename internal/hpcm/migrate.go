@@ -2,7 +2,6 @@ package hpcm
 
 import (
 	"fmt"
-	"sort"
 
 	"autoresched/internal/mpi"
 )
@@ -15,6 +14,7 @@ const (
 	tagLazy     = 3 // lazy state chunks
 	tagResumed  = 4 // child -> parent: execution resumed
 	tagRestored = 5 // child -> parent: all lazy state restored
+	tagPrecopy  = 6 // live path: precopy batch metadata and page batches
 )
 
 // header is the execution-state message: everything the initialized process
@@ -24,6 +24,9 @@ type header struct {
 	LazyNames []string
 	LazySizes []int64
 	Memory    int64
+	// PagesName, on the live path, names the paged region the destination
+	// already assembled from precopy batches; it is excluded from LazyNames.
+	PagesName string
 }
 
 // chunkMeta announces one lazy-state fragment; the fragment's bytes follow
@@ -79,27 +82,15 @@ func (c *Context) migrate(label string, sig pendingCmd) error {
 
 	mw.observe(event(PhaseStart, nil))
 
-	eager, lazy, err := c.state.collect()
+	eager, lazy, err := c.state.collect("")
 	if err != nil {
 		return abort(PhaseStart, fmt.Errorf("hpcm: state collection: %w", err))
 	}
 	hdr := header{Label: label}
-	for name := range lazy {
-		hdr.LazyNames = append(hdr.LazyNames, name)
-	}
-	// Stream smallest blobs first: the quickly-restored variables are the
-	// ones a resumed application is most likely to Await, so this maximises
-	// the restoration/execution overlap (HPCM's restoration likewise
-	// prioritises eagerly needed data).
-	sort.Slice(hdr.LazyNames, func(i, j int) bool {
-		a, b := hdr.LazyNames[i], hdr.LazyNames[j]
-		if len(lazy[a]) != len(lazy[b]) {
-			return len(lazy[a]) < len(lazy[b])
-		}
-		return a < b
-	})
+	// Stream smallest blobs first (HPCM's restoration likewise prioritises
+	// eagerly needed data).
+	sortLazyNames(&hdr, lazy)
 	for _, name := range hdr.LazyNames {
-		hdr.LazySizes = append(hdr.LazySizes, int64(len(lazy[name])))
 		rec.LazyBytes += int64(len(lazy[name]))
 	}
 	for _, data := range eager {
@@ -177,18 +168,32 @@ func (c *Context) migrate(label string, sig pendingCmd) error {
 	mw.metrics.Histogram(MetricDowntimeSeconds).Observe(rec.Downtime().Seconds())
 	mw.observe(event(PhaseResume, nil))
 
-	// A failure from here on is post-commit: the destination owns the
-	// process but its bulk state will never fully arrive. Fail the inbound
-	// stream so destination Awaits unblock with the error, clean up the
-	// source, and return ErrMigrated — the destination incarnation's fate
-	// decides the process's fate.
+	return c.completeMigration(inter, oldHP, hdr, lazy, recIdx, event)
+}
+
+// completeMigration is the post-commit tail shared by the classic and live
+// migration paths: lazy (bulk) state streams in chunks while the destination
+// already executes — the data restoration / execution overlap of Section
+// 5.2 — then the restore handshake closes the record and the source leaves
+// its host's process table. A failure here is post-commit: the destination
+// owns the process but its bulk state will never fully arrive, so the
+// inbound stream is failed (destination Awaits unblock with the error), the
+// source cleans up, and ErrMigrated is still returned — the destination
+// incarnation's fate decides the process's fate.
+func (c *Context) completeMigration(inter *mpi.Comm, oldHP HostProc, hdr header, lazy map[string][]byte, recIdx int, event func(phase string, err error) MigrationEvent) error {
+	p := c.proc
+	mw := p.mw
+	clock := mw.clock
+
 	postFail := func(err error) error {
+		ev := event(PhaseFailed, nil)
 		mf := &MigrationFailure{
-			From: rec.From, To: rec.To, Label: label,
+			From: ev.From, To: ev.To, Label: ev.Label,
 			Phase: PhaseRestore, Committed: true, Err: err,
 		}
+		ev.Err = mf
 		p.failSaved(mf)
-		mw.observe(event(PhaseFailed, mf))
+		mw.observe(ev)
 		oldHP.Exit()
 		p.mu.Lock()
 		p.records[recIdx].RestoreDone = clock.Now()
@@ -196,8 +201,6 @@ func (c *Context) migrate(label string, sig pendingCmd) error {
 		return ErrMigrated
 	}
 
-	// Lazy (bulk) state streams in chunks while the destination already
-	// executes — the data restoration / execution overlap of Section 5.2.
 	for _, name := range hdr.LazyNames {
 		data := lazy[name]
 		for off := 0; ; off += mw.chunk {
@@ -241,6 +244,14 @@ func (c *Context) migrate(label string, sig pendingCmd) error {
 // process (the spawn parent, or the connection a pre-initialized process
 // accepted).
 func (p *Process) bootstrap(env *mpi.Env, parent *mpi.Comm) error {
+	return p.bootstrapResume(env, parent, nil)
+}
+
+// bootstrapResume is bootstrap's body, shared with the live path: region,
+// when non-nil, is the paged memory image already assembled from precopy
+// batches, installed under the header's PagesName so the application's
+// Await finds it complete.
+func (p *Process) bootstrapResume(env *mpi.Env, parent *mpi.Comm, region []byte) error {
 	var hdr header
 	if _, err := parent.Recv(&hdr, 0, tagHeader); err != nil {
 		return fmt.Errorf("hpcm: receive execution state: %w", err)
@@ -248,6 +259,9 @@ func (p *Process) bootstrap(env *mpi.Env, parent *mpi.Comm) error {
 	saved := newSavedState()
 	if _, err := parent.Recv(&saved.eager, 0, tagEager); err != nil {
 		return fmt.Errorf("hpcm: receive eager state: %w", err)
+	}
+	if region != nil && hdr.PagesName != "" {
+		saved.completeLazy(hdr.PagesName, region)
 	}
 
 	// The initialized process joins the destination host's process table

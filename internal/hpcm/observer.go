@@ -15,6 +15,14 @@ const (
 	// PhaseInit: the initialized process exists on the destination
 	// (dynamic process creation complete); state transfer is next.
 	PhaseInit = "init"
+	// PhasePrecopy: one iterative-precopy round finished shipping its page
+	// batch while the source keeps computing. Emitted once per round with
+	// Round set; only live migrations produce it.
+	PhasePrecopy = "precopy"
+	// PhaseFreeze: precopy converged; the source froze at a poll-point and
+	// is shipping the residual dirty pages plus execution state. The window
+	// from here to PhaseResume is the live migration's downtime.
+	PhaseFreeze = "freeze"
 	// PhaseResume: the destination resumed execution — the commit point.
 	PhaseResume = "resume"
 	// PhaseRestore: all lazy state restored; the migration is complete.
@@ -34,6 +42,9 @@ type MigrationEvent struct {
 	From, To string
 	Label    string
 	Phase    string
+	// Round is the precopy round number for PhasePrecopy events (1-based);
+	// zero everywhere else.
+	Round int
 	// Err is set for PhaseAborted and PhaseFailed.
 	Err error
 }

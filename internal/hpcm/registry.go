@@ -5,6 +5,8 @@ import (
 	"encoding/gob"
 	"fmt"
 	"sync"
+
+	"autoresched/internal/livemig"
 )
 
 // registry is the memory-state table HPCM's precompiler would have
@@ -153,13 +155,18 @@ func (r *registry) await(name string) error {
 }
 
 // collect serialises the current memory state for transfer: the eager
-// image and the lazy blobs.
-func (r *registry) collect() (eager map[string][]byte, lazy map[string][]byte, err error) {
+// image and the lazy blobs. skip names one entry to leave out — the live
+// path ships its paged region page-by-page and must not duplicate it in
+// the freeze payload; classic migration passes "".
+func (r *registry) collect(skip string) (eager map[string][]byte, lazy map[string][]byte, err error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	eager = make(map[string][]byte)
 	lazy = make(map[string][]byte)
 	for name, e := range r.entries {
+		if skip != "" && name == skip {
+			continue
+		}
 		data, err := encodeState(e.ptr)
 		if err != nil {
 			return nil, nil, fmt.Errorf("hpcm: collect %q: %w", name, err)
@@ -173,6 +180,29 @@ func (r *registry) collect() (eager map[string][]byte, lazy map[string][]byte, e
 	return eager, lazy, nil
 }
 
+// pagesRegion returns the process's paged region if exactly one is
+// registered. Live precopy only engages for that shape; zero or several
+// paged regions migrate classically.
+func (r *registry) pagesRegion() (string, *livemig.Pages) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var (
+		name  string
+		pages *livemig.Pages
+		count int
+	)
+	for n, e := range r.entries {
+		if pg, ok := e.ptr.(*livemig.Pages); ok {
+			name, pages = n, pg
+			count++
+		}
+	}
+	if count != 1 {
+		return "", nil
+	}
+	return name, pages
+}
+
 // encodeState serialises one registered variable. Raw byte regions move
 // without re-encoding — the source is paused at its poll-point and never
 // touches the state again, so sharing the backing array is safe and keeps
@@ -182,6 +212,11 @@ func encodeState(ptr any) ([]byte, error) {
 	if bp, ok := ptr.(*[]byte); ok {
 		return *bp, nil
 	}
+	// A paged region serialises as its flat image, so checkpoints, classic
+	// migration and precopy fallback all work on Pages unchanged.
+	if pg, ok := ptr.(*livemig.Pages); ok {
+		return pg.Bytes(), nil
+	}
 	return gobEncode(ptr)
 }
 
@@ -190,6 +225,9 @@ func decodeState(data []byte, ptr any) error {
 	if bp, ok := ptr.(*[]byte); ok {
 		*bp = data
 		return nil
+	}
+	if pg, ok := ptr.(*livemig.Pages); ok {
+		return pg.Load(data)
 	}
 	return gobDecode(data, ptr)
 }

@@ -1,0 +1,85 @@
+package livemig
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// BenchmarkPagesWriteRow measures the write-through cost of one row-sized
+// change-suppressed write — the hot path a paged workload pays per sweep.
+func BenchmarkPagesWriteRow(b *testing.B) {
+	const words = 512
+	p, err := NewPages(words*8*64, words*8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	row := make([]float64, words)
+	for i := range row {
+		row[i] = float64(i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		row[0] = float64(i) // keep at least one word changing
+		p.WriteFloat64s((i%64)*words, row)
+	}
+}
+
+// BenchmarkDirtySince measures a round's dirty-set scan over a 4096-page
+// region with a 5% residual.
+func BenchmarkDirtySince(b *testing.B) {
+	p, err := NewPages(4096*64, 64)
+	if err != nil {
+		b.Fatal(err)
+	}
+	g := p.Gen()
+	for i := 0; i < 4096; i += 20 {
+		p.SetFloat64(i*8, 1)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := p.DirtySince(g); len(got) == 0 {
+			b.Fatal("empty dirty set")
+		}
+	}
+}
+
+// BenchmarkModeledDowntime reports the analytic model's freeze window as
+// the benchmark's ns/op, one sub-benchmark per (path, dirty-rate) point.
+// cmd/benchjson picks these up into BENCH_livemig.json, so the 3x drift
+// guard in `make ci` literally guards modeled migration downtime: a change
+// to the page model, the convergence rule or the freeze path that inflates
+// downtime more than 3x fails CI.
+func BenchmarkModeledDowntime(b *testing.B) {
+	base := Scenario{
+		TotalPages:   4096,
+		PageBytes:    4096,
+		Bandwidth:    12.5e6,
+		SpawnLatency: 300 * time.Millisecond,
+		Handshake:    2 * time.Millisecond,
+	}
+	points := []struct {
+		name string
+		rate float64
+	}{
+		{"stopcopy", 0}, // reported as the stop-and-copy window
+		{"precopy_r100", 100},
+		{"precopy_r1000", 1000},
+		{"fallback_r50000", 50_000},
+	}
+	for _, pt := range points {
+		b.Run(fmt.Sprintf("%s_pages%d", pt.name, base.TotalPages), func(b *testing.B) {
+			sc := base
+			sc.DirtyPagesPerSec = pt.rate
+			var out Outcome
+			for i := 0; i < b.N; i++ {
+				out = Simulate(Config{}, sc)
+			}
+			d := out.Downtime
+			if pt.rate == 0 {
+				d = out.StopCopy
+			}
+			b.ReportMetric(float64(d.Nanoseconds()), "ns/op")
+		})
+	}
+}

@@ -1,0 +1,311 @@
+package livemig
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+	"time"
+)
+
+func mustPages(t *testing.T, size, pageBytes int) *Pages {
+	t.Helper()
+	p, err := NewPages(size, pageBytes)
+	if err != nil {
+		t.Fatalf("NewPages(%d, %d): %v", size, pageBytes, err)
+	}
+	return p
+}
+
+func TestPagesGeometry(t *testing.T) {
+	p := mustPages(t, 100, 32)
+	if p.Len() != 100 || p.PageSize() != 32 || p.NumPages() != 4 {
+		t.Fatalf("geometry = (%d, %d, %d), want (100, 32, 4)", p.Len(), p.PageSize(), p.NumPages())
+	}
+	if _, err := NewPages(0, 32); err == nil {
+		t.Fatal("NewPages(0) succeeded")
+	}
+	// A fresh region is entirely dirty since generation zero.
+	if got := p.DirtySince(0); len(got) != 4 {
+		t.Fatalf("fresh DirtySince(0) = %v, want all 4 pages", got)
+	}
+}
+
+func TestPagesWriteDirtiesOnlyChangedPages(t *testing.T) {
+	p := mustPages(t, 128, 32)
+	g := p.Gen()
+	if err := p.Write(33, []byte{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.DirtySince(g); !reflect.DeepEqual(got, []int{1}) {
+		t.Fatalf("DirtySince = %v, want [1]", got)
+	}
+	// Rewriting identical bytes must not dirty anything.
+	g = p.Gen()
+	if err := p.Write(33, []byte{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.DirtySince(g); len(got) != 0 {
+		t.Fatalf("unchanged write dirtied %v", got)
+	}
+	// A write spanning a page boundary dirties both pages.
+	g = p.Gen()
+	if err := p.Write(30, []byte{9, 9, 9, 9}); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.DirtySince(g); !reflect.DeepEqual(got, []int{0, 1}) {
+		t.Fatalf("spanning write dirtied %v, want [0 1]", got)
+	}
+	if err := p.Write(120, make([]byte, 16)); err == nil {
+		t.Fatal("out-of-range write succeeded")
+	}
+}
+
+func TestPagesFloat64ChangeSuppression(t *testing.T) {
+	p := mustPages(t, 64*8, 64) // 8 words per page
+	g := p.Gen()
+	p.SetFloat64(3, 1.5)
+	if got := p.Float64(3); got != 1.5 {
+		t.Fatalf("Float64(3) = %v", got)
+	}
+	if got := p.DirtySince(g); !reflect.DeepEqual(got, []int{0}) {
+		t.Fatalf("DirtySince = %v, want [0]", got)
+	}
+	g = p.Gen()
+	p.SetFloat64(3, 1.5) // same bits: suppressed
+	p.WriteFloat64s(8, []float64{0, 0, 0})
+	if got := p.DirtySince(g); len(got) != 0 {
+		t.Fatalf("no-op writes dirtied %v", got)
+	}
+	g = p.Gen()
+	p.WriteFloat64s(8, []float64{0, 2.5, 0}) // one changed word in page 1
+	if got := p.DirtySince(g); !reflect.DeepEqual(got, []int{1}) {
+		t.Fatalf("DirtySince = %v, want [1]", got)
+	}
+	dst := make([]float64, 3)
+	p.ReadFloat64s(8, dst)
+	if !reflect.DeepEqual(dst, []float64{0, 2.5, 0}) {
+		t.Fatalf("ReadFloat64s = %v", dst)
+	}
+}
+
+func TestPagesSnapshotLoadApply(t *testing.T) {
+	p := mustPages(t, 96, 32)
+	p.SetFloat64(0, 7)
+	ids, parts, gen := p.Snapshot(0)
+	if len(ids) != 3 || len(parts) != 3 {
+		t.Fatalf("full snapshot = %v (%d parts)", ids, len(parts))
+	}
+	// Writes after the snapshot's watermark are the next round's delta.
+	p.SetFloat64(8, 9) // page 2
+	ids2, parts2, _ := p.Snapshot(gen)
+	if !reflect.DeepEqual(ids2, []int{2}) {
+		t.Fatalf("delta snapshot = %v, want [2]", ids2)
+	}
+
+	// Rebuild a destination region from the two snapshots.
+	q := mustPages(t, 96, 32)
+	for k, id := range ids {
+		if err := q.ApplyPage(id, parts[k]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for k, id := range ids2 {
+		if err := q.ApplyPage(id, parts2[k]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !reflect.DeepEqual(q.Bytes(), p.Bytes()) {
+		t.Fatal("reassembled region differs from source")
+	}
+	if err := q.ApplyPage(9, nil); err == nil {
+		t.Fatal("ApplyPage out of range succeeded")
+	}
+	if err := q.ApplyPage(0, []byte{1}); err == nil {
+		t.Fatal("ApplyPage with short image succeeded")
+	}
+
+	// Load replaces the whole region and re-dirties every page.
+	img := p.Bytes()
+	r := mustPages(t, 96, 32)
+	g := r.Gen()
+	if err := r.Load(img); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(r.Bytes(), img) {
+		t.Fatal("Load image mismatch")
+	}
+	if got := r.DirtySince(g); len(got) != 3 {
+		t.Fatalf("Load dirtied %v, want all pages", got)
+	}
+	if err := r.Load(img[:10]); err == nil {
+		t.Fatal("Load with wrong size succeeded")
+	}
+}
+
+func TestDecide(t *testing.T) {
+	cfg := Config{MaxRounds: 4, ConvergenceRatio: 0.7, FreezeFraction: 0.05, FallbackFraction: 0.5}
+	cases := []struct {
+		round, dirty, prev int
+		want               Decision
+	}{
+		{1, 4, 100, Freeze},    // tiny residual freezes immediately
+		{1, 60, 100, Continue}, // round 1 always gets a second round
+		{2, 30, 60, Continue},  // shrinking (30 < 0.7*60)
+		{2, 45, 60, Freeze},    // stalled but residual < 50%: freeze anyway
+		{2, 58, 60, Fallback},  // stalled with residual > 50%: fall back
+		{4, 20, 25, Freeze},    // max rounds, modest residual
+		{4, 80, 90, Fallback},  // max rounds, huge residual
+		{3, 10, 40, Continue},  // still shrinking fast
+	}
+	for _, c := range cases {
+		if got := cfg.Decide(c.round, c.dirty, c.prev, 100); got != c.want {
+			t.Errorf("Decide(round=%d dirty=%d prev=%d) = %v, want %v", c.round, c.dirty, c.prev, got, c.want)
+		}
+	}
+	if got := (Config{}).Decide(1, 0, 0, 0); got != Freeze {
+		t.Errorf("empty region Decide = %v, want Freeze", got)
+	}
+	for d, s := range map[Decision]string{Continue: "continue", Freeze: "freeze", Fallback: "fallback", Decision(9): "Decision(9)"} {
+		if d.String() != s {
+			t.Errorf("%d.String() = %q, want %q", int(d), d.String(), s)
+		}
+	}
+}
+
+// recordingSend captures batches and optionally dirties pages between
+// rounds, emulating an application computing while the round is on the
+// wire.
+type recordingSend struct {
+	metas   []BatchMeta
+	between func(round int)
+	fail    error
+}
+
+func (s *recordingSend) send(meta BatchMeta, parts [][]byte) error {
+	if s.fail != nil {
+		return s.fail
+	}
+	if len(meta.PageIDs) != len(parts) {
+		return errors.New("meta/parts length mismatch")
+	}
+	s.metas = append(s.metas, meta)
+	if s.between != nil {
+		s.between(meta.Round)
+	}
+	return nil
+}
+
+func TestDriverConvergesToFreeze(t *testing.T) {
+	p := mustPages(t, 16*64, 64) // 16 pages
+	dirtied := map[int]int{1: 6, 2: 3, 3: 0}
+	s := &recordingSend{}
+	s.between = func(round int) {
+		for i := 0; i < dirtied[round]; i++ {
+			p.SetFloat64(i*8, float64(round)+float64(i)) // page i
+		}
+	}
+	var rounds []int
+	d, err := NewDriver(Config{MaxRounds: 8, FreezeFraction: 0.05}, p, s.send,
+		func(round, sent, dirty int) { rounds = append(rounds, sent) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := d.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Decision != Freeze {
+		t.Fatalf("decision = %v, want Freeze", res.Decision)
+	}
+	// Round 1 ships all 16 pages, round 2 the 6 dirtied, round 3 the 3.
+	if want := []int{16, 6, 3}; !reflect.DeepEqual(rounds, want) {
+		t.Fatalf("per-round sent = %v, want %v", rounds, want)
+	}
+	if res.Rounds != 3 || res.PagesSent != 25 || res.PagesResent != 9 {
+		t.Fatalf("result = %+v", res)
+	}
+	// Nothing was written after the last snapshot: the residual is empty.
+	if got := p.DirtySince(res.ShippedGen); len(got) != 0 {
+		t.Fatalf("residual = %v, want none", got)
+	}
+}
+
+func TestDriverFallsBackWhenDirtyStalls(t *testing.T) {
+	p := mustPages(t, 16*64, 64)
+	s := &recordingSend{}
+	s.between = func(round int) {
+		// Every round dirties 12 of 16 pages: no convergence.
+		for i := 0; i < 12; i++ {
+			p.SetFloat64(i*8, float64(round*100+i))
+		}
+	}
+	d, err := NewDriver(Config{MaxRounds: 3, FallbackFraction: 0.5}, p, s.send, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := d.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Decision != Fallback {
+		t.Fatalf("decision = %v, want Fallback", res.Decision)
+	}
+}
+
+func TestDriverStopAndSendError(t *testing.T) {
+	p := mustPages(t, 4*64, 64)
+	d, err := NewDriver(Config{}, p, (&recordingSend{fail: errors.New("link down")}).send, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Run(); err == nil {
+		t.Fatal("Run with failing send succeeded")
+	}
+	d2, err := NewDriver(Config{}, p, (&recordingSend{}).send, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2.Stop()
+	if _, err := d2.Run(); !errors.Is(err, ErrStopped) {
+		t.Fatalf("stopped Run err = %v, want ErrStopped", err)
+	}
+	if _, err := NewDriver(Config{}, nil, (&recordingSend{}).send, nil); err == nil {
+		t.Fatal("NewDriver without region succeeded")
+	}
+	if _, err := NewDriver(Config{}, p, nil, nil); err == nil {
+		t.Fatal("NewDriver without send succeeded")
+	}
+}
+
+func TestSimulateCrossover(t *testing.T) {
+	cfg := Config{}
+	base := Scenario{
+		TotalPages:       4096,
+		PageBytes:        4096,
+		Bandwidth:        12.5e6,
+		SpawnLatency:     300 * time.Millisecond,
+		Handshake:        2 * time.Millisecond,
+		DirtyPagesPerSec: 100,
+	}
+	slow := Simulate(cfg, base)
+	if slow.Mode != "precopy" {
+		t.Fatalf("low dirty rate mode = %q, want precopy", slow.Mode)
+	}
+	if slow.Downtime >= slow.StopCopy {
+		t.Fatalf("precopy downtime %v not below stop-and-copy %v", slow.Downtime, slow.StopCopy)
+	}
+	hot := base
+	hot.DirtyPagesPerSec = 50_000
+	fb := Simulate(cfg, hot)
+	if fb.Mode != "fallback" {
+		t.Fatalf("hot dirty rate mode = %q, want fallback", fb.Mode)
+	}
+	if fb.Downtime < fb.StopCopy {
+		t.Fatalf("fallback downtime %v below stop-and-copy %v", fb.Downtime, fb.StopCopy)
+	}
+	// Identical inputs must produce identical outcomes (the determinism the
+	// experiment sweep relies on).
+	if again := Simulate(cfg, hot); again != fb {
+		t.Fatalf("Simulate not deterministic: %+v vs %+v", again, fb)
+	}
+}

@@ -1,0 +1,293 @@
+// Package livemig is the live-migration engine layered between hpcm and
+// mpi: a paged memory model with per-page generation counters, a dirty-page
+// tracker, and an iterative precopy driver. Round 1 ships every page over
+// the migration intercommunicator while the source keeps computing; rounds
+// 2..N ship only the pages dirtied since the previous round; when the dirty
+// set stops shrinking (configurable convergence ratio / max rounds) the
+// driver asks the middleware to freeze the process at its next poll-point
+// and ship the residual delta plus execution state — or to fall back to the
+// classic stop-and-copy migration when precopy cannot converge.
+//
+// The package deliberately knows nothing about hpcm: hpcm imports livemig
+// (for the page model and the round loop) and livemig imports mpi only
+// through the narrow SendFunc/batch wire types, so the engine is testable
+// without a middleware around it.
+package livemig
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+)
+
+// DefaultPageBytes is the page granularity when a Pages region is created
+// without an explicit size.
+const DefaultPageBytes = 4096
+
+// Pages is a contiguous byte region carved into fixed-size pages, each with
+// a generation counter bumped on every mutating write. Workloads write
+// through its API instead of into a raw []byte so the precopy driver can
+// ship only what actually changed. Writes are change-suppressed: storing a
+// value equal to what the page already holds does not dirty it — an
+// iterative solver's dirty rate therefore shrinks as it converges, which is
+// exactly the signal the precopy convergence rule feeds on.
+//
+// All methods are safe for concurrent use; the snapshot methods (Snapshot,
+// Bytes) copy under the region lock so a transfer round observes a
+// consistent generation watermark.
+type Pages struct {
+	mu       sync.Mutex
+	data     []byte
+	pageSize int
+	gens     []uint64 // per-page generation of the last mutating write
+	gen      uint64   // monotonic region generation counter
+}
+
+// NewPages allocates a zeroed region of size bytes with the given page
+// size (DefaultPageBytes when pageBytes <= 0). size must be positive; the
+// final page may be short when pageBytes does not divide size.
+func NewPages(size, pageBytes int) (*Pages, error) {
+	if size <= 0 {
+		return nil, fmt.Errorf("livemig: region size %d", size)
+	}
+	if pageBytes <= 0 {
+		pageBytes = DefaultPageBytes
+	}
+	n := (size + pageBytes - 1) / pageBytes
+	p := &Pages{
+		data:     make([]byte, size),
+		pageSize: pageBytes,
+		gens:     make([]uint64, n),
+		gen:      1,
+	}
+	// A fresh region is entirely "dirty since generation zero": round 1 of a
+	// precopy (DirtySince(0)) must ship every page, including untouched ones.
+	for i := range p.gens {
+		p.gens[i] = 1
+	}
+	return p, nil
+}
+
+// Len returns the region size in bytes.
+func (p *Pages) Len() int {
+	if p == nil {
+		return 0
+	}
+	return len(p.data)
+}
+
+// PageSize returns the page granularity in bytes.
+func (p *Pages) PageSize() int {
+	if p == nil {
+		return 0
+	}
+	return p.pageSize
+}
+
+// NumPages returns the page count.
+func (p *Pages) NumPages() int {
+	if p == nil {
+		return 0
+	}
+	return len(p.gens)
+}
+
+// Gen returns the current region generation watermark. A page whose write
+// happens after Gen() was read is reported by a later DirtySince(gen).
+func (p *Pages) Gen() uint64 {
+	if p == nil {
+		return 0
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.gen
+}
+
+// touch marks page i dirty at a fresh generation. Caller holds p.mu.
+func (p *Pages) touch(i int) {
+	p.gen++
+	p.gens[i] = p.gen
+}
+
+// pageRange returns the byte bounds of page i. Caller holds p.mu.
+func (p *Pages) pageRange(i int) (lo, hi int) {
+	lo = i * p.pageSize
+	hi = lo + p.pageSize
+	if hi > len(p.data) {
+		hi = len(p.data)
+	}
+	return lo, hi
+}
+
+// Write stores b at byte offset off, dirtying only the pages whose
+// contents actually change.
+func (p *Pages) Write(off int, b []byte) error {
+	if off < 0 || off+len(b) > len(p.data) {
+		return fmt.Errorf("livemig: write [%d,%d) outside region of %d bytes", off, off+len(b), len(p.data))
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for len(b) > 0 {
+		page := off / p.pageSize
+		_, hi := p.pageRange(page)
+		n := hi - off
+		if n > len(b) {
+			n = len(b)
+		}
+		chunk := b[:n]
+		dst := p.data[off : off+n]
+		if !bytesEqual(dst, chunk) {
+			copy(dst, chunk)
+			p.touch(page)
+		}
+		b = b[n:]
+		off += n
+	}
+	return nil
+}
+
+// bytesEqual avoids importing bytes for one comparison on the write path.
+func bytesEqual(a, b []byte) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Float64 reads the float64 at word index i (byte offset 8*i).
+func (p *Pages) Float64(i int) float64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return math.Float64frombits(binary.LittleEndian.Uint64(p.data[8*i:]))
+}
+
+// SetFloat64 stores v at word index i, dirtying the page only when the bit
+// pattern changes.
+func (p *Pages) SetFloat64(i int, v float64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	off := 8 * i
+	bits := math.Float64bits(v)
+	if binary.LittleEndian.Uint64(p.data[off:]) == bits {
+		return
+	}
+	binary.LittleEndian.PutUint64(p.data[off:], bits)
+	p.touch(off / p.pageSize)
+}
+
+// ReadFloat64s fills dst with the float64 words starting at word index i.
+func (p *Pages) ReadFloat64s(i int, dst []float64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	off := 8 * i
+	for k := range dst {
+		dst[k] = math.Float64frombits(binary.LittleEndian.Uint64(p.data[off+8*k:]))
+	}
+}
+
+// WriteFloat64s stores vals starting at word index i in one locked pass,
+// dirtying only pages where at least one bit pattern changed.
+func (p *Pages) WriteFloat64s(i int, vals []float64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	off := 8 * i
+	dirtyPage := -1
+	for k, v := range vals {
+		o := off + 8*k
+		bits := math.Float64bits(v)
+		if binary.LittleEndian.Uint64(p.data[o:]) == bits {
+			continue
+		}
+		binary.LittleEndian.PutUint64(p.data[o:], bits)
+		if page := o / p.pageSize; page != dirtyPage {
+			p.touch(page)
+			dirtyPage = page
+		}
+	}
+}
+
+// Bytes returns a copy of the whole region — the stop-and-copy / checkpoint
+// image. hpcm's state collection calls this through its *Pages type switch.
+func (p *Pages) Bytes() []byte {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]byte, len(p.data))
+	copy(out, p.data)
+	return out
+}
+
+// Load replaces the region contents from a transferred image. Every page is
+// marked dirty at a fresh generation: a later migration away from this
+// incarnation must ship everything again.
+func (p *Pages) Load(data []byte) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if len(data) != len(p.data) {
+		return fmt.Errorf("livemig: load %d bytes into region of %d", len(data), len(p.data))
+	}
+	copy(p.data, data)
+	p.gen++
+	for i := range p.gens {
+		p.gens[i] = p.gen
+	}
+	return nil
+}
+
+// DirtySince returns the pages written after generation gen, sorted.
+func (p *Pages) DirtySince(gen uint64) []int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.dirtySinceLocked(gen)
+}
+
+func (p *Pages) dirtySinceLocked(gen uint64) []int {
+	var ids []int
+	for i, g := range p.gens {
+		if g > gen {
+			ids = append(ids, i)
+		}
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+// Snapshot atomically collects one precopy round's payload: the pages
+// dirtied after since, copies of their current contents, and the region
+// generation watermark the copies are consistent with. Pages written after
+// the returned gen show up in the next DirtySince(gen).
+func (p *Pages) Snapshot(since uint64) (ids []int, parts [][]byte, gen uint64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	ids = p.dirtySinceLocked(since)
+	parts = make([][]byte, len(ids))
+	for k, id := range ids {
+		lo, hi := p.pageRange(id)
+		buf := make([]byte, hi-lo)
+		copy(buf, p.data[lo:hi])
+		parts[k] = buf
+	}
+	return ids, parts, p.gen
+}
+
+// ApplyPage installs a received page image at page id (destination side).
+func (p *Pages) ApplyPage(id int, data []byte) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if id < 0 || id >= len(p.gens) {
+		return fmt.Errorf("livemig: apply to page %d of %d", id, len(p.gens))
+	}
+	lo, hi := p.pageRange(id)
+	if len(data) != hi-lo {
+		return fmt.Errorf("livemig: page %d image is %d bytes, want %d", id, len(data), hi-lo)
+	}
+	copy(p.data[lo:hi], data)
+	p.touch(id)
+	return nil
+}

@@ -322,5 +322,5 @@ func (c *Comm) recvInternal(ptr any, src, tag int) (Status, error) {
 	if err := decodeMessage(m, ptr); err != nil {
 		return Status{}, err
 	}
-	return Status{Source: m.src, Tag: m.tag, Bytes: len(m.data)}, nil
+	return Status{Source: m.src, Tag: m.tag, Bytes: m.size()}, nil
 }

@@ -118,6 +118,33 @@ func (c *Comm) send(v any, dest, tag int) error {
 	return dst.deliver(&message{ctx: c.context(), src: c.rank, tag: tag, data: data, raw: raw})
 }
 
+// SendParts sends a multi-part raw payload — a slice of byte fragments
+// that stay separate end to end, received only into a *[][]byte. Transport
+// time is charged once for the summed size, and no fragment is copied or
+// re-encoded (the zero-copy contract of Send's []byte fast path, extended
+// to page batches: the sender must not mutate any fragment after SendParts).
+func (c *Comm) SendParts(parts [][]byte, dest, tag int) error {
+	if tag < 0 {
+		return fmt.Errorf("%w: %d", ErrBadTag, tag)
+	}
+	g := c.destGroup()
+	if dest < 0 || dest >= len(g.eps) {
+		return fmt.Errorf("%w: dest %d of %d", ErrBadRank, dest, len(g.eps))
+	}
+	var total int64
+	for _, p := range parts {
+		total += int64(len(p))
+	}
+	dst := g.eps[dest]
+	if err := c.u.transport.Send(c.self.host, dst.host, total); err != nil {
+		return fmt.Errorf("mpi: transport %s->%s: %w", c.self.host, dst.host, err)
+	}
+	if parts == nil {
+		parts = [][]byte{} // non-nil marks the multi-part path for decode
+	}
+	return dst.deliver(&message{ctx: c.context(), src: c.rank, tag: tag, parts: parts, raw: true})
+}
+
 // Recv receives into ptr a message from src (or AnySource) with tag (or
 // AnyTag), blocking until one arrives.
 func (c *Comm) Recv(ptr any, src, tag int) (Status, error) {
@@ -128,11 +155,20 @@ func (c *Comm) Recv(ptr any, src, tag int) (Status, error) {
 	if err := decodeMessage(m, ptr); err != nil {
 		return Status{}, err
 	}
-	return Status{Source: m.src, Tag: m.tag, Bytes: len(m.data)}, nil
+	return Status{Source: m.src, Tag: m.tag, Bytes: m.size()}, nil
 }
 
-// decodeMessage lands a message in ptr, honouring the raw []byte fast path.
+// decodeMessage lands a message in ptr, honouring the raw []byte and
+// multi-part [][]byte fast paths.
 func decodeMessage(m *message, ptr any) error {
+	if m.parts != nil {
+		pp, ok := ptr.(*[][]byte)
+		if !ok {
+			return fmt.Errorf("mpi: multi-part raw message received into %T", ptr)
+		}
+		*pp = m.parts
+		return nil
+	}
 	if m.raw {
 		bp, ok := ptr.(*[]byte)
 		if !ok {
@@ -151,7 +187,7 @@ func (c *Comm) Probe(src, tag int) (Status, error) {
 	if err != nil {
 		return Status{}, err
 	}
-	return Status{Source: m.src, Tag: m.tag, Bytes: len(m.data)}, nil
+	return Status{Source: m.src, Tag: m.tag, Bytes: m.size()}, nil
 }
 
 // Iprobe reports, without blocking, whether a matching message is
@@ -161,7 +197,7 @@ func (c *Comm) Iprobe(src, tag int) (bool, Status, error) {
 	if err != nil || !ok {
 		return false, Status{}, err
 	}
-	return true, Status{Source: m.src, Tag: m.tag, Bytes: len(m.data)}, nil
+	return true, Status{Source: m.src, Tag: m.tag, Bytes: m.size()}, nil
 }
 
 // WaitAll waits for every request and returns the first error encountered

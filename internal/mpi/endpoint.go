@@ -8,13 +8,29 @@ import (
 )
 
 // message is one delivered payload, matched by (communicator context,
-// source rank, tag). raw marks a []byte payload moved without gob framing.
+// source rank, tag). raw marks a []byte payload moved without gob framing;
+// parts (non-nil) marks a multi-part raw [][]byte payload — the page-batch
+// fast path — received only into a *[][]byte.
 type message struct {
-	ctx  string
-	src  int
-	tag  int
-	data []byte
-	raw  bool
+	ctx   string
+	src   int
+	tag   int
+	data  []byte
+	parts [][]byte
+	raw   bool
+}
+
+// size is the payload size a Status reports: the summed fragments of a
+// multi-part message, the data length otherwise.
+func (m *message) size() int {
+	if m.parts != nil {
+		n := 0
+		for _, p := range m.parts {
+			n += len(p)
+		}
+		return n
+	}
+	return len(m.data)
 }
 
 // endpoint is a process's mailbox. Sends enqueue eagerly (buffered,

@@ -376,3 +376,44 @@ func TestRunReturnsPerRankErrors(t *testing.T) {
 		t.Fatalf("errs = %v", errs)
 	}
 }
+
+func TestSendPartsMultiPartRaw(t *testing.T) {
+	runWorld(t, 2, func(env *Env) error {
+		w := env.World
+		switch w.Rank() {
+		case 0:
+			parts := [][]byte{{1, 2, 3}, {4}, {5, 6}}
+			if err := w.SendParts(parts, 1, 9); err != nil {
+				return err
+			}
+			// An empty batch still delivers (zero-byte multi-part message).
+			if err := w.SendParts(nil, 1, 9); err != nil {
+				return err
+			}
+			if err := w.SendParts([][]byte{{7}}, 1, -1); err == nil {
+				return errors.New("negative tag accepted")
+			}
+			if err := w.SendParts([][]byte{{7}}, 5, 9); err == nil {
+				return errors.New("bad rank accepted")
+			}
+		case 1:
+			var parts [][]byte
+			st, err := w.Recv(&parts, 0, 9)
+			if err != nil {
+				return err
+			}
+			if len(parts) != 3 || st.Bytes != 6 {
+				return fmt.Errorf("parts=%v st=%+v", parts, st)
+			}
+			if parts[0][0] != 1 || parts[1][0] != 4 || parts[2][1] != 6 {
+				return fmt.Errorf("parts content = %v", parts)
+			}
+			// Receiving a multi-part message into anything but *[][]byte fails.
+			var wrong []byte
+			if _, err := w.Recv(&wrong, 0, 9); err == nil {
+				return errors.New("multi-part message landed in *[]byte")
+			}
+		}
+		return nil
+	})
+}

@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"autoresched/internal/hpcm"
+	"autoresched/internal/livemig"
 	"autoresched/internal/schema"
 )
 
@@ -25,6 +26,11 @@ type JacobiConfig struct {
 	WorkPerCell float64
 	// Hot is the boundary temperature applied along the top edge.
 	Hot float64
+	// Paged stores the grid in a livemig.Pages region (one page per grid
+	// row) written through the change-suppressing paged API, making the run
+	// eligible for iterative-precopy live migration. The sweep is bit-exact
+	// with the flat-grid path and JacobiReference.
+	Paged bool
 	// OnResidual, if set, receives the residual at every poll boundary.
 	OnResidual func(iter int, residual float64)
 }
@@ -71,6 +77,9 @@ func Jacobi(cfg JacobiConfig) hpcm.Main {
 	return func(ctx *hpcm.Context) error {
 		if cfg.N <= 0 || cfg.Iters <= 0 {
 			return fmt.Errorf("workload: bad jacobi config %+v", cfg)
+		}
+		if cfg.Paged {
+			return jacobiPaged(ctx, cfg)
 		}
 		var st jacobiState
 		var grid []float64
@@ -121,6 +130,87 @@ func Jacobi(cfg JacobiConfig) hpcm.Main {
 		}
 		return nil
 	}
+}
+
+// jacobiPaged is the Paged=true body: the grid lives in a livemig.Pages
+// region sized one row per page, so the per-sweep dirty set is exactly the
+// rows the stencil changed — the signal the precopy driver's convergence
+// rule feeds on.
+func jacobiPaged(ctx *hpcm.Context, cfg JacobiConfig) error {
+	var st jacobiState
+	if err := ctx.Register("state", &st); err != nil {
+		return err
+	}
+	side := cfg.N + 2
+	pg, err := livemig.NewPages(side*side*8, side*8)
+	if err != nil {
+		return err
+	}
+	if err := ctx.RegisterPages("grid", pg); err != nil {
+		return err
+	}
+	if ctx.Resumed() {
+		if err := ctx.Await("grid"); err != nil {
+			return err
+		}
+	} else {
+		hot := make([]float64, side)
+		for j := range hot {
+			hot[j] = cfg.Hot
+		}
+		pg.WriteFloat64s(0, hot)
+	}
+	ctx.SetMemory(int64(pg.Len()) + 1<<20)
+
+	sweepWork := float64(cfg.N) * float64(cfg.N) * cfg.WorkPerCell
+	prev := make([]float64, side)
+	cur := make([]float64, side)
+	nxt := make([]float64, side)
+	out := make([]float64, side)
+	for st.Iter < cfg.Iters {
+		if err := ctx.Compute(sweepWork * float64(min(cfg.PollEvery, cfg.Iters-st.Iter))); err != nil {
+			return err
+		}
+		for k := 0; k < cfg.PollEvery && st.Iter < cfg.Iters; k++ {
+			st.Residual = jacobiPagedSweep(pg, cfg.N, prev, cur, nxt, out)
+			st.Iter++
+		}
+		if cfg.OnResidual != nil {
+			cfg.OnResidual(st.Iter, st.Residual)
+		}
+		if err := ctx.PollPoint(fmt.Sprintf("iter-%d", st.Iter)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// jacobiPagedSweep runs one in-place relaxation sweep over the paged grid
+// using three rotating row buffers, so each new row is computed from the
+// previous sweep's values even though rows are overwritten as it goes. The
+// caller supplies the four side-length scratch rows. Addition order matches
+// JacobiReference (left+right+up+down), keeping the two paths bit-identical.
+func jacobiPagedSweep(pg *livemig.Pages, n int, prev, cur, nxt, out []float64) float64 {
+	side := n + 2
+	pg.ReadFloat64s(0, prev)
+	pg.ReadFloat64s(side, cur)
+	var residual float64
+	for i := 1; i <= n; i++ {
+		pg.ReadFloat64s((i+1)*side, nxt)
+		out[0] = cur[0]
+		out[side-1] = cur[side-1]
+		for j := 1; j <= n; j++ {
+			v := 0.25 * (cur[j-1] + cur[j+1] + prev[j] + nxt[j])
+			if d := math.Abs(v - cur[j]); d > residual {
+				residual = d
+			}
+			out[j] = v
+		}
+		pg.WriteFloat64s(i*side, out)
+		// The old prev buffer becomes scratch for the next row read.
+		prev, cur, nxt = cur, nxt, prev
+	}
+	return residual
 }
 
 // newJacobiGrid builds the initial grid: zero interior, Hot along the top

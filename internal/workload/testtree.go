@@ -11,6 +11,7 @@ import (
 	"sort"
 
 	"autoresched/internal/hpcm"
+	"autoresched/internal/livemig"
 	"autoresched/internal/schema"
 )
 
@@ -34,6 +35,11 @@ type TreeConfig struct {
 	// controlling how much data a migration must move (the paper's
 	// "estimated communication data size").
 	BallastBytes int64
+	// PagedBallast stores the ballast in a livemig.Pages region instead of a
+	// flat lazy blob, making the run eligible for iterative-precopy live
+	// migration. One page is stamped per round, so the steady-state dirty
+	// rate is low and precopy converges.
+	PagedBallast bool
 	// OnSum, if set, receives each round's checksum.
 	OnSum func(round int, sum int64)
 }
@@ -98,13 +104,31 @@ func TestTree(cfg TreeConfig) hpcm.Main {
 		var st treeState
 		var tree []int64
 		var ballast []byte
+		var paged *livemig.Pages
 		if err := ctx.Register("state", &st); err != nil {
 			return err
 		}
 		if err := ctx.RegisterLazy("tree", &tree); err != nil {
 			return err
 		}
-		if cfg.BallastBytes > 0 {
+		switch {
+		case cfg.BallastBytes > 0 && cfg.PagedBallast:
+			pg, err := livemig.NewPages(int(cfg.BallastBytes), 0)
+			if err != nil {
+				return err
+			}
+			if err := ctx.RegisterPages("ballast", pg); err != nil {
+				return err
+			}
+			// Unlike the flat ballast, the paged region is written every
+			// round, so a resumed incarnation must await it before stamping.
+			if ctx.Resumed() {
+				if err := ctx.Await("ballast"); err != nil {
+					return err
+				}
+			}
+			paged = pg
+		case cfg.BallastBytes > 0:
 			if err := ctx.RegisterLazy("ballast", &ballast); err != nil {
 				return err
 			}
@@ -155,6 +179,14 @@ func TestTree(cfg TreeConfig) hpcm.Main {
 					sum += v
 				}
 				st.Sums = append(st.Sums, sum)
+				if paged != nil {
+					// Stamp one page per round: enough churn for precopy to
+					// have deltas to ship, sparse enough to converge.
+					if words := paged.Len() / 8; words > 0 {
+						w := (st.Round * (paged.PageSize() / 8)) % words
+						paged.SetFloat64(w, float64(st.Round+1))
+					}
+				}
 				if cfg.OnSum != nil {
 					cfg.OnSum(st.Round, sum)
 				}
