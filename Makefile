@@ -2,9 +2,9 @@
 # runs; `make lint` runs the static gates (gofmt, go vet, reschedvet);
 # `make race` additionally race-tests the concurrency-heavy packages;
 # `make ci` is the full gate (lint + build + test + race, a repeated race
-# run of the simulation/experiment packages, a 64-host scale smoke, and the
-# benchmark drift guard); `make bench` regenerates BENCH_scale.json and
-# BENCH_livemig.json.
+# run of the simulation/experiment packages, 64-host scale and malleability
+# smokes, and the benchmark drift guard); `make bench` regenerates
+# BENCH_scale.json, BENCH_livemig.json and BENCH_malleable.json.
 
 GO ?= go
 
@@ -14,9 +14,9 @@ GO ?= go
 RACE_PKGS = ./internal/proto ./internal/monitor ./internal/registry \
             ./internal/commander ./internal/hpcm ./internal/core \
             ./internal/faults ./internal/metrics ./internal/simnet \
-            ./internal/events ./internal/livemig
+            ./internal/events ./internal/livemig ./internal/malleable
 
-.PHONY: all build vet fmtcheck lint test race check ci chaos scale bench benchguard
+.PHONY: all build vet fmtcheck lint test race check ci chaos scale malleable bench benchguard
 
 all: check
 
@@ -54,6 +54,7 @@ check: lint build test
 ci: check race
 	$(GO) test -race -count=2 ./internal/simnet ./internal/experiments
 	$(GO) run ./cmd/repro -exp scale -hosts 64 -seed 42
+	$(GO) run ./cmd/repro -exp malleable -seed 42
 	$(MAKE) benchguard
 
 # Two chaos runs with the same seed must print identical fault schedules
@@ -65,6 +66,11 @@ chaos: build
 # seed; the control-plane measurements below it are approximate).
 scale: build
 	$(GO) run ./cmd/repro -exp scale -seed 42
+
+# Elastic vs migrate-only vs fixed under seeded host churn (deterministic
+# resize trajectories per seed; completion times below are approximate).
+malleable: build
+	$(GO) run ./cmd/repro -exp malleable -seed 42
 
 # Scheduling microbenchmarks -> BENCH_scale.json: status-ingest throughput
 # (direct vs batched), candidate selection at 512 hosts (state-indexed vs
@@ -78,6 +84,8 @@ bench: build
 	| $(GO) run ./cmd/benchjson -o BENCH_scale.json
 	$(GO) test -run '^$$' -bench . -benchtime 1000x ./internal/livemig \
 	| $(GO) run ./cmd/benchjson -o BENCH_livemig.json
+	$(GO) test -run '^$$' -bench BenchmarkResize -benchtime 100x ./internal/malleable \
+	| $(GO) run ./cmd/benchjson -o BENCH_malleable.json
 
 # Drift guard: regenerate the benchmark reports and fail if any benchmark
 # regressed more than 3x against the committed ones — a coarse fence
@@ -90,3 +98,5 @@ benchguard: build
 	| $(GO) run ./cmd/benchjson -o BENCH_scale.json -baseline BENCH_scale.json -max-ratio 3
 	$(GO) test -run '^$$' -bench . -benchtime 1000x ./internal/livemig \
 	| $(GO) run ./cmd/benchjson -o BENCH_livemig.json -baseline BENCH_livemig.json -max-ratio 3
+	$(GO) test -run '^$$' -bench BenchmarkResize -benchtime 100x ./internal/malleable \
+	| $(GO) run ./cmd/benchjson -o BENCH_malleable.json -baseline BENCH_malleable.json -max-ratio 3

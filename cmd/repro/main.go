@@ -14,17 +14,19 @@
 //	repro -exp chaos          # seeded fault-injection survival (not in "all")
 //	repro -exp scale          # 64/256/512-host sweeps under churn (not in "all")
 //	repro -exp livemig        # precopy vs stop-and-copy downtime sweep
+//	repro -exp malleable      # elastic vs migrate-only vs fixed under churn (not in "all")
 //	repro -exp scale -hosts 64,128   # custom sweep sizes
 //	repro -scale 100          # virtual-time compression factor
 //	repro -exp chaos -metrics run.json   # also dump the metrics registry
 //
-// The chaos and scale experiments are deterministic per -seed in their
-// headline sections: the chaos fault schedule, robustness counters and
+// The chaos, scale and malleable experiments are deterministic per -seed in
+// their headline sections: the chaos fault schedule, robustness counters and
 // migration phase counts, the scale sweeps' completion/correctness lines,
-// and the migration cost model's quantile table are byte-identical across
-// runs. The measured phase durations below those sections carry scheduling
-// jitter (wall wake-up latency multiplied by the time-scale factor) and are
-// labeled approximate. Both are excluded from "all" to keep that target's
+// the malleable resize trajectories, and the migration cost model's quantile
+// table are byte-identical across runs. The measured phase durations and
+// completion times below those sections carry scheduling jitter (wall
+// wake-up latency multiplied by the time-scale factor) and are labeled
+// approximate. All three are excluded from "all" to keep that target's
 // runtime bounded.
 package main
 
@@ -42,7 +44,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: fig5|fig6|fig7|fig8|table1|table2|chaos|scale|livemig|all")
+	exp := flag.String("exp", "all", "experiment: fig5|fig6|fig7|fig8|table1|table2|chaos|scale|livemig|malleable|all")
 	scale := flag.Float64("scale", 100, "virtual-time compression (virtual seconds per wall second)")
 	seed := flag.Int64("seed", 1, "workload seed")
 	hosts := flag.String("hosts", "", "scale experiment sweep sizes, comma-separated (default 64,256,512)")
@@ -139,6 +141,17 @@ func main() {
 		fmt.Print(experiments.RenderScale(rows))
 		fmt.Println()
 		fmt.Print(experiments.RenderMigrationModel(*seed, 64))
+		fmt.Println()
+	}
+	if *exp == "malleable" {
+		ran = true
+		mallParams := params
+		if !scaleSet {
+			mallParams.Scale = 0 // let the experiment pick its own (higher) default
+		}
+		rows, err := experiments.RunMalleable(experiments.MalleableConfig{Params: mallParams, Metrics: mreg})
+		fatal(err)
+		fmt.Print(experiments.RenderMalleable(rows))
 		fmt.Println()
 	}
 	if want("livemig") {

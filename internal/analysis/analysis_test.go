@@ -73,6 +73,7 @@ var fixtures = []struct {
 }{
 	{"registry", "autoresched/internal/registry"},
 	{"livemig", "autoresched/internal/livemig"},
+	{"malleable", "autoresched/internal/malleable"},
 	{"allowed", "autoresched/cmd/demo"},
 	{"nilrecv", "autoresched/internal/metrics"},
 	{"discard", "example/discard"},

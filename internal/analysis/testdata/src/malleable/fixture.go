@@ -1,0 +1,58 @@
+// Fixture loaded as autoresched/internal/malleable: the malleability engine
+// is inside the determinism fence — resize timing must come from the virtual
+// clock and victim choices from seeded sources, so a wall-clock read or a
+// global random draw slipped into the resize protocol must be reported. The
+// engine also mixes a job mutex with phase-event channels, so a channel send
+// under the lock (a resize-vs-crash deadlock in waiting) must be reported
+// too.
+package malleable
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// ProposedAt stamps a proposal with the wall clock — the regression that
+// would make quiesce-latency histograms diverge across runs.
+func ProposedAt() time.Time {
+	return time.Now() // want `\[determinism\] time\.Now reads the wall clock`
+}
+
+// DrainPause paces the drain's liveness poll on the real clock instead of
+// the job's virtual clock.
+func DrainPause() {
+	time.Sleep(time.Millisecond) // want `\[determinism\] time\.Sleep reads the wall clock`
+}
+
+// PickVictim draws a retiring rank from the global wall-seeded source.
+func PickVictim(world int) int {
+	return rand.Intn(world) // want `\[determinism\] rand\.Intn draws from the global wall-seeded source`
+}
+
+// SeededVictim is fine: an explicitly seeded *rand.Rand is deterministic.
+func SeededVictim(rng *rand.Rand, world int) int {
+	return rng.Intn(world)
+}
+
+// job is a cut-down Job shape for the mutex analyzer.
+type job struct {
+	mu   sync.Mutex
+	done chan struct{}
+}
+
+// settle sends the completion signal while holding the job mutex: any
+// observer that locks the same mutex before draining the channel deadlocks
+// the resize.
+func (j *job) settle() {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.done <- struct{}{} // want `\[mutexheld\] channel send while a mutex is held`
+}
+
+// settleUnlocked is fine: the signal leaves after the critical section.
+func (j *job) settleUnlocked() {
+	j.mu.Lock()
+	j.mu.Unlock()
+	j.done <- struct{}{}
+}

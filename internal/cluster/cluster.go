@@ -131,6 +131,20 @@ func (c *Cluster) Source(name string) (*sysinfo.SimSource, bool) {
 	return s, ok
 }
 
+// HostCheck vets a host for dynamic process creation against the simulated
+// network's liveness state — the cluster-backed implementation of
+// mpi.Options.HostCheck, so spawning onto a crashed host fails with a typed
+// mid-spawn error instead of a later transport error.
+func (c *Cluster) HostCheck(host string) error {
+	if _, ok := c.Host(host); !ok {
+		return fmt.Errorf("cluster: unknown host %q", host)
+	}
+	if c.net.HostDown(host) {
+		return simnet.ErrHostDown
+	}
+	return nil
+}
+
 // Attach implements hpcm.HostBinder: migration-enabled processes join the
 // simulated host's process table and charge CPU through it.
 func (c *Cluster) Attach(host, procName string, memory int64) (hpcm.HostProc, error) {

@@ -231,6 +231,7 @@ func New(opts Options) (*System, error) {
 		Clock:        clock,
 		Transport:    mpi.SimTransport{Net: opts.Cluster.Net()},
 		SpawnLatency: opts.SpawnLatency,
+		HostCheck:    opts.Cluster.HostCheck,
 	})
 	s := &System{
 		opts:    opts,

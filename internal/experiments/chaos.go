@@ -11,6 +11,7 @@ import (
 	"autoresched/internal/faults"
 	"autoresched/internal/hpcm"
 	"autoresched/internal/livemig"
+	"autoresched/internal/malleable"
 	"autoresched/internal/metrics"
 	"autoresched/internal/workload"
 )
@@ -80,6 +81,10 @@ var chaosCounterNames = []string{
 	metrics.CtrMigrCommitted,
 	metrics.CtrCkptRestores,
 	metrics.CtrColdRestarts,
+	metrics.CtrResizeCommitted,
+	metrics.CtrResizeAborted,
+	metrics.CtrRanksSpawned,
+	metrics.CtrRanksRetired,
 }
 
 const chaosApp = "test_tree"
@@ -138,6 +143,21 @@ func chaosScenarios(live bool) []chaosScenario {
 			}},
 		})
 	}
+	// The resize-* scenarios run the malleability engine's crash windows
+	// against a dedicated elastic job (runMalleableChaosScenario). One kills
+	// a freshly spawned rank mid-expand, which must abort the resize cleanly
+	// back to the old world; the other kills a victim host mid-shrink after
+	// the drain, which must not stop the shrink from committing.
+	scenarios = append(scenarios,
+		chaosScenario{"resize-crash-new-rank", faults.Plan{Name: "resize-crash-new-rank", Events: []faults.Event{
+			{After: at(40), Kind: faults.KindCrashOnResizePhase, Phase: malleable.PhaseSpawn, Target: "new"},
+			{After: at(60), Kind: faults.KindResize, Hosts: []string{"ws1", "ws2", "ws3", "ws4", "ws5"}},
+		}}},
+		chaosScenario{"resize-crash-victim", faults.Plan{Name: "resize-crash-victim", Events: []faults.Event{
+			{After: at(40), Kind: faults.KindCrashOnResizePhase, Phase: malleable.PhaseReshape, Target: "victim"},
+			{After: at(60), Kind: faults.KindResize, Hosts: []string{"ws1", "ws2", "ws3"}},
+		}}},
+	)
 	return scenarios
 }
 
@@ -171,13 +191,21 @@ func RunChaos(cfg ChaosConfig) ([]ChaosRow, error) {
 		if !selected(sc.name) {
 			continue
 		}
-		row, err := runChaosScenario(cfg, sc)
+		var row ChaosRow
+		var err error
+		if strings.HasPrefix(sc.name, "resize-") {
+			row, err = runMalleableChaosScenario(cfg, sc)
+		} else {
+			row, err = runChaosScenario(cfg, sc)
+		}
 		if err != nil {
 			return nil, fmt.Errorf("experiments: chaos %s: %w", sc.name, err)
 		}
 		if sc.name == "baseline" {
 			baseline = row.VirtualSec
-		} else if baseline > 0 {
+		} else if baseline > 0 && !strings.HasPrefix(sc.name, "resize-") {
+			// The resize scenarios run a different workload; inflation
+			// against the tree baseline would be meaningless.
 			row.InflationPct = (row.VirtualSec/baseline - 1) * 100
 		}
 		rows = append(rows, row)

@@ -65,8 +65,8 @@ func TestChaosAllScenariosSurvive(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(rows) != 8 {
-		t.Fatalf("scenarios = %d, want 8", len(rows))
+	if len(rows) != 10 {
+		t.Fatalf("scenarios = %d, want 10 (8 classic + 2 resize)", len(rows))
 	}
 	for _, r := range rows {
 		if !r.Survived {
@@ -95,5 +95,16 @@ func TestChaosAllScenariosSurvive(t *testing.T) {
 	if r := byName["heartbeat-faults"]; r.Counters[metrics.CtrStatusDropped] != 2 ||
 		r.Counters[metrics.CtrStatusDuplicated] != 2 || r.Counters[metrics.CtrStatusDelayed] != 1 {
 		t.Errorf("heartbeat-faults counters: %v", r.Counters)
+	}
+	// The resize scenarios must take the exact paths they target: losing a
+	// fresh rank mid-expand aborts the resize (the job finishes at the old
+	// size), losing a victim mid-shrink after the drain still commits.
+	if r := byName["resize-crash-new-rank"]; r.Counters[metrics.CtrResizeAborted] != 1 ||
+		r.Counters[metrics.CtrResizeCommitted] != 0 {
+		t.Errorf("resize-crash-new-rank counters: %v", r.Counters)
+	}
+	if r := byName["resize-crash-victim"]; r.Counters[metrics.CtrResizeCommitted] != 1 ||
+		r.Counters[metrics.CtrRanksRetired] != 1 {
+		t.Errorf("resize-crash-victim counters: %v", r.Counters)
 	}
 }

@@ -47,6 +47,15 @@ const (
 	// "dest") of that migration. For hpcm.PhasePrecopy, Round > 0 narrows
 	// the trap to that precopy round (0 fires on the first round seen).
 	KindCrashOnPhase Kind = "crash-on-phase"
+	// KindResize proposes the placement Hosts to a malleable job — the
+	// elastic analogue of KindMigrate. Interpreted by the malleable chaos
+	// runner, which binds the event to its job.
+	KindResize Kind = "resize"
+	// KindCrashOnResizePhase arms a one-shot trap on the malleable resize
+	// protocol: when a resize reaches Phase (a malleable.Phase* constant),
+	// crash Target — "new" crashes the first freshly spawned host of the
+	// resize, "victim" the first retiring one.
+	KindCrashOnResizePhase Kind = "crash-on-resize-phase"
 )
 
 // Event is one scheduled fault. Only the fields its Kind documents are used.
@@ -63,8 +72,9 @@ type Event struct {
 	Factor float64
 	Delay  time.Duration
 	Phase  string
-	Round  int    // precopy round a crash-on-phase trap waits for (0: any)
-	Target string // "source" | "dest"
+	Round  int      // precopy round a crash-on-phase trap waits for (0: any)
+	Target string   // "source" | "dest" | "new" | "victim"
+	Hosts  []string // resize target placement, rank order
 }
 
 // String renders the event compactly (only the fields its kind uses).
@@ -82,6 +92,9 @@ func (e Event) String() string {
 	}
 	if e.Dest != "" {
 		fmt.Fprintf(&b, " dest=%s", e.Dest)
+	}
+	if len(e.Hosts) > 0 {
+		fmt.Fprintf(&b, " hosts=%s", strings.Join(e.Hosts, ","))
 	}
 	if e.Count > 0 {
 		fmt.Fprintf(&b, " count=%d", e.Count)

@@ -120,6 +120,11 @@ const (
 	MetricPagesResent       = "hpcm/pages_resent"
 )
 
+// NullBinder returns the no-op HostBinder used when processes run unbound
+// from any host model — benchmarks and pure protocol tests that need a
+// binder without building a cluster.
+func NullBinder() HostBinder { return nullBinder{} }
+
 // nullBinder satisfies HostBinder without any host model.
 type nullBinder struct{}
 

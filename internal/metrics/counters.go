@@ -32,6 +32,10 @@ const (
 	CtrMigrCommitted    = "core/migrations_committed"
 	CtrCkptRestores     = "core/checkpoint_restores"
 	CtrColdRestarts     = "core/cold_restarts"
+	CtrResizeCommitted  = "malleable/resizes_committed"
+	CtrResizeAborted    = "malleable/resizes_aborted"
+	CtrRanksSpawned     = "malleable/ranks_spawned"
+	CtrRanksRetired     = "malleable/ranks_retired"
 )
 
 // Counters is a set of named monotonic counters, safe for concurrent use.

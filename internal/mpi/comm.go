@@ -3,6 +3,8 @@ package mpi
 import (
 	"fmt"
 	"sort"
+	"strconv"
+	"strings"
 	"sync"
 )
 
@@ -303,6 +305,43 @@ func (c *Comm) Dup() (*Comm, error) {
 	ctx := fmt.Sprintf("%s/dup-%d", c.group.ctx, seq)
 	ng := &group{ctx: ctx, hosts: c.group.hosts, eps: c.group.eps}
 	return &Comm{u: c.u, group: ng, rank: c.rank, self: c.self}, nil
+}
+
+// CreateGroup returns a sub-communicator containing exactly the given
+// ranks of c, ordered as listed (position in ranks = new rank) — the MPI-3
+// MPI_Comm_create_group: collective only over the listed ranks, so absent
+// ranks (retired victims of a shrink, crashed hosts) need not participate.
+// Every member must pass identical ranks and tag; the derived context is a
+// pure function of both, so members agree without communication. The caller
+// must be listed.
+func (c *Comm) CreateGroup(ranks []int, tag int) (*Comm, error) {
+	if c.remote != nil {
+		return nil, fmt.Errorf("mpi: CreateGroup of an intercommunicator")
+	}
+	sig := make([]string, len(ranks))
+	ng := &group{}
+	newRank := -1
+	seen := make(map[int]bool, len(ranks))
+	for i, r := range ranks {
+		if r < 0 || r >= len(c.group.eps) {
+			return nil, fmt.Errorf("%w: %d of %d", ErrBadRank, r, len(c.group.eps))
+		}
+		if seen[r] {
+			return nil, fmt.Errorf("mpi: CreateGroup duplicate rank %d", r)
+		}
+		seen[r] = true
+		sig[i] = strconv.Itoa(r)
+		ng.eps = append(ng.eps, c.group.eps[r])
+		ng.hosts = append(ng.hosts, c.group.hosts[r])
+		if r == c.rank {
+			newRank = i
+		}
+	}
+	if newRank < 0 {
+		return nil, fmt.Errorf("mpi: caller rank %d not in CreateGroup ranks", c.rank)
+	}
+	ng.ctx = fmt.Sprintf("%s/group-%d-%s", c.group.ctx, tag, strings.Join(sig, "."))
+	return &Comm{u: c.u, group: ng, rank: newRank, self: c.self}, nil
 }
 
 // Split partitions the communicator by color; ranks within each new

@@ -1,6 +1,7 @@
 package mpi
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 )
@@ -22,6 +23,29 @@ import (
 // migrating process is a singleton communicator); the returned handle
 // belongs to the caller.
 func (env *Env) Spawn(hosts []string, main Main) (*Comm, error) {
+	return env.spawnFrom(env.World, hosts, main)
+}
+
+// HostFailedError reports dynamic process creation onto a dead or failing
+// host. Control planes that spawn as part of a larger protocol (elastic
+// resize, migration) match it with errors.As to tell "the target host died"
+// — retry elsewhere, abort cleanly — from transport or port errors.
+type HostFailedError struct {
+	Host string
+	Err  error
+}
+
+func (e *HostFailedError) Error() string {
+	return fmt.Sprintf("mpi: spawn on failed host %q: %v", e.Host, e.Err)
+}
+
+// Unwrap exposes the underlying cause to errors.Is/As.
+func (e *HostFailedError) Unwrap() error { return e.Err }
+
+// spawnFrom is Spawn with an explicit parent communicator: the children's
+// Parent intercommunicator addresses comm's group rather than the original
+// world, so a grown communicator can keep growing.
+func (env *Env) spawnFrom(comm *Comm, hosts []string, main Main) (*Comm, error) {
 	if len(hosts) == 0 {
 		return nil, fmt.Errorf("mpi: Spawn with no hosts")
 	}
@@ -29,21 +53,94 @@ func (env *Env) Spawn(hosts []string, main Main) (*Comm, error) {
 	if u.spawnLatency > 0 {
 		u.clock.Sleep(u.spawnLatency)
 	}
+	// Vet the targets after the latency charge: a host that died while the
+	// spawn was under way surfaces as a mid-spawn failure, not an early
+	// argument error.
+	for _, h := range hosts {
+		if u.hostCheck != nil {
+			if err := u.hostCheck(h); err != nil {
+				return nil, &HostFailedError{Host: h, Err: err}
+			}
+		}
+	}
 	parentGroup := &group{
-		ctx:   env.World.group.ctx,
-		hosts: env.World.group.hosts,
-		eps:   env.World.group.eps,
+		ctx:   comm.group.ctx,
+		hosts: comm.group.hosts,
+		eps:   comm.group.eps,
 	}
 	envs, _ := u.launch(hosts, parentGroup, main)
 	children := envs[0].World.group
 	return &Comm{
 		u:      u,
-		group:  env.World.group,
+		group:  comm.group,
 		remote: children,
 		ctx:    children.parentInterCtx,
-		rank:   env.World.rank,
-		self:   env.ep,
+		rank:   comm.rank,
+		self:   comm.self,
 	}, nil
+}
+
+// spawnShare crosses the SpawnMerge broadcast from the spawning rank to the
+// rest of the communicator: the parked children group plus the
+// intercommunicator context, or the spawn error.
+type spawnShare struct {
+	GroupID    int64
+	Ctx        string
+	FailedHost string
+	Err        string
+}
+
+// SpawnMerge grows an intracommunicator in place — the elastic-expand
+// composite of MPI_Comm_spawn and MPI_Intercomm_merge. Collective over
+// comm: rank 0 spawns len(hosts) processes running main, every rank joins
+// the resulting intercommunicator, and all merge with the existing ranks
+// ordered first (they keep their ranks; the children follow in host order).
+// The children reach the merged communicator through env.Parent.Merge(true).
+//
+// A spawn failure is broadcast, so every rank returns the same error —
+// *HostFailedError when a target host was down — and the communicator is
+// left untouched for a uniform, clean abort of the expansion.
+func (env *Env) SpawnMerge(comm *Comm, hosts []string, main Main) (*Comm, error) {
+	if comm == nil || comm.remote != nil {
+		return nil, fmt.Errorf("mpi: SpawnMerge needs an intracommunicator")
+	}
+	var share spawnShare
+	var inter *Comm
+	if comm.rank == 0 {
+		var err error
+		inter, err = env.spawnFrom(comm, hosts, main)
+		if err != nil {
+			share.Err = err.Error()
+			var hf *HostFailedError
+			if errors.As(err, &hf) {
+				share.FailedHost = hf.Host
+				share.Err = hf.Err.Error()
+			}
+		} else {
+			share.Ctx = inter.ctx
+			share.GroupID = env.U.shareGroup(inter.remote, comm.Size()-1)
+		}
+	}
+	if err := comm.Bcast(&share, 0); err != nil {
+		return nil, err
+	}
+	if share.Err != "" {
+		if share.FailedHost != "" {
+			return nil, &HostFailedError{Host: share.FailedHost, Err: errors.New(share.Err)}
+		}
+		return nil, fmt.Errorf("mpi: SpawnMerge: %s", share.Err)
+	}
+	if inter == nil {
+		remote := env.U.claimGroup(share.GroupID)
+		if remote == nil {
+			return nil, fmt.Errorf("mpi: SpawnMerge: spawned group %d already claimed", share.GroupID)
+		}
+		inter = &Comm{
+			u: comm.u, group: comm.group, remote: remote, ctx: share.Ctx,
+			rank: comm.rank, self: comm.self,
+		}
+	}
+	return inter.Merge(false)
 }
 
 // port is a rendezvous point for Connect/Accept.

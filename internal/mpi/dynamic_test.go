@@ -447,3 +447,181 @@ func TestSplitUndefinedColor(t *testing.T) {
 		return nil
 	})
 }
+
+func TestSpawnHostFailedTyped(t *testing.T) {
+	u := NewUniverse(Options{HostCheck: func(host string) error {
+		if host == "dead" {
+			return errors.New("host is down")
+		}
+		return nil
+	}})
+	errs := u.Run([]string{"src"}, func(env *Env) error {
+		// A dead target surfaces as *HostFailedError naming the host...
+		_, err := env.Spawn([]string{"ok", "dead"}, func(*Env) error { return nil })
+		var hf *HostFailedError
+		if !errors.As(err, &hf) {
+			return fmt.Errorf("spawn error = %v, want *HostFailedError", err)
+		}
+		if hf.Host != "dead" {
+			return fmt.Errorf("failed host = %q, want dead", hf.Host)
+		}
+		// ...while other dynamic-process errors stay untyped, so the resize
+		// path can tell "host died" from protocol/transport failures.
+		_, err = env.Connect("no-such-port", env.World)
+		if err == nil || errors.As(err, &hf) {
+			return fmt.Errorf("connect error = %v, want untyped", err)
+		}
+		return nil
+	})
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	u.Wait()
+}
+
+func TestSpawnMergeGrowsWorld(t *testing.T) {
+	u := NewUniverse(Options{})
+	errs := u.Run([]string{"a", "b", "c"}, func(env *Env) error {
+		child := func(cenv *Env) error {
+			big, err := cenv.Parent.Merge(true)
+			if err != nil {
+				return err
+			}
+			if big.Size() != 5 {
+				return fmt.Errorf("child merged size = %d, want 5", big.Size())
+			}
+			// Children follow the parents, in host order.
+			if host, err := big.Host(big.Rank()); err != nil || host != cenv.Host {
+				return fmt.Errorf("child rank %d host = %q, %v", big.Rank(), host, err)
+			}
+			var sum int
+			if err := big.Allreduce(big.Rank(), &sum, Sum); err != nil {
+				return err
+			}
+			if sum != 10 {
+				return fmt.Errorf("child allreduce = %d, want 10", sum)
+			}
+			return nil
+		}
+		big, err := env.SpawnMerge(env.World, []string{"d", "e"}, child)
+		if err != nil {
+			return err
+		}
+		if big.Size() != 5 || big.Rank() != env.World.Rank() {
+			return fmt.Errorf("merged size=%d rank=%d (world rank %d)", big.Size(), big.Rank(), env.World.Rank())
+		}
+		var sum int
+		if err := big.Allreduce(big.Rank(), &sum, Sum); err != nil {
+			return err
+		}
+		if sum != 10 {
+			return fmt.Errorf("allreduce = %d, want 10", sum)
+		}
+		return nil
+	})
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	u.Wait()
+}
+
+func TestSpawnMergeFailurePropagatesToAllRanks(t *testing.T) {
+	u := NewUniverse(Options{HostCheck: func(host string) error {
+		if host == "dead" {
+			return errors.New("host is down")
+		}
+		return nil
+	}})
+	errs := u.Run([]string{"a", "b", "c"}, func(env *Env) error {
+		_, err := env.SpawnMerge(env.World, []string{"dead"}, func(*Env) error { return nil })
+		var hf *HostFailedError
+		if !errors.As(err, &hf) || hf.Host != "dead" {
+			return fmt.Errorf("rank %d: err = %v, want *HostFailedError{dead}", env.World.Rank(), err)
+		}
+		// The world is untouched: a post-abort collective still works.
+		var sum int
+		if err := env.World.Allreduce(1, &sum, Sum); err != nil {
+			return err
+		}
+		if sum != 3 {
+			return fmt.Errorf("post-abort allreduce = %d", sum)
+		}
+		return nil
+	})
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	u.Wait()
+}
+
+func TestCreateGroupSubsetAndOrder(t *testing.T) {
+	u := NewUniverse(Options{})
+	errs := u.Run([]string{"a", "b", "c", "d"}, func(env *Env) error {
+		w := env.World
+		members := []int{3, 0, 1} // rank 2 does not participate at all
+		if w.Rank() == 2 {
+			if _, err := w.CreateGroup([]int{0, 1}, 7); err == nil {
+				return errors.New("CreateGroup without the caller should fail")
+			}
+			if _, err := w.CreateGroup([]int{2, 2}, 7); err == nil {
+				return errors.New("CreateGroup with duplicate ranks should fail")
+			}
+			return nil
+		}
+		sub, err := w.CreateGroup(members, 7)
+		if err != nil {
+			return err
+		}
+		if sub.Size() != 3 {
+			return fmt.Errorf("sub size = %d", sub.Size())
+		}
+		wantRank := map[int]int{3: 0, 0: 1, 1: 2}[w.Rank()]
+		if sub.Rank() != wantRank {
+			return fmt.Errorf("sub rank = %d, want %d", sub.Rank(), wantRank)
+		}
+		var sum int
+		if err := sub.Allreduce(w.Rank(), &sum, Sum); err != nil {
+			return err
+		}
+		if sum != 4 {
+			return fmt.Errorf("sub allreduce = %d, want 4", sum)
+		}
+		return nil
+	})
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	u.Wait()
+}
+
+func TestKillUnblocksReceiver(t *testing.T) {
+	u := NewUniverse(Options{})
+	ready := make(chan *Env, 1)
+	wait := u.Start([]string{"a", "b"}, func(env *Env) error {
+		if env.World.Rank() == 1 {
+			ready <- env
+			var v int
+			_, err := env.World.Recv(&v, 0, 1)
+			if !errors.Is(err, ErrProcExited) {
+				return fmt.Errorf("recv after kill = %v, want ErrProcExited", err)
+			}
+			return nil
+		}
+		return nil
+	})
+	(<-ready).Kill()
+	for _, err := range wait() {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	u.Wait()
+}

@@ -52,6 +52,10 @@ type Options struct {
 	Transport Transport
 	// SpawnLatency is charged by every dynamic process creation.
 	SpawnLatency time.Duration
+	// HostCheck, when set, vets every host targeted by dynamic process
+	// creation; a non-nil result makes Spawn fail with a *HostFailedError
+	// naming the host. Nil trusts every host name.
+	HostCheck func(host string) error
 }
 
 // Universe owns the processes, ports, and transport of one MPI world — the
@@ -60,12 +64,21 @@ type Universe struct {
 	clock        vclock.Clock
 	transport    Transport
 	spawnLatency time.Duration
+	hostCheck    func(host string) error
 
 	mu     sync.Mutex
 	nextID int64
 	ports  map[string]*port
 	names  map[string]string // published service name -> port name
+	groups map[int64]*sharedGroup
 	wg     sync.WaitGroup
+}
+
+// sharedGroup parks a spawned group handle so the non-spawning ranks of a
+// SpawnMerge can claim it; the entry is removed once every claim is taken.
+type sharedGroup struct {
+	g      *group
+	claims int
 }
 
 // NewUniverse creates a Universe.
@@ -80,9 +93,38 @@ func NewUniverse(opts Options) *Universe {
 		clock:        opts.Clock,
 		transport:    opts.Transport,
 		spawnLatency: opts.SpawnLatency,
+		hostCheck:    opts.HostCheck,
 		ports:        make(map[string]*port),
 		names:        make(map[string]string),
+		groups:       make(map[int64]*sharedGroup),
 	}
+}
+
+// shareGroup parks a group handle under a fresh id for claims claimants.
+// With no claimants the handle is not parked (the id is still unique).
+func (u *Universe) shareGroup(g *group, claims int) int64 {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	u.nextID++
+	if claims > 0 {
+		u.groups[u.nextID] = &sharedGroup{g: g, claims: claims}
+	}
+	return u.nextID
+}
+
+// claimGroup takes one claim on a parked group handle; nil if unknown.
+func (u *Universe) claimGroup(id int64) *group {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	sh, ok := u.groups[id]
+	if !ok {
+		return nil
+	}
+	sh.claims--
+	if sh.claims <= 0 {
+		delete(u.groups, id)
+	}
+	return sh.g
 }
 
 // Clock returns the universe clock.
@@ -112,6 +154,12 @@ type Env struct {
 
 // Main is a process entry point.
 type Main func(env *Env) error
+
+// Kill closes the process's mailbox ahead of normal termination: blocked
+// and future receives return ErrProcExited, and peers delivering to it fail
+// the same way. Fault injection uses it to model a host crash taking a rank
+// down mid-protocol; killing an already-finished process is a no-op.
+func (env *Env) Kill() { env.ep.close() }
 
 // Run launches one process per host name, forming a world communicator of
 // size len(hosts), and waits for all of them. The returned slice holds each

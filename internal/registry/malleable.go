@@ -1,0 +1,85 @@
+package registry
+
+import "autoresched/internal/rules"
+
+// ElasticAdvisor is the malleability-aware placement policy: where the
+// migration policies of Section 5.3 pick a new host for a fixed set of
+// ranks, the advisor proposes a whole new world for an elastic job from
+// the registry's host-state view. The rules are the natural extension of
+// the paper's three-state model to rank counts:
+//
+//   - hosts in the current placement stay while they are not Overloaded or
+//     Unavailable (Busy hosts run "as is", matching the paper's semantics);
+//   - Free hosts not yet in the placement are added, in the order given,
+//     up to MaxWorld — the job grows onto idle capacity;
+//   - Overloaded, Unavailable, and unknown placed hosts are dropped — the
+//     job shrinks off contended or dead machines instead of migrating
+//     rank-for-rank.
+//
+// The first placement entry (the job's rank-0 root) is pinned: it stays
+// whatever its state, because the malleability engine cannot move rank 0.
+type ElasticAdvisor struct {
+	// MinWorld is the smallest world worth running; a proposal below it is
+	// withheld. Zero selects 1.
+	MinWorld int
+	// MaxWorld caps the world size; zero means unbounded.
+	MaxWorld int
+}
+
+// Advise proposes a target placement for a job currently laid out as
+// `placement` (rank order, placement[0] = root), judging hosts by the
+// registry view `hosts` (in the order candidates should be preferred).
+// The second result is false when no resize is warranted: the proposal
+// would not change the host set, or it would fall below MinWorld.
+func (a ElasticAdvisor) Advise(placement []string, hosts []HostInfo) ([]string, bool) {
+	if len(placement) == 0 {
+		return nil, false
+	}
+	min := a.MinWorld
+	if min <= 0 {
+		min = 1
+	}
+	state := make(map[string]rules.State, len(hosts))
+	for _, h := range hosts {
+		state[h.Name] = h.State
+	}
+	inPlacement := make(map[string]bool, len(placement))
+	for _, h := range placement {
+		inPlacement[h] = true
+	}
+
+	target := []string{placement[0]}
+	for _, h := range placement[1:] {
+		st, known := state[h]
+		if !known || st.WantsOffload() || st == rules.Unavailable {
+			continue
+		}
+		target = append(target, h)
+	}
+	for _, h := range hosts {
+		if a.MaxWorld > 0 && len(target) >= a.MaxWorld {
+			break
+		}
+		if inPlacement[h.Name] || !h.State.AcceptsMigration() {
+			continue
+		}
+		target = append(target, h.Name)
+	}
+
+	if len(target) < min {
+		return nil, false
+	}
+	if len(target) == len(placement) {
+		same := true
+		for _, h := range target[1:] {
+			if !inPlacement[h] {
+				same = false
+				break
+			}
+		}
+		if same {
+			return nil, false
+		}
+	}
+	return target, true
+}

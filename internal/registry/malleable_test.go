@@ -1,0 +1,124 @@
+package registry
+
+import (
+	"fmt"
+	"testing"
+
+	"autoresched/internal/rules"
+)
+
+func view(states map[string]rules.State, order ...string) []HostInfo {
+	out := make([]HostInfo, 0, len(order))
+	for _, name := range order {
+		out = append(out, HostInfo{Name: name, State: states[name]})
+	}
+	return out
+}
+
+func TestElasticAdvisorGrowsOntoFreeHosts(t *testing.T) {
+	hosts := view(map[string]rules.State{
+		"a": rules.Busy, "b": rules.Busy, "c": rules.Free, "d": rules.Free,
+	}, "a", "b", "c", "d")
+	target, ok := ElasticAdvisor{}.Advise([]string{"a", "b"}, hosts)
+	if !ok {
+		t.Fatal("advisor declined a clear grow")
+	}
+	if got := fmt.Sprint(target); got != "[a b c d]" {
+		t.Fatalf("target = %s, want [a b c d]", got)
+	}
+}
+
+func TestElasticAdvisorShrinksOffOverloadedHosts(t *testing.T) {
+	hosts := view(map[string]rules.State{
+		"a": rules.Busy, "b": rules.Overloaded, "c": rules.Busy,
+	}, "a", "b", "c")
+	target, ok := ElasticAdvisor{}.Advise([]string{"a", "b", "c"}, hosts)
+	if !ok {
+		t.Fatal("advisor declined a clear shrink")
+	}
+	if got := fmt.Sprint(target); got != "[a c]" {
+		t.Fatalf("target = %s, want [a c]", got)
+	}
+}
+
+func TestElasticAdvisorReplacesOverloadedWithFree(t *testing.T) {
+	// Same-size swap: the resize that subsumes migration.
+	hosts := view(map[string]rules.State{
+		"a": rules.Busy, "b": rules.Overloaded, "c": rules.Free,
+	}, "a", "b", "c")
+	target, ok := ElasticAdvisor{MaxWorld: 2}.Advise([]string{"a", "b"}, hosts)
+	if !ok {
+		t.Fatal("advisor declined a swap")
+	}
+	if got := fmt.Sprint(target); got != "[a c]" {
+		t.Fatalf("target = %s, want [a c]", got)
+	}
+}
+
+func TestElasticAdvisorPinsRoot(t *testing.T) {
+	// The root host is kept even when overloaded or unknown.
+	hosts := view(map[string]rules.State{
+		"a": rules.Overloaded, "b": rules.Busy,
+	}, "a", "b")
+	target, ok := ElasticAdvisor{}.Advise([]string{"a", "b"}, hosts)
+	if ok {
+		t.Fatalf("nothing to change but root eviction was proposed: %v", target)
+	}
+	target, ok = ElasticAdvisor{}.Advise([]string{"zz", "b"}, hosts)
+	if ok && target[0] != "zz" {
+		t.Fatalf("root not pinned: %v", target)
+	}
+}
+
+func TestElasticAdvisorDropsUnknownAndUnavailable(t *testing.T) {
+	hosts := view(map[string]rules.State{
+		"a": rules.Busy, "b": rules.Unavailable,
+	}, "a", "b")
+	target, ok := ElasticAdvisor{}.Advise([]string{"a", "b", "ghost"}, hosts)
+	if !ok {
+		t.Fatal("advisor declined dropping dead hosts")
+	}
+	if got := fmt.Sprint(target); got != "[a]" {
+		t.Fatalf("target = %s, want [a]", got)
+	}
+}
+
+func TestElasticAdvisorMaxWorldCap(t *testing.T) {
+	hosts := view(map[string]rules.State{
+		"a": rules.Busy, "c": rules.Free, "d": rules.Free, "e": rules.Free,
+	}, "a", "c", "d", "e")
+	target, ok := ElasticAdvisor{MaxWorld: 3}.Advise([]string{"a"}, hosts)
+	if !ok {
+		t.Fatal("advisor declined a capped grow")
+	}
+	if got := fmt.Sprint(target); got != "[a c d]" {
+		t.Fatalf("target = %s, want [a c d] (cap 3)", got)
+	}
+}
+
+func TestElasticAdvisorMinWorldDecline(t *testing.T) {
+	// Shrinking below MinWorld is withheld: better to ride out contention
+	// than to collapse the job.
+	hosts := view(map[string]rules.State{
+		"a": rules.Busy, "b": rules.Overloaded, "c": rules.Overloaded,
+	}, "a", "b", "c")
+	if target, ok := (ElasticAdvisor{MinWorld: 2}).Advise([]string{"a", "b", "c"}, hosts); ok {
+		t.Fatalf("advisor proposed %v below MinWorld", target)
+	}
+	// Without the floor the same view shrinks to the root alone.
+	if _, ok := (ElasticAdvisor{}).Advise([]string{"a", "b", "c"}, hosts); !ok {
+		t.Fatal("advisor declined an uncapped shrink")
+	}
+}
+
+func TestElasticAdvisorNoChangeDeclined(t *testing.T) {
+	hosts := view(map[string]rules.State{
+		"a": rules.Busy, "b": rules.Busy,
+	}, "a", "b")
+	if target, ok := (ElasticAdvisor{}).Advise([]string{"a", "b"}, hosts); ok {
+		t.Fatalf("advisor proposed a no-op resize: %v", target)
+	}
+	if _, ok := (ElasticAdvisor{}).Advise(nil, hosts); ok {
+		t.Fatal("advisor proposed for an empty placement")
+	}
+}

@@ -168,6 +168,15 @@ func (n *Network) SetDown(name string, down bool) error {
 	return nil
 }
 
+// HostDown reports whether a host is currently marked down. Unknown hosts
+// count as down, so callers can use it directly as a liveness gate.
+func (n *Network) HostDown(name string) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	h, ok := n.hosts[name]
+	return !ok || h.down
+}
+
 // SetLinkFactor degrades (or restores) the link between two hosts: flows
 // between them run at factor times their fair-share rate. factor 1 restores
 // full capacity; factor must be positive (a dead link is a partition, not a

@@ -1,0 +1,160 @@
+package workload
+
+import (
+	"bytes"
+	"fmt"
+	"runtime"
+	"sync"
+	"testing"
+
+	"autoresched/internal/malleable"
+	"autoresched/internal/mpi"
+	"autoresched/internal/vclock"
+)
+
+// resizeGate wraps an ElasticJacobi to fire one Propose from rank 0 at the
+// start of a chosen step.
+type resizeGate struct {
+	*ElasticJacobi
+	at   int
+	once sync.Once
+	hook func()
+}
+
+func (g *resizeGate) Step(rc *malleable.Rank, shard []byte) ([]byte, error) {
+	if rc.Rank() == 0 && rc.Step() == g.at && g.hook != nil {
+		g.once.Do(g.hook)
+	}
+	return g.ElasticJacobi.Step(rc, shard)
+}
+
+// jobRef hands the started *Job to the gate hook, which runs on a rank
+// goroutine possibly before Start returns to the test.
+type jobRef struct {
+	mu sync.Mutex
+	j  *malleable.Job
+}
+
+func (r *jobRef) set(j *malleable.Job) { r.mu.Lock(); r.j = j; r.mu.Unlock() }
+
+func (r *jobRef) get() *malleable.Job {
+	for {
+		r.mu.Lock()
+		j := r.j
+		r.mu.Unlock()
+		if j != nil {
+			return j
+		}
+		runtime.Gosched()
+	}
+}
+
+func elasticHosts(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("eh%d", i+1)
+	}
+	return out
+}
+
+// runElastic runs the app on `from` ranks, optionally resizing to `to`
+// ranks at step `at` (to == 0 disables), and returns the final global
+// state bytes.
+func runElastic(t *testing.T, app *ElasticJacobi, from, to, at int) []byte {
+	t.Helper()
+	clock := vclock.Scaled(vclock.Epoch, 500)
+	u := mpi.NewUniverse(mpi.Options{Clock: clock})
+	var jr jobRef
+	var body malleable.App = app
+	if to != 0 {
+		body = &resizeGate{ElasticJacobi: app, at: at, hook: func() {
+			if err := jr.get().Propose(elasticHosts(to)); err != nil {
+				t.Errorf("Propose %d->%d: %v", from, to, err)
+			}
+		}}
+	}
+	j, err := malleable.Start(malleable.Options{
+		Universe: u, App: body, InitialHosts: elasticHosts(from),
+	})
+	if err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	jr.set(j)
+	result, err := j.Wait()
+	if err != nil {
+		t.Fatalf("Wait (world %d->%d): %v", from, to, err)
+	}
+	if to != 0 {
+		if w := j.World(); w != to {
+			t.Fatalf("final world = %d, want %d", w, to)
+		}
+	}
+	return result
+}
+
+// TestElasticJacobiMatchesReference: a fixed-size elastic run is
+// bit-identical to the serial reference, for divisible and non-divisible
+// row splits.
+func TestElasticJacobiMatchesReference(t *testing.T) {
+	for _, world := range []int{1, 2, 3, 5} {
+		app := &ElasticJacobi{N: 13, Iters: 9}
+		result := runElastic(t, app, world, 0, 0)
+		sum, err := ElasticJacobiChecksum(result)
+		if err != nil {
+			t.Fatalf("checksum: %v", err)
+		}
+		_, want := JacobiReference(JacobiConfig{N: app.N, Iters: app.Iters})
+		if sum != want {
+			t.Errorf("world %d: checksum %v, want %v (must be bit-exact)", world, sum, want)
+		}
+	}
+}
+
+// TestElasticJacobiRepartitionBitExact is the repartition property test:
+// decompose at N ranks, reshape to M mid-run, and the final state must be
+// bit-exact with a fresh fixed M-rank run — grow, shrink, and
+// non-divisible splits of a 13-row grid.
+func TestElasticJacobiRepartitionBitExact(t *testing.T) {
+	pairs := []struct{ from, to int }{
+		{1, 3}, // grow from serial
+		{3, 1}, // collapse to serial
+		{2, 5}, // grow, non-divisible both sides
+		{5, 2}, // shrink, non-divisible both sides
+		{3, 4}, // grow by one
+		{4, 3}, // shrink by one
+	}
+	for _, p := range pairs {
+		t.Run(fmt.Sprintf("%dto%d", p.from, p.to), func(t *testing.T) {
+			app := &ElasticJacobi{N: 13, Iters: 9}
+			resized := runElastic(t, app, p.from, p.to, 4)
+			fixed := runElastic(t, &ElasticJacobi{N: 13, Iters: 9}, p.to, 0, 0)
+			if !bytes.Equal(resized, fixed) {
+				t.Errorf("resized %d->%d run differs from fixed %d-rank run", p.from, p.to, p.to)
+			}
+			sum, err := ElasticJacobiChecksum(resized)
+			if err != nil {
+				t.Fatalf("checksum: %v", err)
+			}
+			_, want := JacobiReference(JacobiConfig{N: app.N, Iters: app.Iters})
+			if sum != want {
+				t.Errorf("%d->%d: checksum %v, want reference %v", p.from, p.to, sum, want)
+			}
+		})
+	}
+}
+
+// TestElasticJacobiSplitRejectsOversizedWorld: more ranks than interior
+// rows must fail, not produce empty shards.
+func TestElasticJacobiSplitRejectsOversizedWorld(t *testing.T) {
+	app := &ElasticJacobi{N: 4, Iters: 1}
+	global, err := app.Fresh()
+	if err != nil {
+		t.Fatalf("Fresh: %v", err)
+	}
+	if _, err := app.Split(global, 5); err == nil {
+		t.Fatal("Split across more ranks than rows succeeded")
+	}
+	if _, err := app.Split(global, 0); err == nil {
+		t.Fatal("Split across zero ranks succeeded")
+	}
+}
