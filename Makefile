@@ -2,9 +2,10 @@
 # runs; `make lint` runs the static gates (gofmt, go vet, reschedvet);
 # `make race` additionally race-tests the concurrency-heavy packages;
 # `make ci` is the full gate (lint + build + test + race, a repeated race
-# run of the simulation/experiment packages, 64-host scale and malleability
-# smokes, and the benchmark drift guard); `make bench` regenerates
-# BENCH_scale.json, BENCH_livemig.json and BENCH_malleable.json.
+# run of the simulation/experiment packages, 64-host scale, malleability
+# and multi-job smokes, and the benchmark drift guard); `make bench`
+# regenerates BENCH_scale.json, BENCH_livemig.json, BENCH_malleable.json
+# and BENCH_multijob.json.
 
 GO ?= go
 
@@ -14,9 +15,10 @@ GO ?= go
 RACE_PKGS = ./internal/proto ./internal/monitor ./internal/registry \
             ./internal/commander ./internal/hpcm ./internal/core \
             ./internal/faults ./internal/metrics ./internal/simnet \
-            ./internal/events ./internal/livemig ./internal/malleable
+            ./internal/events ./internal/livemig ./internal/malleable \
+            ./internal/jobs
 
-.PHONY: all build vet fmtcheck lint test race check ci chaos scale malleable bench benchguard
+.PHONY: all build vet fmtcheck lint test race check ci chaos scale malleable multijob bench benchguard
 
 all: check
 
@@ -55,6 +57,7 @@ ci: check race
 	$(GO) test -race -count=2 ./internal/simnet ./internal/experiments
 	$(GO) run ./cmd/repro -exp scale -hosts 64 -seed 42
 	$(GO) run ./cmd/repro -exp malleable -seed 42
+	$(GO) run ./cmd/repro -exp multijob -seed 42
 	$(MAKE) benchguard
 
 # Two chaos runs with the same seed must print identical fault schedules
@@ -72,6 +75,11 @@ scale: build
 malleable: build
 	$(GO) run ./cmd/repro -exp malleable -seed 42
 
+# The job-queue policy shoot-out: FIFO vs priority-preemptive vs backfill
+# over 64 queued gangs under host churn (byte-deterministic per seed).
+multijob: build
+	$(GO) run ./cmd/repro -exp multijob -seed 42
+
 # Scheduling microbenchmarks -> BENCH_scale.json: status-ingest throughput
 # (direct vs batched), candidate selection at 512 hosts (state-indexed vs
 # the seed's re-sort baseline), the 64->512 growth sweep, and one whole
@@ -86,6 +94,8 @@ bench: build
 	| $(GO) run ./cmd/benchjson -o BENCH_livemig.json
 	$(GO) test -run '^$$' -bench BenchmarkResize -benchtime 100x ./internal/malleable \
 	| $(GO) run ./cmd/benchjson -o BENCH_malleable.json
+	$(GO) test -run '^$$' -bench BenchmarkAdmission -benchtime 1000x ./internal/jobs \
+	| $(GO) run ./cmd/benchjson -o BENCH_multijob.json
 
 # Drift guard: regenerate the benchmark reports and fail if any benchmark
 # regressed more than 3x against the committed ones — a coarse fence
@@ -100,3 +110,5 @@ benchguard: build
 	| $(GO) run ./cmd/benchjson -o BENCH_livemig.json -baseline BENCH_livemig.json -max-ratio 3
 	$(GO) test -run '^$$' -bench BenchmarkResize -benchtime 100x ./internal/malleable \
 	| $(GO) run ./cmd/benchjson -o BENCH_malleable.json -baseline BENCH_malleable.json -max-ratio 3
+	$(GO) test -run '^$$' -bench BenchmarkAdmission -benchtime 1000x ./internal/jobs \
+	| $(GO) run ./cmd/benchjson -o BENCH_multijob.json -baseline BENCH_multijob.json -max-ratio 3

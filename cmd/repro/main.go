@@ -15,6 +15,7 @@
 //	repro -exp scale          # 64/256/512-host sweeps under churn (not in "all")
 //	repro -exp livemig        # precopy vs stop-and-copy downtime sweep
 //	repro -exp malleable      # elastic vs migrate-only vs fixed under churn (not in "all")
+//	repro -exp multijob       # job-queue policy shoot-out (not in "all")
 //	repro -exp scale -hosts 64,128   # custom sweep sizes
 //	repro -scale 100          # virtual-time compression factor
 //	repro -exp chaos -metrics run.json   # also dump the metrics registry
@@ -44,7 +45,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: fig5|fig6|fig7|fig8|table1|table2|chaos|scale|livemig|malleable|all")
+	exp := flag.String("exp", "all", "experiment: fig5|fig6|fig7|fig8|table1|table2|chaos|scale|livemig|malleable|multijob|all")
 	scale := flag.Float64("scale", 100, "virtual-time compression (virtual seconds per wall second)")
 	seed := flag.Int64("seed", 1, "workload seed")
 	hosts := flag.String("hosts", "", "scale experiment sweep sizes, comma-separated (default 64,256,512)")
@@ -152,6 +153,12 @@ func main() {
 		rows, err := experiments.RunMalleable(experiments.MalleableConfig{Params: mallParams, Metrics: mreg})
 		fatal(err)
 		fmt.Print(experiments.RenderMalleable(rows))
+		fmt.Println()
+	}
+	if *exp == "multijob" {
+		ran = true
+		rows := experiments.RunMultijob(experiments.MultijobConfig{Params: params})
+		fmt.Print(experiments.RenderMultijob(rows))
 		fmt.Println()
 	}
 	if want("livemig") {

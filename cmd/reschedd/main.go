@@ -113,14 +113,14 @@ func runRegistry(listen, policyPath string, mreg *metrics.Registry) {
 	// Pre-create the decision-latency histogram so /metrics serves it
 	// (empty) before the first placement.
 	mreg.Histogram(registry.MetricDecideSeconds)
-	reg := registry.New(registry.Config{
-		Name:    "registry",
-		Policy:  policy,
-		Metrics: mreg,
-		OnEvent: func(e registry.Event) {
+	reg := registry.NewRegistry(
+		registry.WithName("registry"),
+		registry.WithPolicy(policy),
+		registry.WithMetrics(mreg),
+		registry.WithOnEvent(func(e registry.Event) {
 			log.Printf("decision: %s", e)
-		},
-	})
+		}),
+	)
 	srv, err := proto.NewServer("registry", listen, loggingHandler(reg.Handler()))
 	if err != nil {
 		log.Fatalf("reschedd: listen: %v", err)
@@ -208,14 +208,12 @@ func runMonitor(regAddr, rulesPath string, interval time.Duration, procRoot stri
 	// Pre-create the cycle-latency histogram so /metrics serves it (empty)
 	// before the first monitoring cycle.
 	mreg.Histogram(monitor.MetricCycleSeconds)
-	mon, err := monitor.New(monitor.Config{
-		Host:             host,
-		Source:           sysinfo.NewProcSource(procRoot),
-		Engine:           engine,
-		Reporter:         &clientReporter{cli: cli},
-		DefaultFrequency: interval,
-		Metrics:          mreg,
-	})
+	mon, err := monitor.NewMonitor(host, sysinfo.NewProcSource(procRoot),
+		monitor.WithEngine(engine),
+		monitor.WithReporter(&clientReporter{cli: cli}),
+		monitor.WithDefaultFrequency(interval),
+		monitor.WithMetrics(mreg),
+	)
 	if err != nil {
 		log.Fatalf("reschedd: monitor: %v", err)
 	}

@@ -39,7 +39,7 @@ func main() {
 
 	// The upper-level registry knows domain B's hosts (registered there by
 	// B's own runtime below).
-	upper := registry.New(registry.Config{Name: "vo-registry", Clock: clock})
+	upper := registry.NewRegistry(registry.WithName("vo-registry"), registry.WithClock(clock))
 
 	// Domain B: its monitors report to the upper registry as well, making
 	// its free hosts visible to other domains. For the demo we simply run

@@ -74,6 +74,7 @@ var fixtures = []struct {
 	{"registry", "autoresched/internal/registry"},
 	{"livemig", "autoresched/internal/livemig"},
 	{"malleable", "autoresched/internal/malleable"},
+	{"jobs", "autoresched/internal/jobs"},
 	{"allowed", "autoresched/cmd/demo"},
 	{"nilrecv", "autoresched/internal/metrics"},
 	{"discard", "example/discard"},

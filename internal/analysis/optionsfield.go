@@ -6,16 +6,18 @@ import (
 )
 
 // checkOptionsField flags dead configuration: an exported field on a
-// struct type named Options that the declaring package never reads.
-// Options structs are write-only for callers — the declaring package is
-// the one that must consume each knob — so a field with no read is a
-// setting that silently does nothing, the config analogue of a dropped
-// error.
+// struct type named Options or Config that the declaring package never
+// reads. Configuration structs are write-only for callers — the declaring
+// package is the one that must consume each knob — so a field with no read
+// is a setting that silently does nothing, the config analogue of a
+// dropped error. Covering both spellings keeps the packages that retain a
+// Config struct (the constructor consolidation left the structs, only the
+// duplicate constructors went) under the same hygiene rule as Options.
 //
 // Writes (assignments, composite literal keys) do not count as reads;
 // taking a field's address does.
 func checkOptionsField(cfg Config, pkg *Package) []Finding {
-	// Exported fields of structs named Options, keyed by object.
+	// Exported fields of structs named Options or Config, keyed by object.
 	type fieldInfo struct {
 		structName string
 		ident      *ast.Ident
@@ -29,7 +31,7 @@ func checkOptionsField(cfg Config, pkg *Package) []Finding {
 			}
 			for _, spec := range gd.Specs {
 				ts, ok := spec.(*ast.TypeSpec)
-				if !ok || ts.Name.Name != "Options" {
+				if !ok || (ts.Name.Name != "Options" && ts.Name.Name != "Config") {
 					continue
 				}
 				st, ok := ts.Type.(*ast.StructType)

@@ -20,5 +20,16 @@ func apply(o Options) int {
 
 func setLimit(o *Options) { o.limit = 3 }
 
+// Config-named structs are under the same rule as Options.
+type Config struct {
+	// Interval is read by tick: live configuration.
+	Interval int
+	// Burst is accepted but never consulted.
+	Burst int // want `\[optionsfield\] exported field Config\.Burst is never read by optdemo \(dead configuration\)`
+}
+
+func tick(c Config) int { return c.Interval }
+
 var _ = apply
 var _ = setLimit
+var _ = tick

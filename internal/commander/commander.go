@@ -64,19 +64,11 @@ type lastOrder struct {
 	at    time.Time
 }
 
-// New creates a commander for host. dir, when non-empty, receives the
-// temporary address files the paper's mechanism uses; it must exist.
-//
-// Deprecated: use NewCommander with functional options.
-func New(host, dir string) *Commander {
-	return NewConfigured(host, dir, Config{})
-}
-
-// NewConfigured creates a commander with explicit robustness options.
-//
-// Deprecated: use NewCommander with functional options; NewConfigured
-// remains as a compatibility wrapper for existing Config-based callers.
-func NewConfigured(host, dir string, cfg Config) *Commander {
+// newFromConfig creates a commander from an assembled Config, applying
+// defaults. NewCommander is the public constructor; the former exported
+// Config-style New/NewConfigured are gone. dir, when non-empty, receives
+// the temporary address files the paper's mechanism uses; it must exist.
+func newFromConfig(host, dir string, cfg Config) *Commander {
 	if cfg.Clock == nil {
 		cfg.Clock = vclock.Real()
 	}

@@ -30,7 +30,7 @@ func (f *fakeProc) signals() []hpcm.Command {
 
 func TestMigrateSignalsManagedProcess(t *testing.T) {
 	dir := t.TempDir()
-	c := New("ws1", dir)
+	c := newFromConfig("ws1", dir, Config{})
 	if c.Host() != "ws1" {
 		t.Fatalf("host = %q", c.Host())
 	}
@@ -61,7 +61,7 @@ func TestMigrateSignalsManagedProcess(t *testing.T) {
 }
 
 func TestMigrateUnknownPID(t *testing.T) {
-	c := New("ws1", "")
+	c := newFromConfig("ws1", "", Config{})
 	err := c.Migrate(proto.MigrateOrder{PID: 99, DestHost: "ws4"})
 	if err == nil || !strings.Contains(err.Error(), "no managed process") {
 		t.Fatalf("err = %v", err)
@@ -72,7 +72,7 @@ func TestMigrateUnknownPID(t *testing.T) {
 }
 
 func TestManageAsAndForget(t *testing.T) {
-	c := New("ws1", "")
+	c := newFromConfig("ws1", "", Config{})
 	p := &fakeProc{pid: 1}
 	c.ManageAs(77, p) // the post-migration pid differs from p.PID()
 	if err := c.Migrate(proto.MigrateOrder{PID: 77, DestHost: "ws2"}); err != nil {
@@ -88,7 +88,7 @@ func TestManageAsAndForget(t *testing.T) {
 }
 
 func TestNoDirSkipsAddressFile(t *testing.T) {
-	c := New("ws1", "")
+	c := newFromConfig("ws1", "", Config{})
 	p := &fakeProc{pid: 5}
 	c.Manage(p)
 	if err := c.Migrate(proto.MigrateOrder{PID: 5, DestHost: "ws2", DestAddr: "a"}); err != nil {
@@ -100,7 +100,7 @@ func TestNoDirSkipsAddressFile(t *testing.T) {
 }
 
 func TestHandler(t *testing.T) {
-	c := New("ws1", "")
+	c := newFromConfig("ws1", "", Config{})
 	p := &fakeProc{pid: 3}
 	c.Manage(p)
 	h := c.Handler()
@@ -117,7 +117,7 @@ func TestHandler(t *testing.T) {
 }
 
 func TestBadDirSurfacesError(t *testing.T) {
-	c := New("ws1", "/nonexistent/dir/for/sure")
+	c := newFromConfig("ws1", "/nonexistent/dir/for/sure", Config{})
 	p := &fakeProc{pid: 8}
 	c.Manage(p)
 	err := c.Migrate(proto.MigrateOrder{PID: 8, DestHost: "ws2"})

@@ -12,7 +12,7 @@ import (
 func TestMigrateDedupsRedeliveredOrders(t *testing.T) {
 	clock := vclock.NewManual(vclock.Epoch)
 	ctr := metrics.NewCounters()
-	c := NewConfigured("ws1", "", Config{
+	c := newFromConfig("ws1", "", Config{
 		Clock:       clock,
 		DedupWindow: 30 * time.Second,
 		Counters:    ctr,
@@ -56,7 +56,7 @@ func TestMigrateDedupsRedeliveredOrders(t *testing.T) {
 }
 
 func TestMigrateDedupDisabledByDefault(t *testing.T) {
-	c := New("ws1", "")
+	c := newFromConfig("ws1", "", Config{})
 	p := &fakeProc{pid: 7}
 	c.Manage(p)
 	order := proto.MigrateOrder{PID: 7, DestHost: "ws2", DestAddr: "cmd://ws2"}

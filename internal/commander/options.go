@@ -19,14 +19,13 @@ type options struct {
 }
 
 // NewCommander creates a commander for host from functional options. It is
-// the preferred constructor; New and NewConfigured remain as deprecated
-// wrappers.
+// the only constructor.
 func NewCommander(host string, opts ...Option) *Commander {
 	var o options
 	for _, opt := range opts {
 		opt(&o)
 	}
-	return NewConfigured(host, o.dir, o.cfg)
+	return newFromConfig(host, o.dir, o.cfg)
 }
 
 // WithDir sets the directory receiving the temporary address files the

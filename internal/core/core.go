@@ -12,12 +12,14 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"autoresched/internal/cluster"
 	"autoresched/internal/commander"
 	"autoresched/internal/events"
 	"autoresched/internal/hpcm"
+	"autoresched/internal/jobs"
 	"autoresched/internal/livemig"
 	"autoresched/internal/metrics"
 	"autoresched/internal/monitor"
@@ -126,6 +128,14 @@ type Options struct {
 	// inside the freeze window. A zero-value Config selects the livemig
 	// defaults; nil keeps every migration stop-and-copy.
 	Live *livemig.Config
+	// JobPolicy drives the multi-job dispatcher's admission order and
+	// preemption (see internal/jobs); nil selects FIFO (no preemption, no
+	// backfill).
+	JobPolicy jobs.Policy
+	// SchedInterval is the dispatcher's periodic admission sweep, in virtual
+	// time; zero selects 5 s. Submissions and completions also kick a cycle
+	// immediately.
+	SchedInterval time.Duration
 }
 
 // DefaultEngine returns a rule engine encoding the paper's running
@@ -179,6 +189,12 @@ type App struct {
 	launched   time.Time
 	retries    int // failover attempts consumed
 	finalErr   error
+
+	// onSettled, when set, runs in the follow goroutine with the terminal
+	// error just before settled closes — the job dispatcher folds the
+	// rank's outcome into the job state machine through it, so by the time
+	// Wait returns the job-level bookkeeping is already done.
+	onSettled func(error)
 }
 
 // Process returns the app's current hpcm process (it changes on failover).
@@ -210,9 +226,21 @@ type System struct {
 	batcher  *registry.Batcher // non-nil when BatchStatusEvery is set
 	events   events.Sink       // combined sink: Options.Events + span builder
 
-	mu    sync.Mutex
-	nodes map[string]*Node
-	apps  []*App
+	// Multi-job control plane (see jobs.go).
+	queue  *jobs.Queue
+	policy jobs.Policy
+
+	mu      sync.Mutex
+	nodes   map[string]*Node
+	apps    []*App
+	jobRuns map[string]*jobRun
+
+	dispatchOnce     sync.Once
+	dispatchStopOnce sync.Once
+	dispatcherOn     atomic.Bool
+	dispatchKick     chan struct{}
+	dispatchStop     chan struct{}
+	dispatchDone     chan struct{}
 }
 
 // New assembles a System over a cluster.
@@ -226,6 +254,12 @@ func New(opts Options) (*System, error) {
 	if opts.SpawnLatency == 0 {
 		opts.SpawnLatency = 300 * time.Millisecond
 	}
+	if opts.SchedInterval <= 0 {
+		opts.SchedInterval = 5 * time.Second
+	}
+	if opts.JobPolicy == nil {
+		opts.JobPolicy = jobs.FIFO{}
+	}
 	clock := opts.Cluster.Clock()
 	universe := mpi.NewUniverse(mpi.Options{
 		Clock:        clock,
@@ -234,10 +268,15 @@ func New(opts Options) (*System, error) {
 		HostCheck:    opts.Cluster.HostCheck,
 	})
 	s := &System{
-		opts:    opts,
-		clock:   clock,
-		cluster: opts.Cluster,
-		nodes:   make(map[string]*Node),
+		opts:         opts,
+		clock:        clock,
+		cluster:      opts.Cluster,
+		nodes:        make(map[string]*Node),
+		policy:       opts.JobPolicy,
+		jobRuns:      make(map[string]*jobRun),
+		dispatchKick: make(chan struct{}, 1),
+		dispatchStop: make(chan struct{}),
+		dispatchDone: make(chan struct{}),
 	}
 	s.universe = universe
 	// The event sink every layer publishes to: the caller's sink plus,
@@ -251,8 +290,11 @@ func New(opts Options) (*System, error) {
 		sink = events.Multi(sink, metrics.NewSpans(opts.Metrics))
 	}
 	s.events = sink
+	s.queue = jobs.NewQueue(clock, sink)
 	// The runtime's own observer keeps the commit/abort counters; a
-	// user-supplied observer (fault injection) chains after it.
+	// user-supplied observer (fault injection) chains after it. The
+	// middleware publishes the same events — with typed payloads — on the
+	// unified sink itself.
 	observer := func(ev hpcm.MigrationEvent) {
 		switch ev.Phase {
 		case hpcm.PhaseResume:
@@ -263,18 +305,6 @@ func New(opts Options) (*System, error) {
 		if opts.Observer != nil {
 			opts.Observer(ev)
 		}
-		if sink != nil {
-			sink.Publish(events.Event{
-				Time:   clock.Now(),
-				Source: events.SourceHPCM,
-				Kind:   string(ev.Phase),
-				Host:   ev.From,
-				Dest:   ev.To,
-				Proc:   ev.Proc,
-				Note:   ev.Label,
-				Err:    ev.Err,
-			})
-		}
 	}
 	mw, err := hpcm.New(hpcm.Options{
 		Universe:        universe,
@@ -283,6 +313,7 @@ func New(opts Options) (*System, error) {
 		Checkpoints:     opts.Checkpoints,
 		CheckpointEvery: opts.CheckpointEvery,
 		Observer:        observer,
+		Events:          sink,
 		Metrics:         opts.Metrics,
 		Live:            opts.Live,
 	})
@@ -448,8 +479,12 @@ func (s *System) AddNodes(hosts ...string) error {
 	return nil
 }
 
-// Stop halts all monitors (and their host charging).
+// Stop halts the job dispatcher and all monitors (and their host charging).
 func (s *System) Stop() {
+	s.dispatchStopOnce.Do(func() { close(s.dispatchStop) })
+	if s.dispatcherOn.Load() {
+		<-s.dispatchDone
+	}
 	s.mu.Lock()
 	nodes := make([]*Node, 0, len(s.nodes))
 	for _, n := range s.nodes {
@@ -468,35 +503,20 @@ func (s *System) Stop() {
 // with the local commander and the registry/scheduler, and keeps the
 // registration current as the process migrates. On completion the actual
 // runtime is folded back into the schema (the self-adjustment feedback).
+//
+// Launch is the single-job compatibility shim over Submit: it submits a
+// gang-of-one spec pinned to host and returns its rank-0 App.
 func (s *System) Launch(name, host string, sch *schema.Schema, main hpcm.Main) (*App, error) {
-	node, ok := s.Node(host)
-	if !ok {
-		return nil, fmt.Errorf("core: no node on host %q", host)
-	}
-	p, err := s.mw.Start(name, host, main)
+	_, apps, err := s.submit(jobs.Spec{
+		Name:   name,
+		Hosts:  []string{host},
+		Schema: sch,
+		Rank:   func(int, int) hpcm.Main { return main },
+	})
 	if err != nil {
 		return nil, err
 	}
-	app := &App{
-		Proc:       p,
-		Schema:     sch,
-		sys:        s,
-		main:       main,
-		settled:    make(chan struct{}),
-		pid:        p.PID(),
-		host:       host,
-		launchHost: host,
-		launched:   s.clock.Now(),
-	}
-	node.Commander.Manage(p)
-	if err := s.registerProc(app); err != nil {
-		return nil, err
-	}
-	s.mu.Lock()
-	s.apps = append(s.apps, app)
-	s.mu.Unlock()
-	go app.follow()
-	return app, nil
+	return apps[0], nil
 }
 
 // registerProc (re-)registers the app's current incarnation.
@@ -566,6 +586,9 @@ func (app *App) follow() {
 				if h, ok := s.cluster.Host(app.LaunchHost()); ok {
 					app.Schema.RecordRun(s.clock.Since(app.launched), h.Speed())
 				}
+			}
+			if app.onSettled != nil {
+				app.onSettled(err)
 			}
 			close(app.settled)
 			return

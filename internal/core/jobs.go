@@ -1,0 +1,626 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"autoresched/internal/hpcm"
+	"autoresched/internal/jobs"
+	"autoresched/internal/metrics"
+	"autoresched/internal/proto"
+	"autoresched/internal/registry"
+	"autoresched/internal/schema"
+)
+
+// This file is the live job dispatcher: the control-plane half of the
+// multi-job redesign. Submit enqueues a jobs.Spec; a single dispatcher
+// goroutine runs admission cycles on the sim clock, feeding a registry
+// snapshot to the pure planner (jobs.PlanCycle) and executing its
+// admissions — gangs reserved two-phase through the registry, preemption
+// victims evicted by checkpoint-and-requeue, elastic shrink, or live
+// migration off the contested hosts — and launches each rank as an
+// ordinary migration-enabled App, so the paper's per-process autonomic
+// rescheduling keeps working underneath the job layer.
+
+const (
+	// evictionPoll paces the executor's vacancy checks, in virtual time.
+	evictionPoll = 100 * time.Millisecond
+	// evictionTimeout bounds how long an admission waits for its contested
+	// hosts to empty before giving the reservation back.
+	evictionTimeout = 30 * time.Minute
+)
+
+// Eviction intents a jobRun can be put under.
+const (
+	intentRequeue = "requeue"
+	intentCancel  = "cancel"
+)
+
+// jobRun is the runtime bookkeeping of one admitted job: the per-rank Apps
+// and the eviction intent driving its settle decision.
+type jobRun struct {
+	name string
+	spec jobs.Spec
+
+	mu       sync.Mutex
+	claimed  []string // admission placement, authoritative until launched
+	launched bool
+	slots    map[int]*rankSlot
+	intent   string // "", intentRequeue, intentCancel
+	failErr  error
+}
+
+// rankSlot is one rank's entry.
+type rankSlot struct {
+	app    *App
+	done   bool
+	shrunk bool // marked for shrink retirement; drops from the world on settle
+}
+
+// liveHosts returns the hosts the job currently occupies, in rank order.
+func (run *jobRun) liveHosts() []string {
+	run.mu.Lock()
+	defer run.mu.Unlock()
+	if !run.launched {
+		return append([]string(nil), run.claimed...)
+	}
+	idx := make([]int, 0, len(run.slots))
+	for i, sl := range run.slots {
+		if !sl.done {
+			idx = append(idx, i)
+		}
+	}
+	sort.Ints(idx)
+	hosts := make([]string, 0, len(idx))
+	for _, i := range idx {
+		hosts = append(hosts, run.slots[i].app.Host())
+	}
+	return hosts
+}
+
+// Queue returns the job queue (submission order, lifecycle snapshots).
+func (s *System) Queue() *jobs.Queue { return s.queue }
+
+// Submit is the multi-job front door. A spec with pinned Hosts is admitted
+// synchronously on exactly those hosts — the compatibility path Launch
+// rides on; an unpinned spec joins the queue and the dispatcher admits it
+// when the policy and the fleet allow, preempting lower-priority running
+// jobs under a preemptive policy.
+func (s *System) Submit(spec jobs.Spec) (*jobs.Job, error) {
+	job, _, err := s.submit(spec)
+	return job, err
+}
+
+func (s *System) submit(spec jobs.Spec) (*jobs.Job, []*App, error) {
+	if spec.Rank == nil {
+		return nil, nil, errors.New("core: Spec.Rank is required")
+	}
+	job, err := s.queue.Submit(spec)
+	if err != nil {
+		// Name reuse after a terminal run (Launch relaunches names): drop
+		// the finished predecessor and retry once.
+		if s.queue.Forget(spec.Name) == nil {
+			job, err = s.queue.Submit(spec)
+		}
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	spec = job.Spec()
+	if len(spec.Hosts) > 0 {
+		run := s.claimRun(spec, spec.Hosts)
+		apps, err := s.launchRun(job, run)
+		if err != nil {
+			s.queue.Settle(spec.Name, jobs.StateFailed, err, "launch failed")
+			_ = s.queue.Forget(spec.Name)
+			return nil, nil, err
+		}
+		return job, apps, nil
+	}
+	s.ensureDispatcher()
+	s.kickDispatcher()
+	return job, nil, nil
+}
+
+// CancelJob cancels a job: a pending one terminates immediately, a running
+// one has its ranks evicted (checkpointing at their next poll-point) and
+// settles Cancelled once they stop. A job mid-admission or mid-preemption
+// cannot be cancelled yet — retry after it lands.
+func (s *System) CancelJob(name string) error {
+	prior, err := s.queue.Cancel(name)
+	if err != nil {
+		return err
+	}
+	switch prior {
+	case jobs.StateReserving, jobs.StatePreempting:
+		return fmt.Errorf("core: job %q is mid-%s; cancel again once it settles", name, prior)
+	case jobs.StateRunning:
+		run := s.jobRun(name)
+		if run == nil {
+			return fmt.Errorf("core: job %q has no runtime state", name)
+		}
+		run.mu.Lock()
+		run.intent = intentCancel
+		for _, sl := range run.slots {
+			if !sl.done {
+				sl.app.Process().Evict()
+			}
+		}
+		run.mu.Unlock()
+	}
+	return nil
+}
+
+// RankApp returns the App of one rank of a running job (rank 0 of the
+// single-job compatibility path is the App Launch returns).
+func (s *System) RankApp(job string, rank int) (*App, error) {
+	run := s.jobRun(job)
+	if run == nil {
+		return nil, fmt.Errorf("core: job %q is not running", job)
+	}
+	run.mu.Lock()
+	defer run.mu.Unlock()
+	sl, ok := run.slots[rank]
+	if !ok {
+		return nil, fmt.Errorf("core: job %q has no rank %d", job, rank)
+	}
+	return sl.app, nil
+}
+
+func (s *System) jobRun(name string) *jobRun {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.jobRuns[name]
+}
+
+// claimRun registers a jobRun covering hosts so concurrent admission cycles
+// see them occupied — inserted before the gang reservation commits, so at
+// every instant the hosts are protected either by the reservation marks or
+// by this occupancy claim.
+func (s *System) claimRun(spec jobs.Spec, hosts []string) *jobRun {
+	run := &jobRun{
+		name:    spec.Name,
+		spec:    spec,
+		claimed: append([]string(nil), hosts...),
+		slots:   make(map[int]*rankSlot, len(hosts)),
+	}
+	s.mu.Lock()
+	s.jobRuns[spec.Name] = run
+	s.mu.Unlock()
+	return run
+}
+
+func (s *System) dropRun(run *jobRun) {
+	s.mu.Lock()
+	// Pointer-checked: a requeued job may already have a fresh run under
+	// the same name by the time a stale rank's settle drops the old one.
+	if s.jobRuns[run.name] == run {
+		delete(s.jobRuns, run.name)
+	}
+	s.mu.Unlock()
+}
+
+// ensureDispatcher starts the dispatcher goroutine on first queued Submit.
+func (s *System) ensureDispatcher() {
+	s.dispatchOnce.Do(func() {
+		s.dispatcherOn.Store(true)
+		go s.dispatchLoop()
+	})
+}
+
+// kickDispatcher requests an immediate admission cycle (coalescing).
+func (s *System) kickDispatcher() {
+	select {
+	case s.dispatchKick <- struct{}{}:
+	default:
+	}
+}
+
+// dispatchLoop runs admission cycles: on every kick (submission, capacity
+// freed) and every SchedInterval of virtual time as a sweep.
+func (s *System) dispatchLoop() {
+	defer close(s.dispatchDone)
+	for {
+		timer := s.clock.NewTimer(s.opts.SchedInterval)
+		select {
+		case <-s.dispatchStop:
+			timer.Stop()
+			return
+		case <-s.dispatchKick:
+			timer.Stop()
+		case <-timer.C:
+		}
+		s.runCycle()
+	}
+}
+
+// runCycle snapshots the fleet and the queue, plans one admission cycle,
+// and spawns an executor per admission. The plan is deterministic in the
+// snapshot; executors run concurrently but on disjoint host sets (the
+// planner's consistency guarantee plus the registry's reservation marks).
+func (s *System) runCycle() {
+	pending := s.queue.Pending()
+	if len(pending) == 0 {
+		return
+	}
+	s.mu.Lock()
+	runs := make(map[string]*jobRun, len(s.jobRuns))
+	for n, r := range s.jobRuns {
+		runs[n] = r
+	}
+	s.mu.Unlock()
+
+	// Refresh placements (ranks migrate and fail over underneath the job
+	// layer) and build the occupancy map.
+	occ := make(map[string]string)
+	for name, run := range runs {
+		hosts := run.liveHosts()
+		s.queue.SetPlacement(name, hosts)
+		for _, h := range hosts {
+			occ[h] = name
+		}
+	}
+	// The schedulable fleet: alive and unreserved (in-flight admissions
+	// hold their targets as reservations, which drop out here).
+	fleet := s.reg.EligibleHosts(registry.ProcInfo{}, nil)
+	hostViews := make([]jobs.HostView, 0, len(fleet))
+	for _, h := range fleet {
+		hostViews = append(hostViews, jobs.HostView{Name: h.Name, Job: occ[h.Name]})
+	}
+	running := s.queue.Running()
+
+	// Per-job host eligibility, from each job's schema.
+	elig := make(map[string]map[string]bool)
+	addElig := func(v jobs.JobView) {
+		job, ok := s.queue.Get(v.Name)
+		if !ok || job.Spec().Schema == nil {
+			return
+		}
+		set := make(map[string]bool)
+		for _, h := range s.reg.EligibleHosts(registry.ProcInfo{Name: v.Name, Schema: job.Spec().Schema}, nil) {
+			set[h.Name] = true
+		}
+		elig[v.Name] = set
+	}
+	for _, v := range pending {
+		addElig(v)
+	}
+	for _, v := range running {
+		addElig(v)
+	}
+
+	view := jobs.ClusterView{
+		Hosts:   hostViews,
+		Running: running,
+		Eligible: func(job, host string) bool {
+			set, ok := elig[job]
+			if !ok {
+				return true
+			}
+			return set[host]
+		},
+	}
+	for _, adm := range jobs.PlanCycle(s.policy, pending, view) {
+		go s.execAdmission(adm, occ)
+	}
+}
+
+// execAdmission carries one planned admission out: reserve, evict, commit,
+// launch. Any failure puts the job back to Pending; the next cycle replans
+// from the fleet as it then stands.
+func (s *System) execAdmission(adm jobs.Admission, occ map[string]string) {
+	defer s.kickDispatcher()
+	if err := s.queue.Transition(adm.Job, jobs.StateReserving, "admitted"); err != nil {
+		return
+	}
+	requeue := func(note string) {
+		_ = s.queue.Transition(adm.Job, jobs.StatePending, note)
+	}
+	job, ok := s.queue.Get(adm.Job)
+	if !ok {
+		return
+	}
+	spec := job.Spec()
+
+	var g *registry.GangReservation
+	hosts := adm.Hosts
+	if len(adm.Evictions) == 0 {
+		// No contested hosts: let the registry's gang scheduler pick the
+		// placement (PlaceGang consults the configured Scheduler; the
+		// planner's host choice was only a feasibility proof).
+		res, ok := s.reg.PlaceGang(
+			registry.ProcInfo{Name: spec.Name, Schema: spec.Schema},
+			spec.Gang,
+			func(h string) bool { return occ[h] != "" },
+		)
+		if !ok {
+			requeue("gang placement declined")
+			return
+		}
+		g = res
+		hosts = g.Hosts()
+	} else {
+		res, err := s.reg.ReserveHosts(hosts)
+		if err != nil {
+			requeue("reservation failed: " + err.Error())
+			return
+		}
+		g = res
+		for _, ev := range adm.Evictions {
+			s.evictVictim(ev)
+		}
+		if !s.awaitVacated(adm) {
+			g.Abort()
+			requeue("eviction timed out")
+			return
+		}
+	}
+	run := s.claimRun(spec, hosts)
+	if err := g.Commit(); err != nil {
+		s.dropRun(run)
+		s.opts.Counters.Inc(metrics.CtrJobsReservations)
+		requeue("reservation lost: " + err.Error())
+		return
+	}
+	if _, err := s.launchRun(job, run); err != nil {
+		requeue("launch failed: " + err.Error())
+		return
+	}
+	s.opts.Counters.Inc(metrics.CtrJobsAdmitted)
+}
+
+// evictVictim fires one eviction. Completion is observed by awaitVacated
+// (hosts emptying) and the victim's own rank watchers (state transitions).
+func (s *System) evictVictim(ev jobs.Eviction) {
+	run := s.jobRun(ev.Job)
+	if run == nil {
+		return
+	}
+	switch ev.Mode {
+	case jobs.EvictRequeue:
+		_ = s.queue.Transition(ev.Job, jobs.StatePreempting, "preempted: requeue")
+		run.mu.Lock()
+		run.intent = intentRequeue
+		for _, sl := range run.slots {
+			if !sl.done {
+				sl.app.Process().Evict()
+			}
+		}
+		run.mu.Unlock()
+	case jobs.EvictShrink:
+		contested := make(map[string]bool, len(ev.Hosts))
+		for _, h := range ev.Hosts {
+			contested[h] = true
+		}
+		run.mu.Lock()
+		for _, sl := range run.slots {
+			if !sl.done && !sl.shrunk && contested[sl.app.Host()] {
+				sl.shrunk = true
+				sl.app.Process().Evict()
+			}
+		}
+		run.mu.Unlock()
+		s.opts.Counters.Inc(metrics.CtrJobsShrunk)
+	case jobs.EvictMigrate:
+		type move struct {
+			from, to string
+			pid      int
+		}
+		var moves []move
+		run.mu.Lock()
+		for _, sl := range run.slots {
+			if sl.done {
+				continue
+			}
+			if to, ok := ev.Moves[sl.app.Host()]; ok {
+				moves = append(moves, move{from: sl.app.Host(), to: to, pid: sl.app.Process().PID()})
+			}
+		}
+		run.mu.Unlock()
+		for _, m := range moves {
+			_ = s.Migrate(m.from, proto.MigrateOrder{
+				PID:      m.pid,
+				DestHost: m.to,
+				DestAddr: "cmd://" + m.to,
+			})
+		}
+		s.opts.Counters.Inc(metrics.CtrJobsMigrated)
+	}
+}
+
+// awaitVacated polls in virtual time until no other job's live rank sits on
+// any of the admission's target hosts.
+func (s *System) awaitVacated(adm jobs.Admission) bool {
+	target := make(map[string]bool, len(adm.Hosts))
+	for _, h := range adm.Hosts {
+		target[h] = true
+	}
+	deadline := s.clock.Now().Add(evictionTimeout)
+	for {
+		if s.hostsClear(adm.Job, target) {
+			return true
+		}
+		if s.clock.Now().After(deadline) {
+			return false
+		}
+		timer := s.clock.NewTimer(evictionPoll)
+		select {
+		case <-timer.C:
+		case <-s.dispatchStop:
+			timer.Stop()
+			return false
+		}
+	}
+}
+
+// hostsClear reports whether no live rank of another job occupies any
+// target host.
+func (s *System) hostsClear(admitted string, target map[string]bool) bool {
+	s.mu.Lock()
+	runs := make([]*jobRun, 0, len(s.jobRuns))
+	for _, r := range s.jobRuns {
+		runs = append(runs, r)
+	}
+	s.mu.Unlock()
+	for _, run := range runs {
+		if run.name == admitted {
+			continue
+		}
+		for _, h := range run.liveHosts() {
+			if target[h] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// launchRun starts every rank of a claimed job on its placement and moves
+// it to Running. Requeued jobs restore ranks from their checkpoints when
+// the store has one; fresh admissions (and ranks without an image)
+// cold-start. The rank apps are returned in rank order.
+func (s *System) launchRun(job *jobs.Job, run *jobRun) ([]*App, error) {
+	spec := run.spec
+	restore := job.Requeues() > 0
+	apps := make([]*App, 0, len(run.claimed))
+	for i, host := range run.claimed {
+		name := jobs.RankName(spec.Name, i, spec.Gang)
+		app, err := s.startApp(name, host, spec.Schema, spec.Rank(i, spec.Gang), restore)
+		if err != nil {
+			// All-or-nothing: put the partial gang down (Evict, not Kill —
+			// no failover burn on a launch we are unwinding ourselves).
+			for _, a := range apps {
+				a.Process().Evict()
+			}
+			s.dropRun(run)
+			return nil, err
+		}
+		apps = append(apps, app)
+		run.slots[i] = &rankSlot{app: app}
+		// Wire the settle hook before the follow loop starts, so even an
+		// instantly-finishing rank reports through the job state machine.
+		idx := i
+		app.onSettled = func(err error) { s.rankSettled(run, idx, err) }
+		go app.follow()
+	}
+	run.mu.Lock()
+	run.launched = true
+	run.mu.Unlock()
+	s.queue.SetPlacement(spec.Name, run.claimed)
+	if err := s.queue.Transition(spec.Name, jobs.StateRunning, ""); err != nil {
+		return nil, err
+	}
+	return apps, nil
+}
+
+// startApp launches (or restores) one migration-enabled process and wraps
+// it in the App machinery — commander management, registry registration,
+// and the follow loop with its failover budget. Launch and the job
+// dispatcher share it.
+func (s *System) startApp(name, host string, sch *schema.Schema, main hpcm.Main, restore bool) (*App, error) {
+	node, ok := s.Node(host)
+	if !ok {
+		return nil, fmt.Errorf("core: no node on host %q", host)
+	}
+	var p *hpcm.Process
+	if restore && s.opts.Checkpoints != nil {
+		if _, ok, err := s.opts.Checkpoints.Load(name); err == nil && ok {
+			restored, err := s.mw.Restore(s.opts.Checkpoints, name, host, main)
+			if err == nil {
+				p = restored
+				s.opts.Counters.Inc(metrics.CtrCkptRestores)
+			}
+		}
+	}
+	if p == nil {
+		fresh, err := s.mw.Start(name, host, main)
+		if err != nil {
+			return nil, err
+		}
+		p = fresh
+	}
+	app := &App{
+		Proc:       p,
+		Schema:     sch,
+		sys:        s,
+		main:       main,
+		settled:    make(chan struct{}),
+		pid:        p.PID(),
+		host:       host,
+		launchHost: host,
+		launched:   s.clock.Now(),
+	}
+	node.Commander.Manage(p)
+	if err := s.registerProc(app); err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	s.apps = append(s.apps, app)
+	s.mu.Unlock()
+	// The caller wires app.onSettled and starts app.follow() — the hook
+	// must be in place before the follow loop can observe completion.
+	return app, nil
+}
+
+// rankSettled folds one rank's settle into the job state machine. It runs
+// in the rank's follow goroutine, before the App's settled channel closes,
+// so job-level bookkeeping is complete by the time App.Wait returns.
+func (s *System) rankSettled(run *jobRun, idx int, err error) {
+	run.mu.Lock()
+	sl := run.slots[idx]
+	sl.done = true
+	preempted := errors.Is(err, hpcm.ErrPreempted)
+	if err != nil && !preempted && run.failErr == nil {
+		// Terminal rank failure (failover budget spent): a gang missing a
+		// rank is no gang — put the others down too.
+		run.failErr = err
+		for _, other := range run.slots {
+			if !other.done {
+				other.app.Process().Evict()
+			}
+		}
+	}
+	allDone := true
+	for _, other := range run.slots {
+		if !other.done {
+			allDone = false
+			break
+		}
+	}
+	intent, failErr, shrunk := run.intent, run.failErr, sl.shrunk
+	run.mu.Unlock()
+
+	if !allDone {
+		if preempted && shrunk && intent == "" {
+			// Shrink retirement: the survivors keep running at the
+			// smaller world.
+			s.queue.SetPlacement(run.name, run.liveHosts())
+		}
+		return
+	}
+
+	// Last rank down: settle (or requeue) the job.
+	s.dropRun(run)
+	switch {
+	case intent == intentCancel:
+		s.queue.Settle(run.name, jobs.StateCancelled, jobs.ErrCancelled, "cancelled")
+	case intent == intentRequeue:
+		s.opts.Counters.Inc(metrics.CtrJobsRequeued)
+		_ = s.queue.Transition(run.name, jobs.StatePending, "requeued")
+	case failErr != nil:
+		s.queue.Settle(run.name, jobs.StateFailed, failErr, "rank failed")
+	case preempted && !shrunk:
+		// Evicted without a recorded intent (e.g. unwound mid-launch):
+		// requeue rather than invent an outcome.
+		s.opts.Counters.Inc(metrics.CtrJobsRequeued)
+		_ = s.queue.Transition(run.name, jobs.StatePending, "requeued")
+	default:
+		s.queue.Settle(run.name, jobs.StateCompleted, nil, "")
+	}
+	if s.dispatcherOn.Load() {
+		s.kickDispatcher()
+	}
+}

@@ -42,7 +42,7 @@ func TestMonitorToRegistryOverTCP(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	reg := registry.New(registry.Config{Clock: clock})
+	reg := registry.NewRegistry(registry.WithClock(clock))
 	srv, err := proto.NewServer("registry", "127.0.0.1:0", reg.Handler())
 	if err != nil {
 		t.Fatal(err)
@@ -58,15 +58,13 @@ func TestMonitorToRegistryOverTCP(t *testing.T) {
 		}
 		defer cli.Close()
 		src, _ := cl.Source(host)
-		m, err := monitor.New(monitor.Config{
-			Host:             host,
-			Source:           src,
-			Engine:           DefaultEngine(),
-			Reporter:         &tcpReporter{cli: cli},
-			Clock:            clock,
-			DefaultFrequency: 10 * time.Second,
-			CommandAddr:      "cmd://" + host,
-		})
+		m, err := monitor.NewMonitor(host, src,
+			monitor.WithEngine(DefaultEngine()),
+			monitor.WithReporter(&tcpReporter{cli: cli}),
+			monitor.WithClock(clock),
+			monitor.WithDefaultFrequency(10*time.Second),
+			monitor.WithCommandAddr("cmd://"+host),
+		)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -20,20 +20,27 @@ const (
 	SourceHPCM      = "hpcm"
 	SourceFaults    = "faults"
 	SourceCommander = "commander"
+	SourceMalleable = "malleable"
+	SourceJobs      = "jobs"
 )
 
 // Event is one normalised runtime event. Source and Kind identify it;
 // the remaining fields are set when the source vocabulary carries them.
+// Payload, when non-nil, carries the source's typed event struct
+// (hpcm.MigrationEvent, hpcm.CheckpointEvent, malleable.Event, jobs.Event)
+// so consumers needing more than the normalised fields register one On[T]
+// sink instead of a per-subsystem callback interface.
 type Event struct {
-	Time   time.Time
-	Source string // SourceRegistry | SourceHPCM | SourceFaults | SourceCommander
-	Kind   string // the source's own kind vocabulary (e.g. "ordered", "resume")
-	Host   string // the host the event concerns (migration source, fault target)
-	Dest   string // destination host, for placement/migration events
-	Proc   string // process name, for process-level events
-	PID    int    // pid, for process-level events
-	Note   string // free-form detail
-	Err    error  // set for failure events
+	Time    time.Time
+	Source  string // one of the Source* constants
+	Kind    string // the source's own kind vocabulary (e.g. "ordered", "resume")
+	Host    string // the host the event concerns (migration source, fault target)
+	Dest    string // destination host, for placement/migration events
+	Proc    string // process name, for process-level events
+	PID     int    // pid, for process-level events
+	Note    string // free-form detail
+	Err     error  // set for failure events
+	Payload any    // the source's typed event struct, when it has one
 }
 
 // String renders the event for logs.
@@ -93,6 +100,21 @@ func (m multi) Publish(e Event) {
 	for _, s := range m {
 		s.Publish(e)
 	}
+}
+
+// On registers a typed observer as a Sink: fn runs for every event whose
+// Payload is a T, and all other events pass through silently. This is the
+// single registration pattern replacing the per-subsystem callback
+// interfaces (hpcm.MigrationObserver, malleable.ResizeObserver, a would-be
+// job observer): wire events.On[jobs.Event](fn) into the one sink instead.
+// fn runs synchronously on the emitting goroutine and must follow the Sink
+// contract (concurrency-safe, non-blocking).
+func On[T any](fn func(T)) Sink {
+	return SinkFunc(func(e Event) {
+		if p, ok := e.Payload.(T); ok {
+			fn(p)
+		}
+	})
 }
 
 // Ring is a bounded in-memory sink, the drop-in observer for tests and

@@ -85,6 +85,9 @@ var chaosCounterNames = []string{
 	metrics.CtrResizeAborted,
 	metrics.CtrRanksSpawned,
 	metrics.CtrRanksRetired,
+	metrics.CtrJobsAdmitted,
+	metrics.CtrJobsRequeued,
+	metrics.CtrJobsReservations,
 }
 
 const chaosApp = "test_tree"
@@ -158,6 +161,26 @@ func chaosScenarios(live bool) []chaosScenario {
 			{After: at(60), Kind: faults.KindResize, Hosts: []string{"ws1", "ws2", "ws3"}},
 		}}},
 	)
+	// The jobs-* scenarios run the multi-job control plane's preemption
+	// crash windows (runJobsChaosScenario): a high-priority gang evicts a
+	// low-priority one, and the fault lands inside the eviction. One kills a
+	// victim rank mid-eviction-checkpoint — the image is lost, but the job
+	// must still requeue and the gang rerun; the other crashes a reserved
+	// host while the gang reservation is pending — Commit must fail with
+	// ErrReservationLost and roll every mark back, leaving no orphaned
+	// leases.
+	scenarios = append(scenarios,
+		chaosScenario{"jobs-kill-victim-mid-ckpt", faults.Plan{Name: "jobs-kill-victim-mid-ckpt", Events: []faults.Event{
+			{After: at(5), Kind: faults.KindSubmitJob, Proc: "batch"},
+			{After: at(40), Kind: faults.KindKillOnCkpt, Proc: "batch.0", Target: "proc"},
+			{After: at(45), Kind: faults.KindSubmitJob, Proc: "express"},
+		}}},
+		chaosScenario{"jobs-crash-host-mid-reserve", faults.Plan{Name: "jobs-crash-host-mid-reserve", Events: []faults.Event{
+			{After: at(5), Kind: faults.KindSubmitJob, Proc: "batch"},
+			{After: at(40), Kind: faults.KindKillOnCkpt, Proc: "batch.1", Target: "host"},
+			{After: at(45), Kind: faults.KindSubmitJob, Proc: "express"},
+		}}},
+	)
 	return scenarios
 }
 
@@ -193,9 +216,12 @@ func RunChaos(cfg ChaosConfig) ([]ChaosRow, error) {
 		}
 		var row ChaosRow
 		var err error
-		if strings.HasPrefix(sc.name, "resize-") {
+		switch {
+		case strings.HasPrefix(sc.name, "resize-"):
 			row, err = runMalleableChaosScenario(cfg, sc)
-		} else {
+		case strings.HasPrefix(sc.name, "jobs-"):
+			row, err = runJobsChaosScenario(cfg, sc)
+		default:
 			row, err = runChaosScenario(cfg, sc)
 		}
 		if err != nil {
@@ -203,9 +229,9 @@ func RunChaos(cfg ChaosConfig) ([]ChaosRow, error) {
 		}
 		if sc.name == "baseline" {
 			baseline = row.VirtualSec
-		} else if baseline > 0 && !strings.HasPrefix(sc.name, "resize-") {
-			// The resize scenarios run a different workload; inflation
-			// against the tree baseline would be meaningless.
+		} else if baseline > 0 && !strings.HasPrefix(sc.name, "resize-") && !strings.HasPrefix(sc.name, "jobs-") {
+			// The resize and jobs scenarios run different workloads;
+			// inflation against the tree baseline would be meaningless.
 			row.InflationPct = (row.VirtualSec/baseline - 1) * 100
 		}
 		rows = append(rows, row)

@@ -65,8 +65,8 @@ func TestChaosAllScenariosSurvive(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(rows) != 10 {
-		t.Fatalf("scenarios = %d, want 10 (8 classic + 2 resize)", len(rows))
+	if len(rows) != 12 {
+		t.Fatalf("scenarios = %d, want 12 (8 classic + 2 resize + 2 jobs)", len(rows))
 	}
 	for _, r := range rows {
 		if !r.Survived {
@@ -106,5 +106,62 @@ func TestChaosAllScenariosSurvive(t *testing.T) {
 	if r := byName["resize-crash-victim"]; r.Counters[metrics.CtrResizeCommitted] != 1 ||
 		r.Counters[metrics.CtrRanksRetired] != 1 {
 		t.Errorf("resize-crash-victim counters: %v", r.Counters)
+	}
+	// The jobs scenarios must take their exact paths too: killing a victim
+	// rank mid-eviction-checkpoint still requeues and reruns the gang (one
+	// rank resumes from its surviving image); crashing a reserved host
+	// mid-gang-reserve poisons the reservation (Commit fails, the admission
+	// replans) without orphaning a lease.
+	if r := byName["jobs-kill-victim-mid-ckpt"]; r.Counters[metrics.CtrJobsRequeued] != 1 ||
+		r.Counters[metrics.CtrJobsAdmitted] != 3 || r.Counters[metrics.CtrCkptRestores] != 1 ||
+		r.Counters[metrics.CtrJobsReservations] != 0 {
+		t.Errorf("jobs-kill-victim-mid-ckpt counters: %v", r.Counters)
+	}
+	if r := byName["jobs-crash-host-mid-reserve"]; r.Counters[metrics.CtrJobsReservations] != 1 ||
+		r.Counters[metrics.CtrJobsRequeued] != 1 || r.Counters[metrics.CtrJobsAdmitted] != 3 {
+		t.Errorf("jobs-crash-host-mid-reserve counters: %v", r.Counters)
+	}
+}
+
+// TestChaosJobsScenariosDeterministic runs both multi-job preemption-crash
+// scenarios twice with the same seed and requires the deterministic report
+// section to be byte-identical. It also pins the end-to-end behavior: the
+// trap fired, the victim requeued and reran to a correct result, and no
+// reservation marks were orphaned by the crash.
+func TestChaosJobsScenariosDeterministic(t *testing.T) {
+	cfg := ChaosConfig{
+		Params:    Params{Scale: 1000, Seed: 5},
+		Scenarios: []string{"jobs-kill-victim-mid-ckpt", "jobs-crash-host-mid-reserve"},
+	}
+	run := func() ([]ChaosRow, string) {
+		rows, err := RunChaos(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rows, RenderChaosDeterministic(rows)
+	}
+	rows1, out1 := run()
+	_, out2 := run()
+	if out1 != out2 {
+		t.Fatalf("deterministic sections differ:\n--- first\n%s\n--- second\n%s", out1, out2)
+	}
+	if len(rows1) != 2 {
+		t.Fatalf("rows = %d, want 2", len(rows1))
+	}
+	for _, r := range rows1 {
+		if !r.Survived {
+			t.Errorf("%s: survived=%v completed=%v correct=%v err=%q",
+				r.Scenario, r.Survived, r.Completed, r.Correct, r.FinalErr)
+		}
+	}
+	if !strings.Contains(out1, "trap kill-on-checkpoint proc=batch.0") ||
+		!strings.Contains(out1, "trap kill-on-checkpoint proc=batch.1") {
+		t.Fatalf("checkpoint traps not in schedule:\n%s", out1)
+	}
+	if strings.Count(out1, "check reservations-outstanding=0") != 2 {
+		t.Fatalf("orphaned-lease checks missing:\n%s", out1)
+	}
+	if got := rows1[1].Counters[metrics.CtrJobsReservations]; got != 1 {
+		t.Fatalf("reservations lost = %d, want 1 (Commit must fail on the crashed host)", got)
 	}
 }

@@ -1,0 +1,67 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+
+	"autoresched/internal/jobs"
+)
+
+// TestMultijobDeterministic: the shoot-out is a pure function of the seed —
+// two runs produce identical rows and byte-identical reports.
+func TestMultijobDeterministic(t *testing.T) {
+	cfg := MultijobConfig{Params: Params{Seed: 1}}
+	a := RunMultijob(cfg)
+	b := RunMultijob(cfg)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("rows differ between identical runs:\n%#v\n%#v", a, b)
+	}
+	if ra, rb := RenderMultijob(a), RenderMultijob(b); ra != rb {
+		t.Fatalf("reports differ between identical runs:\n%s\n---\n%s", ra, rb)
+	}
+}
+
+// TestMultijobPolicyOrdering: the experiment's claims, per seed — the
+// priority-preemptive policy strictly lowers every high-priority wait
+// quantile against FIFO (that is what preemption buys), and backfill lowers
+// the makespan against FIFO (that is what walking past a blocked gang
+// buys). Every arm drains the full queue.
+func TestMultijobPolicyOrdering(t *testing.T) {
+	for seed := int64(1); seed <= 4; seed++ {
+		cfg := MultijobConfig{Params: Params{Seed: seed}}
+		rows := RunMultijob(cfg)
+		byPolicy := make(map[string]MultijobRow, len(rows))
+		for _, r := range rows {
+			if r.Completed != cfg.withDefaults().Jobs {
+				t.Fatalf("seed %d: policy %s completed %d of %d jobs", seed, r.Policy, r.Completed, cfg.withDefaults().Jobs)
+			}
+			byPolicy[r.Policy] = r
+		}
+		fifo := byPolicy["fifo"]
+		prio := byPolicy["priority-preemptive"]
+		back := byPolicy["backfill"]
+
+		const hi = 2
+		fw, pw := fifo.Waits[hi], prio.Waits[hi]
+		if fw.Jobs == 0 || pw.Jobs == 0 {
+			t.Fatalf("seed %d: no high-priority jobs in the sample", seed)
+		}
+		if !(pw.P50 < fw.P50 && pw.P90 < fw.P90 && pw.Max < fw.Max) {
+			t.Errorf("seed %d: priority-preemptive does not strictly lower high-priority waits: fifo p50/p90/max=%d/%d/%d, preemptive=%d/%d/%d",
+				seed, fw.P50, fw.P90, fw.Max, pw.P50, pw.P90, pw.Max)
+		}
+		if !(back.MakespanTicks < fifo.MakespanTicks) {
+			t.Errorf("seed %d: backfill makespan %d not below fifo %d", seed, back.MakespanTicks, fifo.MakespanTicks)
+		}
+		preempts := 0
+		for _, n := range prio.Preemptions {
+			preempts += n
+		}
+		if preempts == 0 {
+			t.Errorf("seed %d: priority-preemptive planned no preemptions", seed)
+		}
+		if n := fifo.Preemptions[jobs.EvictRequeue] + fifo.Preemptions[jobs.EvictShrink] + fifo.Preemptions[jobs.EvictMigrate]; n != 0 {
+			t.Errorf("seed %d: fifo planned %d preemptions; want none", seed, n)
+		}
+	}
+}

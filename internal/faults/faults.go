@@ -56,6 +56,16 @@ const (
 	// crash Target — "new" crashes the first freshly spawned host of the
 	// resize, "victim" the first retiring one.
 	KindCrashOnResizePhase Kind = "crash-on-resize-phase"
+	// KindSubmitJob submits the pre-registered job spec named Proc to the
+	// multi-job queue. Interpreted by the jobs chaos runner, which holds the
+	// scenario's spec set.
+	KindSubmitJob Kind = "submit-job"
+	// KindKillOnCkpt arms a one-shot trap on the checkpoint protocol: when
+	// the process named Proc begins writing a checkpoint (the eviction
+	// checkpoint of a preemption victim, in the jobs scenarios), put it down
+	// mid-write — Target "proc" kills just that incarnation, Target "host"
+	// crashes its whole host. Either way the in-progress image is lost.
+	KindKillOnCkpt Kind = "kill-on-checkpoint"
 )
 
 // Event is one scheduled fault. Only the fields its Kind documents are used.

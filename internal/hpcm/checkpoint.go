@@ -26,6 +26,13 @@ import (
 // simulated host crash.
 var ErrKilled = errors.New("hpcm: process killed")
 
+// ErrPreempted reports that the incarnation stopped at a poll-point because
+// the control plane evicted it: its state was checkpointed (when a store is
+// configured) and the job should be requeued and later restored. It is
+// deliberately NOT Recoverable — the rescheduler must not burn failover
+// retries on a deliberate eviction; the job layer owns the requeue.
+var ErrPreempted = errors.New("hpcm: process preempted")
+
 // CheckpointStore persists checkpoint images by application name.
 type CheckpointStore interface {
 	Save(app string, data []byte) error
@@ -105,6 +112,15 @@ func (p *Process) RequestCheckpoint() error {
 	return nil
 }
 
+// Evict asks the process to stop at its next poll-point for preemption:
+// it writes a final checkpoint there (when a store is configured) and
+// returns ErrPreempted out of Main. The caller — the job control plane —
+// requeues the job and later restores it from the checkpoint (or cold-
+// restarts it) once capacity frees up.
+func (p *Process) Evict() {
+	p.evictReq.Store(true)
+}
+
 // LastCheckpoint returns when the last checkpoint completed (zero time if
 // none).
 func (p *Process) LastCheckpoint() time.Time {
@@ -149,6 +165,13 @@ func (c *Context) checkpointNow(label string) error {
 			mw.metrics.Histogram(MetricCheckpointSeconds).Observe(time.Since(start).Seconds()) //lint:allow determinism checkpoint_seconds is a wall-clock metric by contract
 		}()
 	}
+	mw.observeCheckpoint(CheckpointEvent{Proc: p.name, Host: c.env.Host, Label: label, Begin: true})
+	// A fault trap keyed on the begin event may have crashed this host
+	// synchronously: the in-progress checkpoint is lost with it, and
+	// recovery falls back to the previous image.
+	if p.killed.Load() {
+		return ErrKilled
+	}
 	eager, lazy, err := c.state.collect("")
 	if err != nil {
 		return fmt.Errorf("hpcm: checkpoint collection: %w", err)
@@ -164,6 +187,7 @@ func (c *Context) checkpointNow(label string) error {
 	p.lastCkpt = mw.clock.Now()
 	p.ckpts++
 	p.mu.Unlock()
+	mw.observeCheckpoint(CheckpointEvent{Proc: p.name, Host: c.env.Host, Label: label})
 	return nil
 }
 

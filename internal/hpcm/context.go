@@ -111,6 +111,17 @@ func (c *Context) PollPoint(label string) error {
 	if c.proc.killed.Load() {
 		return ErrKilled
 	}
+	// A pending eviction outranks everything else, including an in-flight
+	// live migration (finish() cancels the attempt): checkpoint here and
+	// stop, handing the job back to the control plane's queue.
+	if c.proc.evictReq.CompareAndSwap(true, false) {
+		if c.proc.mw.ckptStore != nil {
+			if err := c.checkpointNow(label); err != nil {
+				return err
+			}
+		}
+		return ErrPreempted
+	}
 	// A live attempt in flight resolves here: while precopy rounds are on
 	// the wire the application keeps computing; once the driver reached a
 	// terminal decision this poll-point freezes or falls back.

@@ -37,6 +37,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"autoresched/internal/events"
 	"autoresched/internal/livemig"
 	"autoresched/internal/metrics"
 	"autoresched/internal/mpi"
@@ -93,8 +94,16 @@ type Options struct {
 	// after each interval (zero: only on RequestCheckpoint).
 	CheckpointEvery time.Duration
 	// Observer, when set, receives migration phase events synchronously
-	// from the migrating goroutine (fault injection, metrics).
+	// from the migrating goroutine (fault injection, metrics). It is the
+	// legacy callback shape; new consumers register on Events with
+	// events.On[MigrationEvent] instead.
 	Observer MigrationObserver
+	// Events, when set, receives every migration phase event and every
+	// checkpoint event on the unified runtime sink (Source "hpcm"), each
+	// carrying its typed struct (MigrationEvent, CheckpointEvent) as the
+	// Payload. Published synchronously from the emitting goroutine, like
+	// Observer.
+	Events events.Sink
 	// Metrics, when set, receives the middleware's latency histograms:
 	// hpcm/migration_seconds and hpcm/downtime_seconds (virtual-clock, per
 	// committed migration), hpcm/checkpoint_seconds (wall-clock, per
@@ -150,6 +159,7 @@ type Middleware struct {
 	ckptStore CheckpointStore
 	ckptEvery time.Duration
 	observer  MigrationObserver
+	events    events.Sink
 	metrics   *metrics.Registry
 	live      *livemig.Config
 	procs     sync.Map // live process directory: name -> *Process
@@ -184,6 +194,7 @@ func New(opts Options) (*Middleware, error) {
 		ckptStore: opts.Checkpoints,
 		ckptEvery: opts.CheckpointEvery,
 		observer:  opts.Observer,
+		events:    opts.Events,
 		metrics:   opts.Metrics,
 		live:      opts.Live,
 	}, nil
@@ -196,12 +207,13 @@ type Process struct {
 	name string
 	main Main
 
-	signal  chan pendingCmd // buffered: the pending migrate command, if any
-	xfer    sync.WaitGroup  // in-flight migration transfers (source side)
-	events  chan Record     // committed migrations, for runtime re-registration
-	mbox    *mailbox        // inter-process messages, owned by the identity
-	ckptReq atomic.Bool     // checkpoint requested for the next poll-point
-	killed  atomic.Bool     // host-crash simulation flag
+	signal   chan pendingCmd // buffered: the pending migrate command, if any
+	xfer     sync.WaitGroup  // in-flight migration transfers (source side)
+	events   chan Record     // committed migrations, for runtime re-registration
+	mbox     *mailbox        // inter-process messages, owned by the identity
+	ckptReq  atomic.Bool     // checkpoint requested for the next poll-point
+	killed   atomic.Bool     // host-crash simulation flag
+	evictReq atomic.Bool     // preemption eviction armed for the next poll-point
 
 	mu       sync.Mutex
 	host     string

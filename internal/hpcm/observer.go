@@ -3,6 +3,8 @@ package hpcm
 import (
 	"errors"
 	"fmt"
+
+	"autoresched/internal/events"
 )
 
 // Migration phases, as reported to a MigrationObserver. The chaos engine
@@ -92,9 +94,55 @@ func Recoverable(err error) bool {
 	return errors.As(err, &mf)
 }
 
-// observe emits an event if an observer is configured.
+// CheckpointEvent is one checkpoint attempt, published on the unified
+// event sink (Source "hpcm", Kind "checkpoint"/"checkpointed") as a typed
+// payload. Begin fires before the state is collected and persisted — a
+// fault injector keyed on it lands its crash exactly mid-checkpoint — and
+// a second event with Begin=false follows a successful save.
+type CheckpointEvent struct {
+	Proc  string
+	Host  string
+	Label string
+	Begin bool
+}
+
+// observe emits a migration phase event to the legacy observer and, with
+// its typed payload attached, to the unified event sink.
 func (m *Middleware) observe(ev MigrationEvent) {
 	if m.observer != nil {
 		m.observer(ev)
 	}
+	if m.events != nil {
+		m.events.Publish(events.Event{
+			Time:    m.clock.Now(),
+			Source:  events.SourceHPCM,
+			Kind:    ev.Phase,
+			Host:    ev.From,
+			Dest:    ev.To,
+			Proc:    ev.Proc,
+			Note:    ev.Label,
+			Err:     ev.Err,
+			Payload: ev,
+		})
+	}
+}
+
+// observeCheckpoint emits a checkpoint event on the unified sink.
+func (m *Middleware) observeCheckpoint(ev CheckpointEvent) {
+	if m.events == nil {
+		return
+	}
+	kind := "checkpointed"
+	if ev.Begin {
+		kind = "checkpoint"
+	}
+	m.events.Publish(events.Event{
+		Time:    m.clock.Now(),
+		Source:  events.SourceHPCM,
+		Kind:    kind,
+		Host:    ev.Host,
+		Proc:    ev.Proc,
+		Note:    ev.Label,
+		Payload: ev,
+	})
 }

@@ -1,0 +1,46 @@
+package jobs
+
+import (
+	"fmt"
+	"testing"
+)
+
+// benchView builds a half-occupied fleet sized to the queue depth so
+// admission always has both free hosts and preemption work to do.
+func benchView(depth int) ([]JobView, ClusterView) {
+	hosts := fleet(depth)
+	var running []JobView
+	for i := 0; i < depth/4; i++ {
+		h := []string{hosts[2*i].Name, hosts[2*i+1].Name}
+		occupy(hosts, fmt.Sprintf("run%d", i), h...)
+		running = append(running, JobView{
+			Name: fmt.Sprintf("run%d", i), Priority: i % 2, Gang: 2,
+			Elastic: i%3 == 0, MinWorld: 1, Seq: int64(i + 1), Hosts: h,
+		})
+	}
+	pending := make([]JobView, depth)
+	for i := range pending {
+		pending[i] = JobView{
+			Name: fmt.Sprintf("job%d", i), Priority: i % 3,
+			Gang: 1 + i%4, Seq: int64(depth + i),
+		}
+	}
+	return pending, ClusterView{Hosts: hosts, Running: running}
+}
+
+// BenchmarkAdmission measures one full PlanCycle at queue depths 64 and 256
+// under each stock policy — the planner cost the live dispatcher pays per
+// scheduling tick.
+func BenchmarkAdmission(b *testing.B) {
+	for _, depth := range []int{64, 256} {
+		pending, view := benchView(depth)
+		for _, p := range Policies() {
+			b.Run(fmt.Sprintf("%s/depth%d", p.Name(), depth), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					PlanCycle(p, pending, view)
+				}
+			})
+		}
+	}
+}

@@ -1,0 +1,445 @@
+// Package jobs is the multi-job control plane's data layer: job specs, the
+// job state machine, the submission queue, and the pure admission planner
+// the scheduler policies drive. The paper's runtime reschedules the
+// processes of one MPI job; this package generalises it to a cluster where
+// many jobs share the fleet — the production shape of the DMR line of work —
+// while keeping every decision deterministic on the sim clock: admission
+// order is the submission sequence, and the planner is a pure function of
+// the queue and a cluster snapshot, so the live dispatcher (internal/core)
+// and the -exp multijob discrete simulation share one brain.
+package jobs
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"autoresched/internal/events"
+	"autoresched/internal/hpcm"
+	"autoresched/internal/schema"
+	"autoresched/internal/vclock"
+)
+
+// Spec describes a job to submit.
+type Spec struct {
+	// Name identifies the job; unique within a Queue. Required.
+	Name string
+	// Priority orders admission under the priority policies; higher runs
+	// first, and a pending gang may preempt strictly lower-priority running
+	// jobs. Zero is the lowest priority.
+	Priority int
+	// Gang is the number of ranks, placed all-or-nothing on Gang distinct
+	// hosts. Zero selects 1.
+	Gang int
+	// Elastic marks the job shrinkable: a preemption may take some of its
+	// hosts without requeueing it, as long as at least MinWorld ranks
+	// survive. Non-elastic gangs are rigid — lose one host, lose the gang.
+	Elastic bool
+	// MinWorld is the smallest world an elastic job tolerates; zero
+	// selects 1. MaxWorld is reserved for future grow-back and defaults to
+	// Gang.
+	MinWorld int
+	MaxWorld int
+	// Hosts pins the placement (len must equal Gang): the job bypasses the
+	// queue and is admitted synchronously on exactly these hosts — the
+	// compatibility path core.System.Launch rides on. Empty lets the
+	// scheduler place the gang.
+	Hosts []string
+	// Schema carries the job's resource requirements; the scheduler only
+	// places ranks on hosts the schema fits. May be nil.
+	Schema *schema.Schema
+	// Rank builds the application body of one rank. Required for live
+	// execution (the planner and the simulation never call it).
+	Rank func(rank, gang int) hpcm.Main
+}
+
+// withDefaults normalises the zero knobs.
+func (s Spec) withDefaults() Spec {
+	if s.Gang <= 0 {
+		s.Gang = 1
+	}
+	if s.MinWorld <= 0 {
+		s.MinWorld = 1
+	}
+	if s.MaxWorld < s.Gang {
+		s.MaxWorld = s.Gang
+	}
+	return s
+}
+
+// RankName names one rank's hpcm process: the bare job name for singleton
+// jobs (so the single-job compatibility path keeps its process names), and
+// name.N for real gangs.
+func RankName(job string, rank, gang int) string {
+	if gang <= 1 {
+		return job
+	}
+	return fmt.Sprintf("%s.%d", job, rank)
+}
+
+// State is a job's lifecycle state.
+type State string
+
+const (
+	// StatePending: queued, waiting for admission.
+	StatePending State = "pending"
+	// StateReserving: an admission is in flight — hosts reserved, victims
+	// being evicted, ranks not yet launched.
+	StateReserving State = "reserving"
+	// StateRunning: every rank launched.
+	StateRunning State = "running"
+	// StatePreempting: a higher-priority admission is evicting this job;
+	// it returns to StatePending (requeue) or StateRunning (shrink).
+	StatePreempting State = "preempting"
+	// StateCompleted: every rank finished without error.
+	StateCompleted State = "completed"
+	// StateFailed: a rank failed terminally.
+	StateFailed State = "failed"
+	// StateCancelled: cancelled before or during execution.
+	StateCancelled State = "cancelled"
+)
+
+// terminal reports whether a state ends the lifecycle.
+func (s State) terminal() bool {
+	return s == StateCompleted || s == StateFailed || s == StateCancelled
+}
+
+// Event is one job lifecycle transition, published on the unified event
+// sink (Source "jobs", Kind = the new state) as the typed payload.
+type Event struct {
+	Job      string
+	From, To State
+	// Note carries transition detail (eviction mode, error text).
+	Note string
+}
+
+// Job is one submitted job's state machine. All mutation goes through the
+// owning Queue's lock; reads take the same lock.
+type Job struct {
+	q    *Queue
+	spec Spec
+	seq  int64
+
+	state     State
+	requeues  int
+	submitted time.Time
+	started   time.Time // first transition to Running
+	finished  time.Time
+	waited    time.Duration // Pending time accumulated before first start
+	placement []string
+	err       error
+	done      chan struct{}
+}
+
+// Spec returns the job's (defaulted) spec.
+func (j *Job) Spec() Spec { return j.spec }
+
+// Name returns the job name.
+func (j *Job) Name() string { return j.spec.Name }
+
+// Seq returns the submission sequence number (FIFO order).
+func (j *Job) Seq() int64 { return j.seq }
+
+// State returns the current lifecycle state.
+func (j *Job) State() State {
+	j.q.mu.Lock()
+	defer j.q.mu.Unlock()
+	return j.state
+}
+
+// Requeues reports how many times the job went back to Pending after
+// running (preemption requeues and failure recoveries).
+func (j *Job) Requeues() int {
+	j.q.mu.Lock()
+	defer j.q.mu.Unlock()
+	return j.requeues
+}
+
+// Placement returns the hosts the job currently occupies (empty unless
+// Reserving/Running/Preempting).
+func (j *Job) Placement() []string {
+	j.q.mu.Lock()
+	defer j.q.mu.Unlock()
+	return append([]string(nil), j.placement...)
+}
+
+// Wait blocks until the job reaches a terminal state and returns its error
+// (nil for Completed).
+func (j *Job) Wait() error {
+	<-j.done
+	j.q.mu.Lock()
+	defer j.q.mu.Unlock()
+	return j.err
+}
+
+// Done is closed when the job reaches a terminal state.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// Err returns the terminal error (nil before termination or on success).
+func (j *Job) Err() error {
+	j.q.mu.Lock()
+	defer j.q.mu.Unlock()
+	return j.err
+}
+
+// WaitTime is the total time the job spent Pending before it first ran
+// (still accumulating while it waits).
+func (j *Job) WaitTime() time.Duration {
+	j.q.mu.Lock()
+	defer j.q.mu.Unlock()
+	if j.waited == 0 && j.started.IsZero() && !j.state.terminal() {
+		return j.q.clock.Since(j.submitted)
+	}
+	return j.waited
+}
+
+// View snapshots the job for the planner.
+func (j *Job) View() JobView {
+	j.q.mu.Lock()
+	defer j.q.mu.Unlock()
+	return JobView{
+		Name:     j.spec.Name,
+		Priority: j.spec.Priority,
+		Gang:     j.spec.Gang,
+		Elastic:  j.spec.Elastic,
+		MinWorld: j.spec.MinWorld,
+		Seq:      j.seq,
+		Hosts:    append([]string(nil), j.placement...),
+	}
+}
+
+// ErrCancelled is the terminal error of a cancelled job.
+var ErrCancelled = errors.New("jobs: job cancelled")
+
+// Queue is the submission queue: it owns every job's state machine and
+// hands the planner deterministic pending/running snapshots. Admission
+// itself is the dispatcher's business (core.System live, the multijob
+// simulation offline); the queue only keeps the book.
+type Queue struct {
+	clock vclock.Clock
+	sink  events.Sink
+
+	mu    sync.Mutex
+	seq   int64
+	jobs  map[string]*Job
+	order []*Job // submission order
+}
+
+// NewQueue creates an empty queue on a clock. sink, when non-nil, receives
+// every lifecycle transition (Source "jobs"), synchronously under the queue
+// lock — sink implementations must not call back into the queue.
+func NewQueue(clock vclock.Clock, sink events.Sink) *Queue {
+	if clock == nil {
+		clock = vclock.Real()
+	}
+	return &Queue{clock: clock, sink: sink, jobs: make(map[string]*Job)}
+}
+
+// Submit validates the spec and enqueues a Pending job. Admission order
+// over equal priorities is submission order (the sequence number), which on
+// the sim clock makes the whole schedule deterministic.
+func (q *Queue) Submit(spec Spec) (*Job, error) {
+	if spec.Name == "" {
+		return nil, errors.New("jobs: Spec.Name is required")
+	}
+	spec = spec.withDefaults()
+	if len(spec.Hosts) > 0 && len(spec.Hosts) != spec.Gang {
+		return nil, fmt.Errorf("jobs: job %q pins %d hosts for a gang of %d", spec.Name, len(spec.Hosts), spec.Gang)
+	}
+	if spec.MinWorld > spec.Gang {
+		return nil, fmt.Errorf("jobs: job %q MinWorld %d exceeds gang %d", spec.Name, spec.MinWorld, spec.Gang)
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if _, ok := q.jobs[spec.Name]; ok {
+		return nil, fmt.Errorf("jobs: job %q already submitted", spec.Name)
+	}
+	q.seq++
+	j := &Job{
+		q:         q,
+		spec:      spec,
+		seq:       q.seq,
+		state:     StatePending,
+		submitted: q.clock.Now(),
+		done:      make(chan struct{}),
+	}
+	q.jobs[spec.Name] = j
+	q.order = append(q.order, j)
+	q.emitLocked(j, "", StatePending, "submitted")
+	return j, nil
+}
+
+// Cancel moves a job toward Cancelled. A Pending job terminates
+// immediately; for a job in flight the transition is recorded and the
+// dispatcher finishes the teardown (evicting its ranks), so Cancel reports
+// the state the job was in. Cancelling a terminal job is a no-op.
+func (q *Queue) Cancel(name string) (State, error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	j, ok := q.jobs[name]
+	if !ok {
+		return "", fmt.Errorf("jobs: unknown job %q", name)
+	}
+	prior := j.state
+	if prior.terminal() {
+		return prior, nil
+	}
+	if prior == StatePending {
+		q.settleLocked(j, StateCancelled, ErrCancelled, "cancelled while pending")
+	}
+	return prior, nil
+}
+
+// Forget drops a terminal job from the queue, freeing its name for
+// resubmission — the single-job compatibility path (core.System.Launch)
+// reuses process names across launches. Forgetting a live job is an error.
+func (q *Queue) Forget(name string) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	j, ok := q.jobs[name]
+	if !ok {
+		return fmt.Errorf("jobs: unknown job %q", name)
+	}
+	if !j.state.terminal() {
+		return fmt.Errorf("jobs: job %q is %s, not terminal", name, j.state)
+	}
+	delete(q.jobs, name)
+	for i, o := range q.order {
+		if o == j {
+			q.order = append(q.order[:i], q.order[i+1:]...)
+			break
+		}
+	}
+	return nil
+}
+
+// Get returns a submitted job by name.
+func (q *Queue) Get(name string) (*Job, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	j, ok := q.jobs[name]
+	return j, ok
+}
+
+// List returns every job in submission order.
+func (q *Queue) List() []*Job {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return append([]*Job(nil), q.order...)
+}
+
+// Pending snapshots the queued jobs as planner views, in submission order.
+func (q *Queue) Pending() []JobView {
+	return q.views(StatePending)
+}
+
+// Running snapshots the running jobs as planner views, in submission order.
+func (q *Queue) Running() []JobView {
+	return q.views(StateRunning)
+}
+
+func (q *Queue) views(want State) []JobView {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	var out []JobView
+	for _, j := range q.order {
+		if j.state != want {
+			continue
+		}
+		out = append(out, JobView{
+			Name:     j.spec.Name,
+			Priority: j.spec.Priority,
+			Gang:     j.spec.Gang,
+			Elastic:  j.spec.Elastic,
+			MinWorld: j.spec.MinWorld,
+			Seq:      j.seq,
+			Hosts:    append([]string(nil), j.placement...),
+		})
+	}
+	return out
+}
+
+// Transition moves a job between non-terminal states, updating the
+// wait-time and requeue bookkeeping. The dispatcher drives it; invalid
+// transitions (from a terminal state) are rejected.
+func (q *Queue) Transition(name string, to State, note string) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	j, ok := q.jobs[name]
+	if !ok {
+		return fmt.Errorf("jobs: unknown job %q", name)
+	}
+	if j.state.terminal() {
+		return fmt.Errorf("jobs: job %q is %s", name, j.state)
+	}
+	if to.terminal() {
+		return fmt.Errorf("jobs: use Settle for terminal state %s", to)
+	}
+	from := j.state
+	switch to {
+	case StateRunning:
+		if from != StateRunning && j.started.IsZero() {
+			j.started = q.clock.Now()
+			j.waited = j.started.Sub(j.submitted)
+		}
+	case StatePending:
+		if from == StateRunning || from == StatePreempting || from == StateReserving {
+			j.requeues++
+			j.placement = nil
+		}
+	}
+	j.state = to
+	q.emitLocked(j, from, to, note)
+	return nil
+}
+
+// SetPlacement records the hosts a Reserving/Running job occupies.
+func (q *Queue) SetPlacement(name string, hosts []string) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if j, ok := q.jobs[name]; ok {
+		j.placement = append([]string(nil), hosts...)
+	}
+}
+
+// Settle moves a job to a terminal state with its error.
+func (q *Queue) Settle(name string, to State, err error, note string) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	j, ok := q.jobs[name]
+	if !ok || j.state.terminal() {
+		return
+	}
+	q.settleLocked(j, to, err, note)
+}
+
+func (q *Queue) settleLocked(j *Job, to State, err error, note string) {
+	from := j.state
+	j.state = to
+	j.err = err
+	j.finished = q.clock.Now()
+	if j.waited == 0 && j.started.IsZero() {
+		j.waited = j.finished.Sub(j.submitted)
+	}
+	j.placement = nil
+	close(j.done)
+	q.emitLocked(j, from, to, note)
+}
+
+// emitLocked publishes one lifecycle transition on the sink.
+func (q *Queue) emitLocked(j *Job, from, to State, note string) {
+	if q.sink == nil {
+		return
+	}
+	ev := Event{Job: j.spec.Name, From: from, To: to, Note: note}
+	q.sink.Publish(events.Event{
+		Time:    q.clock.Now(),
+		Source:  events.SourceJobs,
+		Kind:    string(to),
+		Proc:    j.spec.Name,
+		Note:    note,
+		Err:     j.err,
+		Payload: ev,
+	})
+}

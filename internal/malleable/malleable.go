@@ -26,6 +26,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"autoresched/internal/events"
 	"autoresched/internal/hpcm"
 	"autoresched/internal/metrics"
 	"autoresched/internal/mpi"
@@ -138,6 +139,10 @@ type Options struct {
 	InitialHosts []string
 	// Observer receives resize phase events; nil disables.
 	Observer ResizeObserver
+	// Events, when set, receives each resize phase on the unified sink
+	// (Source "malleable", Kind = phase, Payload = the Event). Delivery is
+	// synchronous, same as Observer.
+	Events events.Sink
 	// Metrics records the malleable/* histograms; nil disables.
 	Metrics *metrics.Registry
 	// Counters tallies committed/aborted resizes and spawned/retired
@@ -220,6 +225,7 @@ type Job struct {
 	name     string
 	binder   hpcm.HostBinder
 	observer ResizeObserver
+	events   events.Sink
 	metrics  *metrics.Registry
 	counters *metrics.Counters
 	poll     time.Duration
@@ -282,6 +288,7 @@ func Start(opts Options) (*Job, error) {
 		name:      opts.Name,
 		binder:    opts.Hosts,
 		observer:  opts.Observer,
+		events:    opts.Events,
 		metrics:   opts.Metrics,
 		counters:  opts.Counters,
 		poll:      opts.DrainPoll,
@@ -445,6 +452,21 @@ func (j *Job) hostDead(host string) bool {
 func (j *Job) emit(ev Event) {
 	if j.observer != nil {
 		j.observer(ev)
+	}
+	if j.events != nil {
+		var err error
+		if ev.Err != "" {
+			err = errors.New(ev.Err)
+		}
+		j.events.Publish(events.Event{
+			Time:    j.clock.Now(),
+			Source:  events.SourceMalleable,
+			Kind:    ev.Phase,
+			Proc:    ev.Job,
+			Note:    fmt.Sprintf("world %d->%d", ev.OldWorld, ev.NewWorld),
+			Err:     err,
+			Payload: ev,
+		})
 	}
 }
 

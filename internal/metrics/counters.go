@@ -36,6 +36,11 @@ const (
 	CtrResizeAborted    = "malleable/resizes_aborted"
 	CtrRanksSpawned     = "malleable/ranks_spawned"
 	CtrRanksRetired     = "malleable/ranks_retired"
+	CtrJobsAdmitted     = "jobs/admitted"
+	CtrJobsRequeued     = "jobs/requeued"
+	CtrJobsShrunk       = "jobs/shrunk"
+	CtrJobsMigrated     = "jobs/migrated"
+	CtrJobsReservations = "jobs/reservations_lost"
 )
 
 // Counters is a set of named monotonic counters, safe for concurrent use.

@@ -102,11 +102,10 @@ type Monitor struct {
 	stopped chan struct{}
 }
 
-// New creates a monitor.
-//
-// Deprecated: use NewMonitor with functional options; New remains as a
-// compatibility wrapper for existing Config-based callers.
-func New(cfg Config) (*Monitor, error) {
+// newFromConfig creates a monitor from an assembled Config, applying
+// defaults. NewMonitor is the public constructor; the former exported
+// Config-style New is gone.
+func newFromConfig(cfg Config) (*Monitor, error) {
 	if cfg.Host == "" {
 		return nil, errors.New("monitor: Config.Host is required")
 	}

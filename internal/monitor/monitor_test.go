@@ -60,7 +60,7 @@ func monRig(t *testing.T) (*simnode.Host, *fakeReporter, *Monitor, *vclock.Manua
 	clock := vclock.NewManual(vclock.Epoch)
 	host := simnode.NewHost(clock, "ws1", simnode.Config{Speed: 1000})
 	rep := &fakeReporter{}
-	m, err := New(Config{
+	m, err := newFromConfig(Config{
 		Host:        "ws1",
 		Source:      sysinfo.NewSimSource(host, nil),
 		Engine:      loadEngine(t),
@@ -89,10 +89,10 @@ func loadEngine(t *testing.T) *rules.Engine {
 }
 
 func TestNewValidation(t *testing.T) {
-	if _, err := New(Config{}); err == nil {
+	if _, err := newFromConfig(Config{}); err == nil {
 		t.Fatal("empty config accepted")
 	}
-	if _, err := New(Config{Host: "x"}); err == nil {
+	if _, err := newFromConfig(Config{Host: "x"}); err == nil {
 		t.Fatal("config without source accepted")
 	}
 }
@@ -190,7 +190,7 @@ func TestStartLoopReportsPeriodically(t *testing.T) {
 func TestPerStateFrequency(t *testing.T) {
 	clock := vclock.NewManual(vclock.Epoch)
 	host := simnode.NewHost(clock, "ws1", simnode.Config{Speed: 1000})
-	m, err := New(Config{
+	m, err := newFromConfig(Config{
 		Host:   "ws1",
 		Source: sysinfo.NewSimSource(host, nil),
 		Engine: loadEngine(t),
@@ -216,7 +216,7 @@ func TestChargerChargedPerCycle(t *testing.T) {
 	clock := vclock.NewManual(vclock.Epoch)
 	host := simnode.NewHost(clock, "ws1", simnode.Config{Speed: 1000})
 	charger := host.Spawn("monitor", 0)
-	m, err := New(Config{
+	m, err := newFromConfig(Config{
 		Host:       "ws1",
 		Source:     sysinfo.NewSimSource(host, nil),
 		Clock:      clock,
@@ -245,7 +245,7 @@ func TestChargerChargedPerCycle(t *testing.T) {
 func TestHistoryBounded(t *testing.T) {
 	clock := vclock.NewManual(vclock.Epoch)
 	host := simnode.NewHost(clock, "ws1", simnode.Config{Speed: 1000})
-	m, err := New(Config{
+	m, err := newFromConfig(Config{
 		Host:        "ws1",
 		Source:      sysinfo.NewSimSource(host, nil),
 		Clock:       clock,
@@ -296,7 +296,7 @@ func TestDiskRuleEndToEnd(t *testing.T) {
 	}); err != nil {
 		t.Fatal(err)
 	}
-	m, err := New(Config{
+	m, err := newFromConfig(Config{
 		Host:   "ws1",
 		Source: sysinfo.NewSimSource(host, nil),
 		Engine: engine,
@@ -338,7 +338,7 @@ func TestMemoryRuleEndToEnd(t *testing.T) {
 	}); err != nil {
 		t.Fatal(err)
 	}
-	m, err := New(Config{
+	m, err := newFromConfig(Config{
 		Host:   "ws1",
 		Source: sysinfo.NewSimSource(host, nil),
 		Engine: engine,

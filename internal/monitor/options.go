@@ -16,13 +16,13 @@ type Option func(*Config)
 
 // NewMonitor creates a monitor for host from functional options. Host and
 // source are the two required inputs, so they are positional. It is the
-// preferred constructor; New(Config) remains as a deprecated wrapper.
+// only constructor.
 func NewMonitor(host string, source sysinfo.Source, opts ...Option) (*Monitor, error) {
 	cfg := Config{Host: host, Source: source}
 	for _, o := range opts {
 		o(&cfg)
 	}
-	return New(cfg)
+	return newFromConfig(cfg)
 }
 
 // WithEngine sets the rule engine deciding the host state.

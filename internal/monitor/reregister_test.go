@@ -60,7 +60,7 @@ func TestCycleReregistersAfterRegistryRestart(t *testing.T) {
 	host := simnode.NewHost(clock, "ws1", simnode.Config{Speed: 1000})
 	rep := &amnesiacReporter{}
 	ctr := metrics.NewCounters()
-	m, err := New(Config{
+	m, err := newFromConfig(Config{
 		Host:     "ws1",
 		Source:   sysinfo.NewSimSource(host, nil),
 		Reporter: rep,

@@ -1,0 +1,260 @@
+package registry
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Gang placement: all-or-nothing reservation of n hosts for a multi-process
+// job. Admission is two-phase — Reserve marks the hosts so concurrent
+// admissions (and the migration scheduler's destination scans) cannot
+// double-book them while the job's eviction or launch work is in flight,
+// then Commit re-checks liveness and releases the marks to the launching
+// caller, or Abort rolls them back. A host that unregisters or loses its
+// lease mid-reservation poisons the reservation: Commit fails and the
+// caller retries admission from scratch, so no orphaned reservation marks
+// survive a crashed host.
+
+// GangScheduler is the optional Scheduler extension consulted by
+// Registry.PlaceGang: given the eligible candidate stream, pick the n hosts
+// the gang should occupy. Implementations must return n distinct hosts drawn
+// from the stream, or ok=false to decline (the gang then stays queued).
+// The stream contract matches PickDestination's: it is only valid during
+// the call and runs under the registry lock.
+type GangScheduler interface {
+	Scheduler
+	PlaceGang(proc ProcInfo, n int, candidates CandidateSeq) ([]HostInfo, bool)
+}
+
+// GangReservation is a pending all-or-nothing hold on a set of hosts.
+// It is created by PlaceGang or ReserveHosts and resolved exactly once by
+// Commit or Abort.
+type GangReservation struct {
+	r     *Registry
+	hosts []string
+
+	// Guarded by r.mu.
+	resolved bool
+	lost     []string // hosts that died while reserved
+}
+
+// Hosts returns the reserved hosts, in reservation order.
+func (g *GangReservation) Hosts() []string {
+	return append([]string(nil), g.hosts...)
+}
+
+// ErrReservationLost reports that a reserved host unregistered or expired
+// before Commit.
+var ErrReservationLost = errors.New("registry: gang reservation lost a host")
+
+// Commit resolves the reservation for launch: it re-checks that every
+// reserved host is still registered and lease-fresh, then releases the
+// reservation marks to the caller (which immediately registers the gang's
+// processes). If any host was lost while reserved, every mark is rolled
+// back and Commit reports ErrReservationLost — the all-or-nothing failure
+// that keeps a half-dead gang from launching.
+func (g *GangReservation) Commit() error {
+	r := g.r
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g.resolved {
+		return errors.New("registry: gang reservation already resolved")
+	}
+	g.resolved = true
+	now := r.clock.Now()
+	lost := append([]string(nil), g.lost...)
+	for _, h := range g.hosts {
+		e, ok := r.hosts[h]
+		if !ok || !r.aliveLocked(e, now) {
+			lost = append(lost, h)
+		}
+	}
+	r.releaseLocked(g)
+	if len(lost) > 0 {
+		sort.Strings(lost)
+		return fmt.Errorf("%w: %v", ErrReservationLost, lost)
+	}
+	return nil
+}
+
+// Abort rolls the reservation back, freeing every still-held host. Safe to
+// call after a failed Commit (it is then a no-op).
+func (g *GangReservation) Abort() {
+	g.r.mu.Lock()
+	defer g.r.mu.Unlock()
+	if g.resolved {
+		return
+	}
+	g.resolved = true
+	g.r.releaseLocked(g)
+}
+
+// releaseLocked drops every reservation mark still pointing at g.
+func (r *Registry) releaseLocked(g *GangReservation) {
+	for _, h := range g.hosts {
+		if r.reserved[h] == g {
+			delete(r.reserved, h)
+		}
+	}
+}
+
+// reservedLocked reports whether a host is currently held by a pending
+// reservation (candidate scans skip such hosts).
+func (r *Registry) reservedLocked(host string) bool {
+	_, ok := r.reserved[host]
+	return ok
+}
+
+// Reserved returns the hosts currently held by pending reservations, sorted.
+// Chaos scenarios use it to assert that rollbacks leave nothing orphaned.
+func (r *Registry) Reserved() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]string, 0, len(r.reserved))
+	for h := range r.reserved {
+		out = append(out, h)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// PlaceGang atomically selects and reserves n eligible hosts for proc:
+// alive, unreserved, not excluded, passing the destination policy and
+// proc's schema requirements. Selection goes through the configured
+// Scheduler's PlaceGang extension when it implements GangScheduler and
+// falls back to the first n candidates in registration order otherwise
+// (first fit, the paper's placement, generalised to gangs). The whole
+// select-and-mark runs under one lock acquisition, so two concurrent
+// admissions can never reserve overlapping host sets.
+func (r *Registry) PlaceGang(proc ProcInfo, n int, exclude func(host string) bool) (*GangReservation, bool) {
+	if n <= 0 {
+		return nil, false
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	eligible := r.eligibleLocked(proc, exclude)
+	if len(eligible) < n {
+		return nil, false
+	}
+	var picked []HostInfo
+	seq := CandidateSeq(func(yield func(HostInfo) bool) {
+		for _, h := range eligible {
+			if !yield(h) {
+				return
+			}
+		}
+	})
+	if gs, ok := r.sched.(GangScheduler); ok {
+		sel, ok := gs.PlaceGang(proc, n, seq)
+		if !ok {
+			return nil, false
+		}
+		picked = sel
+	} else {
+		picked = eligible[:n]
+	}
+	if !validGangPick(picked, n, eligible) {
+		return nil, false
+	}
+	g := &GangReservation{r: r}
+	for _, h := range picked {
+		g.hosts = append(g.hosts, h.Name)
+		r.reserved[h.Name] = g
+	}
+	return g, true
+}
+
+// EligibleHosts snapshots the hosts a gang of proc's ranks may be placed
+// on: alive, not held by a pending reservation, not excluded, and passing
+// proc's schema requirements (a nil schema passes everywhere). The job
+// dispatcher builds its planner view from it — with a zero ProcInfo it
+// lists the whole schedulable fleet in registration order.
+func (r *Registry) EligibleHosts(proc ProcInfo, exclude func(host string) bool) []HostInfo {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.eligibleLocked(proc, exclude)
+}
+
+// eligibleLocked snapshots the hosts a gang may be placed on, in
+// registration order. Unlike migration destination scans it considers every
+// alive host, not just the Free set: gang occupancy is the job layer's
+// bookkeeping (passed in through exclude), not the monitors' load
+// classification.
+func (r *Registry) eligibleLocked(proc ProcInfo, exclude func(string) bool) []HostInfo {
+	now := r.clock.Now()
+	var out []HostInfo
+	for _, e := range r.order {
+		if !r.aliveLocked(e, now) || r.reservedLocked(e.info.Name) {
+			continue
+		}
+		if exclude != nil && exclude(e.info.Name) {
+			continue
+		}
+		if proc.Schema != nil {
+			ok, _ := proc.Schema.Fits(
+				e.info.Static.MemTotal,
+				diskAvail(e.info.Status),
+				e.info.Static.CPUSpeed,
+				e.info.Static.Software,
+			)
+			if !ok {
+				continue
+			}
+		}
+		out = append(out, e.info)
+	}
+	return out
+}
+
+// validGangPick guards against a misbehaving GangScheduler: exactly n
+// distinct hosts, all drawn from the eligible stream.
+func validGangPick(picked []HostInfo, n int, eligible []HostInfo) bool {
+	if len(picked) != n {
+		return false
+	}
+	ok := make(map[string]bool, len(eligible))
+	for _, h := range eligible {
+		ok[h.Name] = true
+	}
+	seen := make(map[string]bool, n)
+	for _, h := range picked {
+		if !ok[h.Name] || seen[h.Name] {
+			return false
+		}
+		seen[h.Name] = true
+	}
+	return true
+}
+
+// ReserveHosts atomically reserves the named hosts — including currently
+// occupied ones, which is how a preempting admission pins the contested
+// hosts it is evicting victims from. All-or-nothing: every host must be
+// registered, lease-fresh and unreserved, or nothing is reserved.
+func (r *Registry) ReserveHosts(hosts []string) (*GangReservation, error) {
+	if len(hosts) == 0 {
+		return nil, errors.New("registry: ReserveHosts with no hosts")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	now := r.clock.Now()
+	seen := make(map[string]bool, len(hosts))
+	for _, h := range hosts {
+		if seen[h] {
+			return nil, fmt.Errorf("registry: duplicate host %q in gang", h)
+		}
+		seen[h] = true
+		e, ok := r.hosts[h]
+		if !ok || !r.aliveLocked(e, now) {
+			return nil, fmt.Errorf("registry: host %q not available for reservation", h)
+		}
+		if r.reservedLocked(h) {
+			return nil, fmt.Errorf("registry: host %q already reserved", h)
+		}
+	}
+	g := &GangReservation{r: r, hosts: append([]string(nil), hosts...)}
+	for _, h := range g.hosts {
+		r.reserved[h] = g
+	}
+	return g, nil
+}

@@ -10,7 +10,7 @@ import (
 
 func TestHealthSummarisesDomain(t *testing.T) {
 	clock := vclock.NewManual(vclock.Epoch)
-	r := New(Config{Clock: clock, Lease: 35 * time.Second})
+	r := newFromConfig(Config{Clock: clock, Lease: 35 * time.Second})
 
 	for i, state := range []string{"free", "free", "busy", "overloaded"} {
 		host := []string{"h1", "h2", "h3", "h4"}[i]
@@ -54,7 +54,7 @@ func TestHealthSummarisesDomain(t *testing.T) {
 }
 
 func TestHealthEmptyDomain(t *testing.T) {
-	r := New(Config{Clock: vclock.NewManual(vclock.Epoch)})
+	r := newFromConfig(Config{Clock: vclock.NewManual(vclock.Epoch)})
 	h := r.Health()
 	if h.Hosts != 0 || h.AcceptsMigrations() {
 		t.Fatalf("health = %+v", h)

@@ -16,13 +16,13 @@ import (
 type Option func(*Config)
 
 // NewRegistry creates a registry/scheduler from functional options. It is
-// the preferred constructor; New(Config) remains as a deprecated wrapper.
+// the only constructor.
 func NewRegistry(opts ...Option) *Registry {
 	var cfg Config
 	for _, o := range opts {
 		o(&cfg)
 	}
-	return New(cfg)
+	return newFromConfig(cfg)
 }
 
 // WithName sets the registry's protocol name.

@@ -155,10 +155,13 @@ type Registry struct {
 	sets      map[rules.State][]*hostEntry
 	procs     map[procKey]*ProcInfo
 	hostProcs map[string]map[int]*ProcInfo
-	events    []Event
-	regSeq    int
-	decided   int // migrate orders issued
-	declined  int // decision cycles that found no destination
+	// reserved marks hosts held by pending gang reservations; candidate
+	// scans skip them until the reservation commits or aborts.
+	reserved map[string]*GangReservation
+	events   []Event
+	regSeq   int
+	decided  int // migrate orders issued
+	declined int // decision cycles that found no destination
 
 	// Parent-side sharding state: child domains by name and in attach
 	// order, refreshed by health reports on a lease.
@@ -171,11 +174,10 @@ type Registry struct {
 	healthPushed   bool
 }
 
-// New creates a registry/scheduler.
-//
-// Deprecated: use NewRegistry with functional options; New remains as a
-// compatibility wrapper for existing Config-based callers.
-func New(cfg Config) *Registry {
+// newFromConfig creates a registry/scheduler from an assembled Config,
+// applying defaults. NewRegistry is the public constructor; the former
+// exported Config-style New is gone.
+func newFromConfig(cfg Config) *Registry {
 	if cfg.Name == "" {
 		cfg.Name = "registry"
 	}
@@ -218,6 +220,7 @@ func New(cfg Config) *Registry {
 		sets:      newStateSets(),
 		procs:     make(map[procKey]*ProcInfo),
 		hostProcs: make(map[string]map[int]*ProcInfo),
+		reserved:  make(map[string]*GangReservation),
 		domains:   make(map[string]*domainEntry),
 	}
 	if cfg.Parent != nil && cfg.Domain != "" {
@@ -343,6 +346,12 @@ func (r *Registry) Restart() {
 	r.sets = newStateSets()
 	r.procs = make(map[procKey]*ProcInfo)
 	r.hostProcs = make(map[string]map[int]*ProcInfo)
+	// Pending gang reservations are soft state too: poison them so their
+	// Commit fails and the admission retries against the rebuilt registry.
+	for host, g := range r.reserved {
+		g.lost = append(g.lost, host)
+	}
+	r.reserved = make(map[string]*GangReservation)
 	r.domains = make(map[string]*domainEntry)
 	r.domainOrder = nil
 	r.domSeq = 0
@@ -365,6 +374,13 @@ func (r *Registry) UnregisterHost(host string) error {
 	delete(r.hosts, host)
 	r.order = removeOrdered(r.order, e)
 	r.sets[e.info.State] = removeOrdered(r.sets[e.info.State], e)
+	// A reservation holding this host can no longer launch its full gang:
+	// poison it (Commit fails, the admission rolls back) and drop the mark
+	// so the dead host leaves no orphaned lease behind.
+	if g, ok := r.reserved[host]; ok {
+		g.lost = append(g.lost, host)
+		delete(r.reserved, host)
+	}
 	for pid := range r.hostProcs[host] {
 		delete(r.procs, procKey{host, pid})
 	}

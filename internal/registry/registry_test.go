@@ -65,7 +65,7 @@ func testTreeXML(t *testing.T) string {
 
 func newReg(t *testing.T, clock vclock.Clock, sink CommandSink, policy *rules.MigrationPolicy) *Registry {
 	t.Helper()
-	return New(Config{
+	return newFromConfig(Config{
 		Clock:    clock,
 		Policy:   policy,
 		Commands: sink,
@@ -349,7 +349,7 @@ func TestDecisionDeclinedWithoutDestination(t *testing.T) {
 func TestPolicyDrivenDecision(t *testing.T) {
 	clock := vclock.NewManual(vclock.Epoch)
 	sink := &fakeSink{}
-	r := New(Config{
+	r := newFromConfig(Config{
 		Clock: clock, Policy: rules.Policy3(), Commands: sink,
 		Warmup: 1, Cooldown: time.Minute,
 	})
@@ -382,14 +382,14 @@ func TestPolicyDrivenDecision(t *testing.T) {
 
 func TestHierarchicalDelegation(t *testing.T) {
 	clock := vclock.NewManual(vclock.Epoch)
-	parent := New(Config{Clock: clock})
+	parent := newFromConfig(Config{Clock: clock})
 	if err := parent.RegisterHost("remote1", staticFor("remote1")); err != nil {
 		t.Fatal(err)
 	}
 	if err := parent.ReportStatus("remote1", status("free", 0.1, 3)); err != nil {
 		t.Fatal(err)
 	}
-	child := New(Config{Clock: clock, Parent: parent})
+	child := newFromConfig(Config{Clock: clock, Parent: parent})
 	if err := child.RegisterHost("ws1", staticFor("ws1")); err != nil {
 		t.Fatal(err)
 	}

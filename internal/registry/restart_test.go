@@ -12,7 +12,7 @@ import (
 func TestRestartDropsSoftState(t *testing.T) {
 	clock := vclock.NewManual(vclock.Epoch)
 	ctr := metrics.NewCounters()
-	r := New(Config{Clock: clock, Counters: ctr})
+	r := newFromConfig(Config{Clock: clock, Counters: ctr})
 	if err := r.RegisterHost("ws1", proto.StaticInfo{CPUSpeed: 1e6}); err != nil {
 		t.Fatal(err)
 	}

@@ -95,6 +95,12 @@ func (r *Registry) placeLocal(exclude string, proc ProcInfo) (proto.Candidate, b
 			if e.info.Name == exclude || !r.aliveLocked(e, now) {
 				continue
 			}
+			// Hosts held by a pending gang reservation are spoken for:
+			// migrating onto one would double-book it under the gang
+			// about to launch there.
+			if r.reservedLocked(e.info.Name) {
+				continue
+			}
 			ok, err := r.destinationOK(e, proc)
 			if err != nil || !ok {
 				continue

@@ -2,6 +2,7 @@ package registry
 
 import (
 	"fmt"
+	"sort"
 	"time"
 )
 
@@ -95,6 +96,22 @@ func (FirstFitScheduler) PickDestination(proc ProcInfo, candidates CandidateSeq)
 	return picked, found
 }
 
+// PlaceGang implements GangScheduler: the first n candidates win, in
+// registration order — first fit generalised to gangs.
+func (FirstFitScheduler) PlaceGang(proc ProcInfo, n int, candidates CandidateSeq) ([]HostInfo, bool) {
+	return firstN(n, candidates)
+}
+
+// firstN collects the first n candidates from the stream.
+func firstN(n int, candidates CandidateSeq) ([]HostInfo, bool) {
+	picked := make([]HostInfo, 0, n)
+	candidates(func(h HostInfo) bool {
+		picked = append(picked, h)
+		return len(picked) < n
+	})
+	return picked, len(picked) == n
+}
+
 // LeastLoadedScheduler drains the candidate stream and picks the host with
 // the lowest one-minute load average, breaking ties toward the earlier
 // registration — a better spread than first fit when many hosts qualify,
@@ -120,4 +137,21 @@ func (LeastLoadedScheduler) PickDestination(proc ProcInfo, candidates CandidateS
 		return true
 	})
 	return picked, found
+}
+
+// PlaceGang implements GangScheduler: drain the stream and keep the n
+// least-loaded hosts, ties broken toward earlier registration (the stream
+// order), so a gang spreads onto the quietest corner of the fleet.
+func (LeastLoadedScheduler) PlaceGang(proc ProcInfo, n int, candidates CandidateSeq) ([]HostInfo, bool) {
+	var all []HostInfo
+	candidates(func(h HostInfo) bool {
+		all = append(all, h)
+		return true
+	})
+	if len(all) < n {
+		return nil, false
+	}
+	// Stable selection: sort by load, preserving stream order on ties.
+	sort.SliceStable(all, func(i, j int) bool { return all[i].Status.Load1 < all[j].Status.Load1 })
+	return all[:n], true
 }

@@ -8,7 +8,7 @@ import (
 )
 
 func TestDefaultSchedulerIsFirstFit(t *testing.T) {
-	r := New(Config{Clock: vclock.NewManual(vclock.Epoch)})
+	r := newFromConfig(Config{Clock: vclock.NewManual(vclock.Epoch)})
 	if got := r.sched.Name(); got != "firstfit" {
 		t.Fatalf("default scheduler = %q, want firstfit", got)
 	}
@@ -36,7 +36,7 @@ func TestSchedulerByName(t *testing.T) {
 }
 
 func TestPolicyNamesScheduler(t *testing.T) {
-	r := New(Config{
+	r := newFromConfig(Config{
 		Clock:  vclock.NewManual(vclock.Epoch),
 		Policy: &rules.MigrationPolicy{Scheduler: "leastloaded"},
 	})
@@ -47,7 +47,7 @@ func TestPolicyNamesScheduler(t *testing.T) {
 
 func TestLeastLoadedPicksLightestHost(t *testing.T) {
 	clock := vclock.NewManual(vclock.Epoch)
-	r := New(Config{Clock: clock, Scheduler: LeastLoadedScheduler{}})
+	r := newFromConfig(Config{Clock: clock, Scheduler: LeastLoadedScheduler{}})
 	for host, load := range map[string]float64{"ws1": 0.8, "ws2": 0.2, "ws3": 0.5} {
 		if err := r.RegisterHost(host, staticFor(host)); err != nil {
 			t.Fatal(err)
@@ -63,7 +63,7 @@ func TestLeastLoadedPicksLightestHost(t *testing.T) {
 
 	// First fit on the same cluster takes the earliest registration
 	// regardless of load.
-	ff := New(Config{Clock: clock})
+	ff := newFromConfig(Config{Clock: clock})
 	for _, host := range []string{"ws1", "ws2"} {
 		if err := ff.RegisterHost(host, staticFor(host)); err != nil {
 			t.Fatal(err)
@@ -83,7 +83,7 @@ func TestLeastLoadedPicksLightestHost(t *testing.T) {
 
 func TestLeastLoadedTieBreaksByRegistration(t *testing.T) {
 	clock := vclock.NewManual(vclock.Epoch)
-	r := New(Config{Clock: clock, Scheduler: LeastLoadedScheduler{}})
+	r := newFromConfig(Config{Clock: clock, Scheduler: LeastLoadedScheduler{}})
 	for _, host := range []string{"ws1", "ws2"} {
 		if err := r.RegisterHost(host, staticFor(host)); err != nil {
 			t.Fatal(err)

@@ -11,9 +11,9 @@ import (
 // and B (one free host b1), each child having pushed a fresh health summary.
 func twoDomains(t *testing.T, clock vclock.Clock, aState string, aHosts ...string) (parent, childA, childB *Registry) {
 	t.Helper()
-	parent = New(Config{Clock: clock})
-	childA = New(Config{Clock: clock, Parent: parent, Domain: "A"})
-	childB = New(Config{Clock: clock, Parent: parent, Domain: "B"})
+	parent = newFromConfig(Config{Clock: clock})
+	childA = newFromConfig(Config{Clock: clock, Parent: parent, Domain: "A"})
+	childB = newFromConfig(Config{Clock: clock, Parent: parent, Domain: "B"})
 	for _, h := range aHosts {
 		if err := childA.RegisterHost(h, staticFor(h)); err != nil {
 			t.Fatal(err)
@@ -120,8 +120,8 @@ func TestChildReannouncesAfterParentRestart(t *testing.T) {
 
 func TestHealthPushThrottled(t *testing.T) {
 	clock := vclock.NewManual(vclock.Epoch)
-	parent := New(Config{Clock: clock})
-	child := New(Config{Clock: clock, Parent: parent, Domain: "A"})
+	parent := newFromConfig(Config{Clock: clock})
+	child := newFromConfig(Config{Clock: clock, Parent: parent, Domain: "A"})
 	if err := child.RegisterHost("a1", staticFor("a1")); err != nil {
 		t.Fatal(err)
 	}

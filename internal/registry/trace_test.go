@@ -16,7 +16,7 @@ func TestDecisionTraceRecordsLifecycle(t *testing.T) {
 	sink := &fakeSink{}
 	var observed []EventKind
 	var mu sync.Mutex
-	r := New(Config{
+	r := newFromConfig(Config{
 		Clock: clock, Commands: sink, Warmup: 2, Cooldown: time.Minute,
 		OnEvent: func(e Event) {
 			mu.Lock()
@@ -87,7 +87,7 @@ func TestDecisionTraceRecordsLifecycle(t *testing.T) {
 func TestDecisionTraceOrderFailed(t *testing.T) {
 	clock := vclock.NewManual(vclock.Epoch)
 	sink := &fakeSink{err: errors.New("commander unreachable")}
-	r := New(Config{Clock: clock, Commands: sink, Warmup: 1, Cooldown: time.Minute})
+	r := newFromConfig(Config{Clock: clock, Commands: sink, Warmup: 1, Cooldown: time.Minute})
 	for _, h := range []string{"ws1", "ws4"} {
 		if err := r.RegisterHost(h, staticFor(h)); err != nil {
 			t.Fatal(err)
@@ -113,7 +113,7 @@ func TestDecisionTraceOrderFailed(t *testing.T) {
 
 func TestDecisionTraceBounded(t *testing.T) {
 	clock := vclock.NewManual(vclock.Epoch)
-	r := New(Config{Clock: clock})
+	r := newFromConfig(Config{Clock: clock})
 	for i := 0; i < traceCap+100; i++ {
 		r.trace(EventWarmup, "ws1", 0, "", "")
 	}
