@@ -16,9 +16,9 @@ RACE_PKGS = ./internal/proto ./internal/monitor ./internal/registry \
             ./internal/commander ./internal/hpcm ./internal/core \
             ./internal/faults ./internal/metrics ./internal/simnet \
             ./internal/events ./internal/livemig ./internal/malleable \
-            ./internal/jobs
+            ./internal/jobs ./internal/scenario
 
-.PHONY: all build vet fmtcheck lint test race check ci chaos scale malleable multijob bench benchguard
+.PHONY: all build vet fmtcheck lint test race check ci chaos scale malleable multijob fleet bench benchguard
 
 all: check
 
@@ -58,6 +58,8 @@ ci: check race
 	$(GO) run ./cmd/repro -exp scale -hosts 64 -seed 42
 	$(GO) run ./cmd/repro -exp malleable -seed 42
 	$(GO) run ./cmd/repro -exp multijob -seed 42
+	$(GO) run ./cmd/repro -exp fleet -seed 1 -runs 25
+	$(GO) run ./cmd/repro -exp fleet -seed 7 -runs 25
 	$(MAKE) benchguard
 
 # Two chaos runs with the same seed must print identical fault schedules
@@ -79,6 +81,13 @@ malleable: build
 # over 64 queued gangs under host churn (byte-deterministic per seed).
 multijob: build
 	$(GO) run ./cmd/repro -exp multijob -seed 42
+
+# The generated scenario fleet: 100 seeded scenarios through the planner,
+# migration model and fault machinery, with per-run report dirs under
+# fleet_runs/ (byte-deterministic per seed; see the golden regression in
+# internal/scenario).
+fleet: build
+	$(GO) run ./cmd/repro -exp fleet -seed 1 -runs 100 -rundir fleet_runs
 
 # Scheduling microbenchmarks -> BENCH_scale.json: status-ingest throughput
 # (direct vs batched), candidate selection at 512 hosts (state-indexed vs

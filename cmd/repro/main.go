@@ -16,6 +16,8 @@
 //	repro -exp livemig        # precopy vs stop-and-copy downtime sweep
 //	repro -exp malleable      # elastic vs migrate-only vs fixed under churn (not in "all")
 //	repro -exp multijob       # job-queue policy shoot-out (not in "all")
+//	repro -exp fleet -seed 1 -runs 100   # generated scenario fleet (not in "all")
+//	repro -exp fleet -rundir fleet_runs  # also write per-run report dirs
 //	repro -exp scale -hosts 64,128   # custom sweep sizes
 //	repro -scale 100          # virtual-time compression factor
 //	repro -exp chaos -metrics run.json   # also dump the metrics registry
@@ -42,12 +44,15 @@ import (
 	"autoresched/internal/experiments"
 	"autoresched/internal/metrics"
 	"autoresched/internal/rules"
+	"autoresched/internal/scenario"
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: fig5|fig6|fig7|fig8|table1|table2|chaos|scale|livemig|malleable|multijob|all")
+	exp := flag.String("exp", "all", "experiment: fig5|fig6|fig7|fig8|table1|table2|chaos|scale|livemig|malleable|multijob|fleet|all")
 	scale := flag.Float64("scale", 100, "virtual-time compression (virtual seconds per wall second)")
 	seed := flag.Int64("seed", 1, "workload seed")
+	runs := flag.Int("runs", 50, "fleet experiment: scenarios to generate")
+	runDir := flag.String("rundir", "", "fleet experiment: directory to write per-run reports and summary.json")
 	hosts := flag.String("hosts", "", "scale experiment sweep sizes, comma-separated (default 64,256,512)")
 	series := flag.Bool("series", false, "also print the sampled series tables")
 	csvDir := flag.String("csv", "", "directory to write the sampled series as CSV files")
@@ -160,6 +165,19 @@ func main() {
 		rows := experiments.RunMultijob(experiments.MultijobConfig{Params: params})
 		fmt.Print(experiments.RenderMultijob(rows))
 		fmt.Println()
+	}
+	if *exp == "fleet" {
+		ran = true
+		results := scenario.RunFleet(scenario.DefaultSpace(), *seed, *runs)
+		fmt.Print(scenario.RenderFleet(*seed, results))
+		fmt.Println()
+		for _, r := range results {
+			mreg.Merge(r.Metrics)
+		}
+		if *runDir != "" {
+			fatal(scenario.WriteRunDir(*runDir, *seed, results))
+			fmt.Printf("wrote %d run dirs and summary.json under %s\n", len(results), *runDir)
+		}
 	}
 	if want("livemig") {
 		ran = true

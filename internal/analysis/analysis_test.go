@@ -75,6 +75,7 @@ var fixtures = []struct {
 	{"livemig", "autoresched/internal/livemig"},
 	{"malleable", "autoresched/internal/malleable"},
 	{"jobs", "autoresched/internal/jobs"},
+	{"scenario", "autoresched/internal/scenario"},
 	{"allowed", "autoresched/cmd/demo"},
 	{"nilrecv", "autoresched/internal/metrics"},
 	{"discard", "example/discard"},

@@ -184,6 +184,22 @@ func chaosScenarios(live bool) []chaosScenario {
 	return scenarios
 }
 
+// ChaosScenarioNames lists the chaos scenario set in run order — the one
+// authoritative list behind every "N/N scenarios survive" claim. live
+// selects the sweep that appends the precopy-specific scenario
+// (crash-dest-mid-precopy), so len(ChaosScenarioNames(false)) and
+// len(ChaosScenarioNames(true)) are the two survival denominators;
+// EXPERIMENTS.md's stated counts are pinned to them by
+// TestChaosCountsMatchDocs.
+func ChaosScenarioNames(live bool) []string {
+	scs := chaosScenarios(live)
+	names := make([]string, 0, len(scs))
+	for _, sc := range scs {
+		names = append(names, sc.name)
+	}
+	return names
+}
+
 func (cfg ChaosConfig) withChaosDefaults() ChaosConfig {
 	if cfg.Scale <= 0 {
 		cfg.Scale = 1000

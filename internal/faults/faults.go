@@ -22,6 +22,12 @@ const (
 	// KindCrashHost takes Host down permanently: network down, monitor
 	// stopped (unregistering the host), local incarnations killed.
 	KindCrashHost Kind = "crash-host"
+	// KindReviveHost returns a crashed Host to service after an outage.
+	// Interpreted by the scenario fleet runner (internal/scenario), whose
+	// generated crash faults are outages with a bounded duration; the live
+	// injector treats KindCrashHost as permanent and reports this kind as
+	// unknown.
+	KindReviveHost Kind = "revive-host"
 	// KindRestartRegistry drops the registry's soft state; monitors
 	// re-register through heartbeats and the runtime resyncs processes.
 	KindRestartRegistry Kind = "restart-registry"

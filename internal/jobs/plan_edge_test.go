@@ -1,0 +1,80 @@
+package jobs
+
+import "testing"
+
+// Planner edge cases surfaced by the scenario fleet generator: degenerate
+// fleets and priority ties that the hand-written multi-job scenarios never
+// hit but a random draw will.
+
+// TestPlanZeroHostCluster: an empty fleet plans nothing under any policy —
+// no admissions, no panics, regardless of queue shape.
+func TestPlanZeroHostCluster(t *testing.T) {
+	pending := []JobView{
+		{Name: "a", Gang: 1, Seq: 1},
+		{Name: "b", Gang: 2, Priority: 5, Seq: 2},
+	}
+	for _, p := range Policies() {
+		if plan := PlanCycle(p, pending, ClusterView{}); len(plan) != 0 {
+			t.Fatalf("%s planned %v on a zero-host cluster", p.Name(), plan)
+		}
+	}
+}
+
+// TestPlanEqualPrioritiesNeverPreempt: preemption takes strictly
+// lower-priority victims only, so with every job at the same priority a
+// full cluster plans zero preemptions — the pending gang waits instead of
+// churning its peers.
+func TestPlanEqualPrioritiesNeverPreempt(t *testing.T) {
+	hosts := fleet(2)
+	occupy(hosts, "r1", "h1")
+	occupy(hosts, "r2", "h2")
+	running := []JobView{
+		{Name: "r1", Gang: 1, Priority: 3, Seq: 1, Hosts: []string{"h1"}},
+		{Name: "r2", Gang: 1, Priority: 3, Seq: 2, Hosts: []string{"h2"}},
+	}
+	pending := []JobView{{Name: "p", Gang: 1, Priority: 3, Seq: 3}}
+	plan := PlanCycle(PriorityPreemptive{}, pending, ClusterView{Hosts: hosts, Running: running})
+	if len(plan) != 0 {
+		t.Fatalf("equal-priority queue planned %+v, want no admissions (and no preemptions)", plan)
+	}
+}
+
+// TestPlanBackfillOversizeGangParks: a gang wider than the entire fleet can
+// never admit; under backfill it must park without starving the feasible
+// jobs behind it — and it must still be parked (not silently admitted
+// short) on later cycles.
+func TestPlanBackfillOversizeGangParks(t *testing.T) {
+	pending := []JobView{
+		{Name: "oversize", Gang: 5, Seq: 1},
+		{Name: "fits", Gang: 2, Seq: 2},
+		{Name: "also-fits", Gang: 1, Seq: 3},
+	}
+	view := ClusterView{Hosts: fleet(3)}
+	plan := PlanCycle(Backfill{}, pending, view)
+	if len(plan) != 2 || plan[0].Job != "fits" || plan[1].Job != "also-fits" {
+		t.Fatalf("backfill plan = %+v, want fits then also-fits admitted past the parked gang", plan)
+	}
+	for _, adm := range plan {
+		if adm.Job == "oversize" {
+			t.Fatalf("oversize gang admitted: %+v", adm)
+		}
+	}
+	// Next cycle, fleet fully free again: the oversize gang stays parked.
+	again := PlanCycle(Backfill{}, pending[:1], ClusterView{Hosts: fleet(3)})
+	if len(again) != 0 {
+		t.Fatalf("oversize gang admitted on a later cycle: %+v", again)
+	}
+}
+
+// TestPlanFIFOOversizeGangBlocksQueue: the same oversize gang under plain
+// FIFO blocks the head of line — documented contrast with backfill, and the
+// reason the scenario space clamps gangs to the fleet.
+func TestPlanFIFOOversizeGangBlocksQueue(t *testing.T) {
+	pending := []JobView{
+		{Name: "oversize", Gang: 5, Seq: 1},
+		{Name: "fits", Gang: 1, Seq: 2},
+	}
+	if plan := PlanCycle(FIFO{}, pending, ClusterView{Hosts: fleet(3)}); len(plan) != 0 {
+		t.Fatalf("FIFO admitted %v past an infeasible head", plan)
+	}
+}

@@ -1,0 +1,158 @@
+package scenario
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Generator draws scenarios from a Space, seeded and deterministic: the
+// same (space, seed) pair yields the same scenario sequence on every run,
+// which is what makes fleet reports reproducible and golden-diffable. The
+// draw is constructive — dimensions are clamped into coherence as they are
+// drawn rather than rejection-sampled — and every emitted scenario is
+// re-checked against the space, so an incoherent combo is a bug, not a
+// retry.
+type Generator struct {
+	space Space
+	seed  int64
+	rng   *rand.Rand
+	next  int
+}
+
+// NewGenerator builds a generator over the space. The sequence is a pure
+// function of (space, seed).
+func NewGenerator(space Space, seed int64) *Generator {
+	return &Generator{space: space, seed: seed, rng: rand.New(rand.NewSource(seed))}
+}
+
+// between draws uniformly from an inclusive range.
+func (g *Generator) between(r Range) int {
+	if r.Max <= r.Min {
+		return r.Min
+	}
+	return r.Min + g.rng.Intn(r.Max-r.Min+1)
+}
+
+// pick draws uniformly from a non-empty list.
+func pick[T any](g *Generator, list []T) T {
+	return list[g.rng.Intn(len(list))]
+}
+
+// Next draws one scenario. It panics if the draw violates its own space —
+// by construction it cannot, and the property test holds it to that.
+func (g *Generator) Next() Scenario {
+	idx := g.next
+	g.next++
+	sp := g.space
+
+	s := Scenario{
+		Name:          fmt.Sprintf("s%d-r%03d", g.seed, idx),
+		Seed:          g.seed,
+		Index:         idx,
+		Workload:      pick(g, sp.Workloads),
+		MemMode:       pick(g, sp.MemModes),
+		Migration:     pick(g, sp.Migrations),
+		Policy:        pick(g, sp.Policies),
+		LinkMbps:      pick(g, sp.LinkMbps),
+		Hosts:         g.between(sp.Hosts),
+		StateMB:       g.between(sp.StateMB),
+		DurationSec:   g.between(sp.Duration),
+		SchedEverySec: 1 + g.rng.Intn(5),
+	}
+	// Coherence by construction: live migration needs a paged region, so a
+	// flat draw under MigrateLive upgrades to paged; dirty rates exist only
+	// for the precopy model.
+	if s.Migration == MigrateLive {
+		if s.MemMode == MemFlat {
+			s.MemMode = MemPaged
+		}
+		s.DirtyPagesPerSec = pick(g, sp.DirtyRates)
+	}
+
+	njobs := g.between(sp.JobCount)
+	bigClass := (s.Hosts + 3) / 4
+	gangs := []int{1, 1, 2, 2, 4, 8}
+	for i := 0; i < njobs; i++ {
+		j := JobSpec{
+			Name:       fmt.Sprintf("job%02d", i),
+			Priority:   g.rng.Intn(3),
+			Gang:       pick(g, gangs),
+			Big:        g.rng.Intn(8) == 0,
+			ArrivalSec: g.rng.Intn(s.DurationSec + 1),
+			WorkSec:    30 + g.rng.Intn(150),
+		}
+		// Gang placement is all-or-nothing; clamp the gang to what the
+		// fleet (and, for big jobs, the big class) can ever hold.
+		j.Gang = min(j.Gang, min(s.Hosts, sp.MaxGang))
+		if j.Big {
+			j.Gang = min(j.Gang, bigClass)
+		}
+		// Elasticity needs a runtime that can repartition the world.
+		if s.MemMode == MemElastic && j.Gang >= 2 && g.rng.Intn(3) != 0 {
+			j.Elastic = true
+			j.MinWorld = 1 + g.rng.Intn(j.Gang)
+		} else {
+			j.MinWorld = j.Gang
+		}
+		s.Jobs = append(s.Jobs, j)
+	}
+
+	var elastic []JobSpec
+	for _, j := range s.Jobs {
+		if j.Elastic {
+			elastic = append(elastic, j)
+		}
+	}
+	nfaults := g.rng.Intn(sp.MaxFaults + 1)
+	for i := 0; i < nfaults; i++ {
+		at := g.rng.Intn(s.DurationSec + 1)
+		kinds := []string{FaultCrashHost, FaultLinkDegrade, FaultMigrate}
+		if len(elastic) > 0 {
+			kinds = append(kinds, FaultResize)
+		}
+		switch pick(g, kinds) {
+		case FaultCrashHost:
+			s.Faults = append(s.Faults, FaultSpec{
+				AtSec:   at,
+				Kind:    FaultCrashHost,
+				Host:    HostName(g.rng.Intn(s.Hosts)),
+				DownSec: 20 + g.rng.Intn(60),
+			})
+		case FaultLinkDegrade:
+			s.Faults = append(s.Faults, FaultSpec{
+				AtSec:  at,
+				Kind:   FaultLinkDegrade,
+				Factor: []float64{0.1, 0.25, 0.5}[g.rng.Intn(3)],
+				ForSec: 30 + g.rng.Intn(90),
+			})
+		case FaultMigrate:
+			s.Faults = append(s.Faults, FaultSpec{
+				AtSec: at,
+				Kind:  FaultMigrate,
+				Job:   pick(g, s.Jobs).Name,
+			})
+		case FaultResize:
+			j := pick(g, elastic)
+			s.Faults = append(s.Faults, FaultSpec{
+				AtSec: at,
+				Kind:  FaultResize,
+				Job:   j.Name,
+				World: j.MinWorld + g.rng.Intn(j.Gang-j.MinWorld+1),
+			})
+		}
+	}
+
+	if err := sp.Check(s); err != nil {
+		panic(fmt.Sprintf("scenario: generator emitted an incoherent scenario: %v", err))
+	}
+	return s
+}
+
+// Generate draws n scenarios.
+func (g *Generator) Generate(n int) []Scenario {
+	out := make([]Scenario, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, g.Next())
+	}
+	return out
+}

@@ -1,0 +1,42 @@
+package scenario
+
+import "fmt"
+
+// The golden regression's pinned configuration, shared by the test
+// (TestGoldenUpToDate), the regeneration helper (testdata/regen.go) and the
+// CI smoke: the same seeds and fleet size everywhere, or the regression
+// proves nothing.
+
+// GoldenSeeds are the pinned generator seeds the regression covers. Chosen
+// for variety, not tuned for outcomes: across the four fleets every policy,
+// both migration modes, all three eviction modes, elastic resizes and both
+// crash-churn responses (requeue and shrink) appear.
+var GoldenSeeds = []int64{1, 7, 35, 58}
+
+// GoldenRuns is the fleet size per pinned seed. Small enough that a golden
+// diff stays readable; large enough that each fleet crosses several
+// scenario axes.
+const GoldenRuns = 4
+
+// GoldenFile is the committed golden for one pinned seed, relative to the
+// package's testdata directory.
+func GoldenFile(seed int64) string {
+	return fmt.Sprintf("golden/seed-%d.txt", seed)
+}
+
+// RunFleet generates and executes a fleet: n scenarios drawn from the space
+// at the seed, each run through the deterministic Runner.
+func RunFleet(space Space, seed int64, n int) []Result {
+	gen := NewGenerator(space, seed)
+	var run Runner
+	results := make([]Result, 0, n)
+	for _, s := range gen.Generate(n) {
+		results = append(results, run.Run(s))
+	}
+	return results
+}
+
+// GoldenFleet renders the flattened golden content for one pinned seed.
+func GoldenFleet(seed int64) (string, error) {
+	return Flatten(seed, RunFleet(DefaultSpace(), seed, GoldenRuns))
+}

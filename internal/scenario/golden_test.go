@@ -1,0 +1,115 @@
+package scenario
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// regenCmd is the exact command that refreshes the goldens, quoted verbatim
+// in every staleness failure so the fix is one copy-paste away.
+const regenCmd = "go run ./internal/scenario/testdata/regen.go"
+
+// firstDiff locates the first differing line of two texts, for a failure
+// message that points at the drift instead of dumping both fleets.
+func firstDiff(got, want string) string {
+	gl, wl := strings.Split(got, "\n"), strings.Split(want, "\n")
+	for i := 0; i < len(gl) && i < len(wl); i++ {
+		if gl[i] != wl[i] {
+			return fmt.Sprintf("line %d:\n  got:  %s\n  want: %s", i+1, gl[i], wl[i])
+		}
+	}
+	return fmt.Sprintf("lengths differ: got %d lines, want %d", len(gl), len(wl))
+}
+
+// TestGoldenUpToDate: the committed goldens match what the generator and
+// runner produce today for the pinned seeds. Any behavior drift in the
+// generator, planner, migration model or fault handling fails here with
+// the regeneration command in the message.
+func TestGoldenUpToDate(t *testing.T) {
+	for _, seed := range GoldenSeeds {
+		path := filepath.Join("testdata", GoldenFile(seed))
+		want, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("golden for seed %d unreadable (%v); regenerate with:\n  %s", seed, err, regenCmd)
+		}
+		got, err := GoldenFleet(seed)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if got != string(want) {
+			t.Errorf("golden for seed %d is stale at %s\n%s\nIf the change is intended, regenerate with:\n  %s",
+				seed, path, firstDiff(got, string(want)), regenCmd)
+		}
+	}
+}
+
+// TestGoldenFleetCoverage: the pinned seed set stays interesting — across
+// the golden fleets every admission policy appears, migrations execute in
+// both live and stop-and-copy modes, preemptions, elastic resizes and both
+// crash-churn responses all happen. If a generator change washes the
+// variety out, re-pin the seeds rather than letting the regression thin.
+func TestGoldenFleetCoverage(t *testing.T) {
+	policies := map[string]int{}
+	migrations := map[string]int{}
+	preempt, resizes, shrinks, requeues := 0, 0, 0, 0
+	for _, seed := range GoldenSeeds {
+		sum := Summarize(seed, RunFleet(DefaultSpace(), seed, GoldenRuns))
+		if sum.Drained != sum.Runs {
+			t.Errorf("seed %d: %d/%d runs drained; goldens must complete", seed, sum.Drained, sum.Runs)
+		}
+		for p, n := range sum.ByPolicy {
+			policies[p] += n
+		}
+		for m, n := range sum.Migrations {
+			migrations[m] += n
+		}
+		for _, n := range sum.Preemptions {
+			preempt += n
+		}
+		resizes += sum.Resizes
+		shrinks += sum.ChurnShrinks
+		requeues += sum.ChurnRequeues
+	}
+	if len(policies) < 3 {
+		t.Errorf("golden fleets cover %d policies, want all 3 (%v)", len(policies), policies)
+	}
+	if migrations["precopy"] == 0 || migrations["stop-and-copy"] == 0 {
+		t.Errorf("golden fleets miss a migration mode: %v", migrations)
+	}
+	if preempt == 0 {
+		t.Error("golden fleets plan no preemptions")
+	}
+	if resizes == 0 {
+		t.Error("golden fleets execute no elastic resizes")
+	}
+	if shrinks == 0 || requeues == 0 {
+		t.Errorf("golden fleets miss a crash-churn response: shrinks=%d requeues=%d", shrinks, requeues)
+	}
+}
+
+// TestWriteRunDirMatchesFiles: the on-disk rundir is byte-for-byte the
+// in-memory file set the goldens flatten — writing and re-reading loses
+// nothing.
+func TestWriteRunDirMatchesFiles(t *testing.T) {
+	results := RunFleet(DefaultSpace(), 1, 2)
+	dir := t.TempDir()
+	if err := WriteRunDir(dir, 1, results); err != nil {
+		t.Fatal(err)
+	}
+	files, err := Files(1, results)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for path, want := range files {
+		got, err := os.ReadFile(filepath.Join(dir, path))
+		if err != nil {
+			t.Fatalf("rundir missing %s: %v", path, err)
+		}
+		if string(got) != string(want) {
+			t.Fatalf("rundir %s differs from the in-memory rendering", path)
+		}
+	}
+}

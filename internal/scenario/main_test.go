@@ -1,0 +1,9 @@
+package scenario
+
+import (
+	"testing"
+
+	"autoresched/internal/testutil"
+)
+
+func TestMain(m *testing.M) { testutil.VerifyTestMain(m) }

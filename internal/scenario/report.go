@@ -1,0 +1,58 @@
+package scenario
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// The console report for -exp fleet: one line per run plus the fleet
+// roll-up. Deterministic per seed, like everything else in the package.
+
+// RenderFleet renders the fleet's console report.
+func RenderFleet(seed int64, results []Result) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fleet scenarios — seed %d, %d generated runs\n", seed, len(results))
+	b.WriteString("run  scenario   policy               wl      mem      migration      hosts jobs done  makespan  faults\n")
+	for i, r := range results {
+		o := r.Outcome
+		s := r.Scenario
+		fmt.Fprintf(&b, "%03d  %-9s  %-19s  %-6s  %-7s  %-13s  %5d  %2d/%-2d %s  %7ds  %d\n",
+			i, s.Name, s.Policy, s.Workload, s.MemMode, s.Migration,
+			s.Hosts, o.JobsCompleted, o.JobsTotal, drainMark(o.Drained), o.MakespanSec, len(s.Faults))
+	}
+	sum := Summarize(seed, results)
+	fmt.Fprintf(&b, "\ndrained %d/%d fleets  jobs %d/%d  admissions %d\n",
+		sum.Drained, sum.Runs, sum.JobsCompleted, sum.JobsTotal, sum.Admissions)
+	fmt.Fprintf(&b, "preemptions %s  migrations %s  resizes %d  churn requeue/shrink %d/%d\n",
+		countMap(sum.Preemptions), countMap(sum.Migrations), sum.Resizes, sum.ChurnRequeues, sum.ChurnShrinks)
+	fmt.Fprintf(&b, "downtime  count %d  p50 %s  p95 %s  p99 %s\n",
+		sum.Downtime.Count, sum.Downtime.P50, sum.Downtime.P95, sum.Downtime.P99)
+	fmt.Fprintf(&b, "migration count %d  p50 %s  p95 %s  p99 %s\n",
+		sum.MigrationTotal.Count, sum.MigrationTotal.P50, sum.MigrationTotal.P95, sum.MigrationTotal.P99)
+	return b.String()
+}
+
+func drainMark(drained bool) string {
+	if drained {
+		return "ok  "
+	}
+	return "CAP "
+}
+
+// countMap renders a mode->count map deterministically (sorted keys).
+func countMap(m map[string]int) string {
+	if len(m) == 0 {
+		return "none"
+	}
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, 0, len(keys))
+	for _, k := range keys {
+		parts = append(parts, fmt.Sprintf("%s:%d", k, m[k]))
+	}
+	return strings.Join(parts, " ")
+}

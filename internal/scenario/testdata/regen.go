@@ -1,0 +1,45 @@
+// Regenerates the golden fleet reports for the pinned seed set:
+//
+//	go run ./internal/scenario/testdata/regen.go
+//
+// Run it after an intended behavior change in the generator, planner,
+// migration model or fault handling, then review the golden diff like any
+// other code change — the diff is the review surface. TestGoldenUpToDate
+// points here whenever the committed goldens go stale.
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+
+	"autoresched/internal/scenario"
+)
+
+func main() {
+	// Anchor on this source file so the command works from any directory.
+	_, self, _, ok := runtime.Caller(0)
+	if !ok {
+		fmt.Fprintln(os.Stderr, "regen: cannot locate own source file")
+		os.Exit(1)
+	}
+	testdata := filepath.Dir(self)
+	for _, seed := range scenario.GoldenSeeds {
+		content, err := scenario.GoldenFleet(seed)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "regen: seed %d: %v\n", seed, err)
+			os.Exit(1)
+		}
+		path := filepath.Join(testdata, scenario.GoldenFile(seed))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "regen: %v\n", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "regen: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s (%d bytes)\n", path, len(content))
+	}
+}
