@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"path"
 	"path/filepath"
 	"sort"
 	"strings"
@@ -85,8 +86,11 @@ func RunName(i int, r Result) string {
 }
 
 // Files renders the complete rundir file set for one fleet: relative path
-// -> content. Deterministic: encoding/json sorts map keys and every
-// recorded quantity is a pure function of the seed.
+// -> content. Keys are logical slash-separated paths (path.Join, never the
+// OS separator) so the flattened golden rendering is identical on every
+// platform; WriteRunDir converts to OS paths at the filesystem boundary.
+// Deterministic: encoding/json sorts map keys and every recorded quantity
+// is a pure function of the seed.
 func Files(seed int64, results []Result) (map[string][]byte, error) {
 	out := make(map[string][]byte, 3*len(results)+1)
 	put := func(path string, v any) error {
@@ -99,23 +103,23 @@ func Files(seed int64, results []Result) (map[string][]byte, error) {
 	}
 	for i, r := range results {
 		dir := RunName(i, r)
-		if err := put(filepath.Join(dir, "scenario.json"), r.Scenario); err != nil {
+		if err := put(path.Join(dir, "scenario.json"), r.Scenario); err != nil {
 			return nil, err
 		}
-		if err := put(filepath.Join(dir, "outcome.json"), r.Outcome); err != nil {
+		if err := put(path.Join(dir, "outcome.json"), r.Outcome); err != nil {
 			return nil, err
 		}
 		if len(r.Spans) > 0 {
-			if err := put(filepath.Join(dir, "migrations.json"), r.Spans); err != nil {
+			if err := put(path.Join(dir, "migrations.json"), r.Spans); err != nil {
 				return nil, err
 			}
 		}
 		if len(r.Resizes) > 0 {
-			if err := put(filepath.Join(dir, "resizes.json"), r.Resizes); err != nil {
+			if err := put(path.Join(dir, "resizes.json"), r.Resizes); err != nil {
 				return nil, err
 			}
 		}
-		out[filepath.Join(dir, "schedule.txt")] = []byte(strings.Join(r.Schedule, "\n") + "\n")
+		out[path.Join(dir, "schedule.txt")] = []byte(strings.Join(r.Schedule, "\n") + "\n")
 	}
 	if err := put("summary.json", Summarize(seed, results)); err != nil {
 		return nil, err
@@ -130,8 +134,8 @@ func WriteRunDir(dir string, seed int64, results []Result) error {
 	if err != nil {
 		return err
 	}
-	for path, content := range files {
-		full := filepath.Join(dir, path)
+	for rel, content := range files {
+		full := filepath.Join(dir, rel)
 		if err := os.MkdirAll(filepath.Dir(full), 0o755); err != nil {
 			return err
 		}

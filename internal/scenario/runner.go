@@ -221,8 +221,50 @@ func (Runner) Run(s Scenario) Result {
 		}
 	}
 
-	// migrate models moving one rank of a running job to the first free
-	// eligible host, charging the mode's freeze window.
+	// modelMigration computes the analytic cost of moving one rank over the
+	// current link: mode, precopy rounds, freeze window and end-to-end time.
+	modelMigration := func() (mode string, rounds int, downtime, total time.Duration) {
+		sc := livemig.Scenario{
+			TotalPages:   s.TotalPages(),
+			PageBytes:    4096,
+			Bandwidth:    bandwidth(),
+			SpawnLatency: spawnLatency,
+			Handshake:    handshake,
+		}
+		if s.Migration == MigrateLive {
+			sc.DirtyPagesPerSec = float64(s.DirtyPagesPerSec)
+			out := livemig.Simulate(livemig.Config{}, sc)
+			mode, rounds, downtime = out.Mode, out.Rounds, out.Downtime
+			total = time.Duration(out.PrecopySeconds*float64(time.Second)) + downtime
+			return
+		}
+		out := livemig.Simulate(livemig.Config{}, sc)
+		mode, downtime = MigrateStopCopy, out.StopCopy
+		total = downtime
+		return
+	}
+
+	// chargeMigration pays for one rank's move from->to: the job stalls for
+	// the freeze window while the span, histograms and digest record it.
+	// Rewriting the placement is the caller's job — forced migrations pick a
+	// free destination, preemption-driven ones follow the planner's Moves.
+	chargeMigration := func(j *runJob, tick int, from, to, why string) {
+		mode, rounds, downtime, total := modelMigration()
+		pause(j, tick, downtime)
+		downtimeHist.Observe(downtime.Seconds())
+		migrHist.Observe(total.Seconds())
+		res.Outcome.Migrations[mode]++
+		res.Spans = append(res.Spans, MigrationSpan{
+			AtSec: tick, Job: j.spec.Name, From: from, To: to, Mode: mode, Rounds: rounds,
+			Downtime: metrics.FormatSeconds(downtime.Seconds()),
+			Total:    metrics.FormatSeconds(total.Seconds()),
+		})
+		digest("migrate job=%s %s->%s mode=%s rounds=%d downtime=%s (%s)",
+			j.spec.Name, from, to, mode, rounds, downtime.Round(100*time.Microsecond), why)
+	}
+
+	// migrate models a forced migration: one rank of a running job moves to
+	// the first free eligible host and pays the mode's freeze window.
 	migrate := func(j *runJob, tick int, why string) {
 		if !j.running || len(j.hosts) == 0 {
 			digest("migrate job=%s skipped (%s)", j.spec.Name, "not running")
@@ -249,38 +291,8 @@ func (Runner) Run(s Scenario) Result {
 			digest("migrate job=%s skipped (no free destination)", j.spec.Name)
 			return
 		}
-		sc := livemig.Scenario{
-			TotalPages:   s.TotalPages(),
-			PageBytes:    4096,
-			Bandwidth:    bandwidth(),
-			SpawnLatency: spawnLatency,
-			Handshake:    handshake,
-		}
-		var mode string
-		var rounds int
-		var downtime, total time.Duration
-		if s.Migration == MigrateLive {
-			sc.DirtyPagesPerSec = float64(s.DirtyPagesPerSec)
-			out := livemig.Simulate(livemig.Config{}, sc)
-			mode, rounds, downtime = out.Mode, out.Rounds, out.Downtime
-			total = time.Duration(out.PrecopySeconds*float64(time.Second)) + downtime
-		} else {
-			out := livemig.Simulate(livemig.Config{}, sc)
-			mode, downtime = MigrateStopCopy, out.StopCopy
-			total = downtime
-		}
 		j.hosts[len(j.hosts)-1] = to
-		pause(j, tick, downtime)
-		downtimeHist.Observe(downtime.Seconds())
-		migrHist.Observe(total.Seconds())
-		res.Outcome.Migrations[mode]++
-		res.Spans = append(res.Spans, MigrationSpan{
-			AtSec: tick, Job: j.spec.Name, From: from, To: to, Mode: mode, Rounds: rounds,
-			Downtime: metrics.FormatSeconds(downtime.Seconds()),
-			Total:    metrics.FormatSeconds(total.Seconds()),
-		})
-		digest("migrate job=%s %s->%s mode=%s rounds=%d downtime=%s (%s)",
-			j.spec.Name, from, to, mode, rounds, downtime.Round(100*time.Microsecond), why)
+		chargeMigration(j, tick, from, to, why)
 	}
 
 	// resize models an elastic world change: shrink retires the highest
@@ -399,9 +411,11 @@ func (Runner) Run(s Scenario) Result {
 						digest("churn-shrink job=%s world=%d", j.spec.Name, len(j.hosts))
 					} else {
 						// The victim checkpointed at the previous tick:
-						// requeue with progress intact.
+						// requeue with progress intact. A freeze window
+						// charged against the lost placement dies with it.
 						j.hosts = nil
 						j.running = false
+						j.pausedUntil = 0
 						res.Outcome.ChurnRequeues++
 						digest("churn-requeue job=%s", j.spec.Name)
 					}
@@ -449,8 +463,11 @@ func (Runner) Run(s Scenario) Result {
 					res.Outcome.Preemptions[string(ev.Mode)]++
 					switch ev.Mode {
 					case jobs.EvictRequeue:
+						// Any freeze window charged against the lost
+						// placement dies with it.
 						v.hosts = nil
 						v.running = false
+						v.pausedUntil = 0
 						digest("evict job=%s mode=requeue for=%s", ev.Job, adm.Job)
 					case jobs.EvictShrink:
 						for _, h := range ev.Hosts {
@@ -459,21 +476,25 @@ func (Runner) Run(s Scenario) Result {
 						digest("evict job=%s mode=shrink world=%d for=%s", ev.Job, len(v.hosts), adm.Job)
 					case jobs.EvictMigrate:
 						// Each contested rank live-migrates to its planned
-						// destination; the move pays a real freeze window.
+						// destination and pays a real freeze window. The
+						// planner already picked destinations clear of the
+						// admission's hosts, so no new placement is chosen
+						// here — choosing one could collide with the hosts
+						// the admission below is about to occupy.
 						moves := make([]string, 0, len(ev.Moves))
 						for h := range ev.Moves {
 							moves = append(moves, h)
 						}
 						sort.Strings(moves)
+						digest("evict job=%s mode=migrate moved=%d for=%s", ev.Job, len(moves), adm.Job)
 						for _, h := range moves {
 							for i := range v.hosts {
 								if v.hosts[i] == h {
 									v.hosts[i] = ev.Moves[h]
 								}
 							}
+							chargeMigration(v, tick, h, ev.Moves[h], "preempted")
 						}
-						digest("evict job=%s mode=migrate moved=%d for=%s", ev.Job, len(moves), adm.Job)
-						migrate(v, tick, "preempted")
 					}
 				}
 				j := byName[adm.Job]
@@ -481,6 +502,23 @@ func (Runner) Run(s Scenario) Result {
 				j.running = true
 				res.Outcome.Admissions++
 				digest("admit job=%s gang=%d hosts=%v", adm.Job, j.spec.Gang, adm.Hosts)
+			}
+			// The planner contract: after a cycle no host carries two
+			// running jobs. A violation is a programming error in the
+			// planner or this runner's eviction bookkeeping — fail loudly
+			// rather than pin a corrupt schedule into the goldens.
+			claimed := map[string]string{}
+			for _, j := range jobSet {
+				if !j.running {
+					continue
+				}
+				for _, h := range j.hosts {
+					if other, dup := claimed[h]; dup {
+						panic(fmt.Sprintf("scenario %s: t=%ds host %s assigned to both %s and %s",
+							s.Name, tick, h, other, j.spec.Name))
+					}
+					claimed[h] = j.spec.Name
+				}
 			}
 		}
 		// 4. Advance every running, unpaused job by its live world.

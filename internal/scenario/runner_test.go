@@ -22,6 +22,21 @@ func TestRunnerDeterministic(t *testing.T) {
 	}
 }
 
+// TestRunnerNoDoubleAssignment: across a wide seed sweep, no admission
+// cycle ever leaves one host assigned to two running jobs — the runner
+// panics on a violation, so completing the sweep is the assertion. This
+// pins the fix for preemption-driven migrations, which once relocated a
+// victim's rank onto a host the admission was about to occupy.
+func TestRunnerNoDoubleAssignment(t *testing.T) {
+	for seed := int64(1); seed <= 25; seed++ {
+		for _, r := range RunFleet(DefaultSpace(), seed, 4) {
+			if r.Outcome.JobsTotal == 0 {
+				t.Fatalf("seed %d: empty fleet run", seed)
+			}
+		}
+	}
+}
+
 // TestRunnerDrainsBenignScenario: with no faults and a fleet wide enough
 // for every gang, the whole queue completes and the makespan lands after
 // the last arrival.
