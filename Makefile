@@ -53,7 +53,9 @@ check: lint build test
 # order-dependent flakiness in the fair-share solver and the determinism
 # fences), a single 64-host scale sweep as an end-to-end smoke of the
 # control plane, and the benchmark drift guard.
-ci: check race
+ci: check
+	$(GO) test ./internal/analysis/...
+	$(MAKE) race
 	$(GO) test -race -count=2 ./internal/simnet ./internal/experiments
 	$(GO) run ./cmd/repro -exp scale -hosts 64 -seed 42
 	$(GO) run ./cmd/repro -exp malleable -seed 42
@@ -91,33 +93,39 @@ fleet: build
 
 # Scheduling microbenchmarks -> BENCH_scale.json: status-ingest throughput
 # (direct vs batched), candidate selection at 512 hosts (state-indexed vs
-# the seed's re-sort baseline), the 64->512 growth sweep, and one whole
-# 64-host sweep end to end. Live-migration microbenchmarks (paged writes,
-# dirty scans, modeled downtime) -> BENCH_livemig.json.
+# the seed's re-sort baseline), the 64->512 growth sweep, the zero-alloc
+# multi-part send path, and one whole 64-host sweep end to end. All runs
+# carry -benchmem so the reports track B/op and allocs/op alongside ns/op.
+# Live-migration microbenchmarks (paged writes, dirty scans, modeled
+# downtime) -> BENCH_livemig.json.
 bench: build
 	{ $(GO) test -run '^$$' -bench 'BenchmarkRegistryReportStatus|BenchmarkCandidate' \
-	      -benchtime 1000x ./internal/registry ; \
-	  $(GO) test -run '^$$' -bench BenchmarkScale64 -benchtime 1x ./internal/experiments ; } \
+	      -benchtime 1000x -benchmem ./internal/registry ; \
+	  $(GO) test -run '^$$' -bench BenchmarkSendParts -benchtime 1000x -benchmem ./internal/mpi ; \
+	  $(GO) test -run '^$$' -bench BenchmarkScale64 -benchtime 1x -benchmem ./internal/experiments ; } \
 	| $(GO) run ./cmd/benchjson -o BENCH_scale.json
-	$(GO) test -run '^$$' -bench . -benchtime 1000x ./internal/livemig \
+	$(GO) test -run '^$$' -bench . -benchtime 1000x -benchmem ./internal/livemig \
 	| $(GO) run ./cmd/benchjson -o BENCH_livemig.json
-	$(GO) test -run '^$$' -bench BenchmarkResize -benchtime 100x ./internal/malleable \
+	$(GO) test -run '^$$' -bench BenchmarkResize -benchtime 100x -benchmem ./internal/malleable \
 	| $(GO) run ./cmd/benchjson -o BENCH_malleable.json
-	$(GO) test -run '^$$' -bench BenchmarkAdmission -benchtime 1000x ./internal/jobs \
+	$(GO) test -run '^$$' -bench BenchmarkAdmission -benchtime 1000x -benchmem ./internal/jobs \
 	| $(GO) run ./cmd/benchjson -o BENCH_multijob.json
 
 # Drift guard: regenerate the benchmark reports and fail if any benchmark
 # regressed more than 3x against the committed ones — a coarse fence
 # against algorithmic regressions (and >3x downtime blowups in the live
-# migration model) that survives machine-to-machine ns/op variation.
+# migration model) that survives machine-to-machine ns/op variation. The
+# same fence applies to allocs/op where both sides measured it, so an
+# allocation creeping back onto a zero-alloc hot path fails the gate.
 benchguard: build
 	{ $(GO) test -run '^$$' -bench 'BenchmarkRegistryReportStatus|BenchmarkCandidate' \
-	      -benchtime 1000x ./internal/registry ; \
-	  $(GO) test -run '^$$' -bench BenchmarkScale64 -benchtime 1x ./internal/experiments ; } \
+	      -benchtime 1000x -benchmem ./internal/registry ; \
+	  $(GO) test -run '^$$' -bench BenchmarkSendParts -benchtime 1000x -benchmem ./internal/mpi ; \
+	  $(GO) test -run '^$$' -bench BenchmarkScale64 -benchtime 1x -benchmem ./internal/experiments ; } \
 	| $(GO) run ./cmd/benchjson -o BENCH_scale.json -baseline BENCH_scale.json -max-ratio 3
-	$(GO) test -run '^$$' -bench . -benchtime 1000x ./internal/livemig \
+	$(GO) test -run '^$$' -bench . -benchtime 1000x -benchmem ./internal/livemig \
 	| $(GO) run ./cmd/benchjson -o BENCH_livemig.json -baseline BENCH_livemig.json -max-ratio 3
-	$(GO) test -run '^$$' -bench BenchmarkResize -benchtime 100x ./internal/malleable \
+	$(GO) test -run '^$$' -bench BenchmarkResize -benchtime 100x -benchmem ./internal/malleable \
 	| $(GO) run ./cmd/benchjson -o BENCH_malleable.json -baseline BENCH_malleable.json -max-ratio 3
-	$(GO) test -run '^$$' -bench BenchmarkAdmission -benchtime 1000x ./internal/jobs \
+	$(GO) test -run '^$$' -bench BenchmarkAdmission -benchtime 1000x -benchmem ./internal/jobs \
 	| $(GO) run ./cmd/benchjson -o BENCH_multijob.json -baseline BENCH_multijob.json -max-ratio 3

@@ -10,7 +10,11 @@
 // With -baseline it also guards against drift: any benchmark present in
 // both reports whose ns/op regressed by more than -max-ratio fails the run
 // (exit 1). Absolute ns/op varies across machines, so the guard is a
-// coarse 3x fence against algorithmic regressions, not a perf SLO.
+// coarse 3x fence against algorithmic regressions, not a perf SLO. When
+// both sides carry -benchmem columns the same fence applies to allocs/op
+// (with one object of slack, so 0 -> 1 noise cannot trip it): an
+// allocation sneaking back onto a zero-alloc hot path is a regression the
+// ns/op fence would miss on a fast machine.
 //
 //	... | benchjson -o BENCH_scale.json -baseline BENCH_scale.json -max-ratio 3
 package main
@@ -26,11 +30,15 @@ import (
 	"strings"
 )
 
-// Benchmark is one parsed result line.
+// Benchmark is one parsed result line. BytesPerOp and AllocsPerOp are
+// pointers to keep "not measured" (no -benchmem columns) distinct from a
+// measured zero — the zero-alloc hot paths report a meaningful 0.
 type Benchmark struct {
-	Name       string  `json:"name"`
-	Iterations int64   `json:"iterations"`
-	NsPerOp    float64 `json:"ns_per_op"`
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  *int64  `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *int64  `json:"allocs_per_op,omitempty"`
 }
 
 // Derived holds the report's headline ratios (zero when the inputs are
@@ -51,7 +59,10 @@ type report struct {
 	Derived    Derived     `json:"derived"`
 }
 
-var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+(\d+)\s+([\d.]+) ns/op`)
+var (
+	benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+(\d+)\s+([\d.]+) ns/op`)
+	memCols   = regexp.MustCompile(`(\d+) B/op\s+(\d+) allocs/op`)
+)
 
 func main() {
 	out := flag.String("o", "BENCH_scale.json", "output file")
@@ -69,9 +80,13 @@ func main() {
 		}
 		iters, _ := strconv.ParseInt(m[2], 10, 64)
 		ns, _ := strconv.ParseFloat(m[3], 64)
-		rep.Benchmarks = append(rep.Benchmarks, Benchmark{
-			Name: trimProcs(m[1]), Iterations: iters, NsPerOp: ns,
-		})
+		bench := Benchmark{Name: trimProcs(m[1]), Iterations: iters, NsPerOp: ns}
+		if mm := memCols.FindStringSubmatch(sc.Text()); mm != nil {
+			bytesOp, _ := strconv.ParseInt(mm[1], 10, 64)
+			allocsOp, _ := strconv.ParseInt(mm[2], 10, 64)
+			bench.BytesPerOp, bench.AllocsPerOp = &bytesOp, &allocsOp
+		}
+		rep.Benchmarks = append(rep.Benchmarks, bench)
 	}
 	if err := sc.Err(); err != nil {
 		fatal(err)
@@ -115,19 +130,29 @@ func checkDrift(path string, benchmarks []Benchmark, maxRatio float64) []string 
 	fatal(err)
 	var old report
 	fatal(json.Unmarshal(data, &old))
-	oldNs := make(map[string]float64, len(old.Benchmarks))
+	oldBench := make(map[string]Benchmark, len(old.Benchmarks))
 	for _, b := range old.Benchmarks {
-		oldNs[b.Name] = b.NsPerOp
+		oldBench[b.Name] = b
 	}
 	var drift []string
 	for _, b := range benchmarks {
-		prev, ok := oldNs[b.Name]
-		if !ok || prev <= 0 {
+		prev, ok := oldBench[b.Name]
+		if !ok {
 			continue
 		}
-		if ratio := b.NsPerOp / prev; ratio > maxRatio {
-			drift = append(drift, fmt.Sprintf("%s: %.0f ns/op vs baseline %.0f ns/op (%.1fx > %.1fx)",
-				b.Name, b.NsPerOp, prev, ratio, maxRatio))
+		if prev.NsPerOp > 0 {
+			if ratio := b.NsPerOp / prev.NsPerOp; ratio > maxRatio {
+				drift = append(drift, fmt.Sprintf("%s: %.0f ns/op vs baseline %.0f ns/op (%.1fx > %.1fx)",
+					b.Name, b.NsPerOp, prev.NsPerOp, ratio, maxRatio))
+			}
+		}
+		// Allocation fence, only when both sides measured: one object of
+		// slack on top of the ratio keeps 0 -> 1 measurement noise out.
+		if b.AllocsPerOp != nil && prev.AllocsPerOp != nil {
+			if limit := int64(maxRatio*float64(*prev.AllocsPerOp)) + 1; *b.AllocsPerOp > limit {
+				drift = append(drift, fmt.Sprintf("%s: %d allocs/op vs baseline %d allocs/op (limit %d)",
+					b.Name, *b.AllocsPerOp, *prev.AllocsPerOp, limit))
+			}
 		}
 	}
 	return drift

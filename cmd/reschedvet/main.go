@@ -2,7 +2,9 @@
 // internal/analysis) over the module: determinism (no wall clocks or
 // unseeded math/rand in sim paths), nil-receiver guards on metrics
 // methods, discarded control-plane errors, blocking calls under mutexes,
-// and dead Options fields.
+// and dead Options fields — plus the interprocedural call-graph passes:
+// allocation-free //hot:path functions, a cycle-free global lock-order
+// graph, and exhaustive event/phase/payload switches.
 //
 // Usage:
 //
@@ -35,6 +37,9 @@ func main() {
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(), "usage: reschedvet [flags] [patterns...]\n\nchecks:\n")
 		for _, c := range analysis.Checks() {
+			fmt.Fprintf(flag.CommandLine.Output(), "  %-14s %s\n", c.Name, c.Doc)
+		}
+		for _, c := range analysis.ModuleChecks() {
 			fmt.Fprintf(flag.CommandLine.Output(), "  %-14s %s\n", c.Name, c.Doc)
 		}
 		flag.PrintDefaults()
@@ -101,6 +106,11 @@ func disabledFor(enabled []string) []string {
 	}
 	var disabled []string
 	for _, c := range analysis.Checks() {
+		if !keep[c.Name] {
+			disabled = append(disabled, c.Name)
+		}
+	}
+	for _, c := range analysis.ModuleChecks() {
 		if !keep[c.Name] {
 			disabled = append(disabled, c.Name)
 		}

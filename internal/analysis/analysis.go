@@ -59,6 +59,15 @@ type Config struct {
 	// blocking for the mutex-held check (plus channel sends, which are
 	// always considered).
 	MutexBlockingPackages []string `json:"mutex_blocking_packages"`
+	// EnumPackages declare the named constant types (faults.Kind, job
+	// states, protocol message types) whose switches the eventcase check
+	// holds to exhaustive-or-default. Packages under analysis are always
+	// included.
+	EnumPackages []string `json:"enum_packages"`
+	// EventPayloadTypes are the concrete types carried in
+	// events.Event.Payload; a type switch over an empty interface that
+	// handles any of them must handle all of them or default.
+	EventPayloadTypes []string `json:"event_payload_types"`
 	// DisabledChecks turns checks off by name.
 	DisabledChecks []string `json:"disabled_checks"`
 }
@@ -76,6 +85,22 @@ func DefaultConfig() Config {
 		NilGuardPackages:      []string{"internal/metrics"},
 		ErrorPackages:         []string{"internal/proto", "internal/hpcm", "internal/events"},
 		MutexBlockingPackages: []string{"net", "internal/proto"},
+		EnumPackages: []string{
+			"internal/faults",
+			"internal/events",
+			"internal/jobs",
+			"internal/proto",
+			"internal/hpcm",
+			"internal/malleable",
+			"internal/scenario",
+			"internal/metrics",
+		},
+		EventPayloadTypes: []string{
+			"internal/hpcm.MigrationEvent",
+			"internal/hpcm.CheckpointEvent",
+			"internal/malleable.Event",
+			"internal/jobs.Event",
+		},
 	}
 }
 
@@ -139,6 +164,36 @@ func Checks() []Check {
 			Name: "optionsfield",
 			Doc:  "exported Options fields must be read by the declaring package",
 			Run:  checkOptionsField,
+		},
+	}
+}
+
+// ModuleCheck is one named rule that needs the interprocedural view: it
+// runs once over the whole loaded module (call graph included) instead of
+// once per package.
+type ModuleCheck struct {
+	Name string
+	Doc  string
+	Run  func(cfg Config, mod *Module) []Finding
+}
+
+// ModuleChecks returns every call-graph check, in stable order.
+func ModuleChecks() []ModuleCheck {
+	return []ModuleCheck{
+		{
+			Name: "hotalloc",
+			Doc:  "//hot:path functions (and their module-internal callees) must not allocate",
+			Run:  checkHotAlloc,
+		},
+		{
+			Name: "lockorder",
+			Doc:  "the global lock-acquisition graph must be cycle-free (no potential deadlocks)",
+			Run:  checkLockOrder,
+		},
+		{
+			Name: "eventcase",
+			Doc:  "switches over event kinds, phases and payload types must be exhaustive or default",
+			Run:  checkEventCase,
 		},
 	}
 }
@@ -248,6 +303,13 @@ func RunChecks(cfg Config, pkgs []*Package) []Finding {
 		for _, pkg := range pkgs {
 			findings = append(findings, c.Run(cfg, pkg)...)
 		}
+	}
+	mod := BuildModule(pkgs)
+	for _, c := range ModuleChecks() {
+		if disabled[c.Name] {
+			continue
+		}
+		findings = append(findings, c.Run(cfg, mod)...)
 	}
 	return findings
 }

@@ -81,6 +81,9 @@ var fixtures = []struct {
 	{"discard", "example/discard"},
 	{"mutex", "example/mutexdemo"},
 	{"options", "example/optdemo"},
+	{"hotalloc", "example/hotalloc"},
+	{"lockorder", "example/lockorder"},
+	{"eventcase", "example/eventcase"},
 }
 
 func TestFixtures(t *testing.T) {

@@ -1,0 +1,265 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Module is the interprocedural view the call-graph checks run on: every
+// loaded package plus an approximate static call graph over their declared
+// functions. Functions are keyed by a stable string ("pkgpath.Func" or
+// "pkgpath.Type.Method") rather than by *types.Func identity, because the
+// loader type-checks each package from source while its module-internal
+// dependencies arrive through compiled export data — the same function is
+// a *different* types.Object in each importing package, but its key is
+// identical everywhere.
+//
+// The graph is approximate in well-defined ways. It over-estimates:
+// every syntactic call site becomes an edge, including calls that are
+// dynamically unreachable, and function literals that are not launched
+// with `go` are attributed to their enclosing declaration even when they
+// only run as callbacks. It under-estimates: calls through interface
+// values and function-typed variables resolve to no declared function and
+// produce no edge, and calls into packages outside the loaded set
+// (stdlib, export-data-only deps) are leaves. The checks built on top
+// document how they lean on each side of that approximation.
+type Module struct {
+	Pkgs  []*Package
+	Funcs map[string]*FuncInfo
+
+	// constGroups indexes every top-level const declaration block with at
+	// least two members, by the "pkgpath.ConstName" of each member. The
+	// eventcase check treats such a block as an enum-like family.
+	constGroups map[string]*constGroup
+}
+
+// FuncInfo is one declared function or method in a loaded package.
+type FuncInfo struct {
+	Key  string
+	Pkg  *Package
+	Decl *ast.FuncDecl
+	// Hot records a `//hot:path` directive in the declaration's doc
+	// comment: the function promises to stay allocation-free.
+	Hot bool
+	// Calls are the statically resolved call sites in the body, in source
+	// order. Calls under a `go` statement (directly, or inside the body of
+	// a `go func(){...}` literal) are marked Async: they run on another
+	// goroutine and several checks must not propagate caller state across
+	// them.
+	Calls []CallSite
+}
+
+// CallSite is one resolved static call inside a function body.
+type CallSite struct {
+	Call   *ast.CallExpr
+	Callee string // key of the called function, "" if unresolved
+	Async  bool
+}
+
+// funcKey derives the module-wide key of a function object.
+func funcKey(fn *types.Func) string {
+	if fn == nil || fn.Pkg() == nil {
+		return ""
+	}
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		t := sig.Recv().Type()
+		if ptr, ok := t.(*types.Pointer); ok {
+			t = ptr.Elem()
+		}
+		if named, ok := t.(*types.Named); ok {
+			return fn.Pkg().Path() + "." + named.Obj().Name() + "." + fn.Name()
+		}
+		return fn.Pkg().Path() + ".(" + t.String() + ")." + fn.Name()
+	}
+	return fn.Pkg().Path() + "." + fn.Name()
+}
+
+// hotDirective is the doc-comment marker for allocation-free functions.
+const hotDirective = "//hot:path"
+
+// isHotDecl reports whether the declaration carries a //hot:path line.
+func isHotDecl(fd *ast.FuncDecl) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		if c.Text == hotDirective || strings.HasPrefix(c.Text, hotDirective+" ") {
+			return true
+		}
+	}
+	return false
+}
+
+// BuildModule indexes the packages into a Module: function declarations,
+// hot-path annotations, resolved call sites, and const groups.
+func BuildModule(pkgs []*Package) *Module {
+	mod := &Module{
+		Pkgs:        pkgs,
+		Funcs:       make(map[string]*FuncInfo),
+		constGroups: make(map[string]*constGroup),
+	}
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				switch d := decl.(type) {
+				case *ast.FuncDecl:
+					mod.addFunc(pkg, d)
+				case *ast.GenDecl:
+					mod.addConstGroup(pkg, d)
+				}
+			}
+		}
+	}
+	return mod
+}
+
+func (mod *Module) addFunc(pkg *Package, fd *ast.FuncDecl) {
+	fn, _ := pkg.Info.Defs[fd.Name].(*types.Func)
+	key := funcKey(fn)
+	if key == "" || fd.Body == nil {
+		return
+	}
+	fi := &FuncInfo{
+		Key:  key,
+		Pkg:  pkg,
+		Decl: fd,
+		Hot:  isHotDecl(fd),
+	}
+	collectCalls(pkg, fd.Body, false, &fi.Calls)
+	mod.Funcs[key] = fi
+}
+
+// collectCalls walks a body recording resolved call sites. async is true
+// inside go-statement subtrees: the spawned call itself, and everything in
+// the body of a `go func(){...}` literal.
+func collectCalls(pkg *Package, n ast.Node, async bool, out *[]CallSite) {
+	ast.Inspect(n, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.GoStmt:
+			if lit, ok := x.Call.Fun.(*ast.FuncLit); ok {
+				// The literal's body runs on the new goroutine.
+				collectCalls(pkg, lit.Body, true, out)
+			} else {
+				*out = append(*out, CallSite{
+					Call:   x.Call,
+					Callee: funcKey(calleeOf(pkg, x.Call)),
+					Async:  true,
+				})
+				for _, arg := range x.Call.Args {
+					collectCalls(pkg, arg, async, out)
+				}
+			}
+			return false
+		case *ast.CallExpr:
+			*out = append(*out, CallSite{
+				Call:   x,
+				Callee: funcKey(calleeOf(pkg, x)),
+				Async:  async,
+			})
+		}
+		return true
+	})
+}
+
+// FuncsSorted returns the module's functions in key order, for
+// deterministic iteration.
+func (mod *Module) FuncsSorted() []*FuncInfo {
+	keys := make([]string, 0, len(mod.Funcs))
+	for k := range mod.Funcs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	fis := make([]*FuncInfo, len(keys))
+	for i, k := range keys {
+		fis[i] = mod.Funcs[k]
+	}
+	return fis
+}
+
+// displayKey shortens a function key to "pkgname.Type.Method" for
+// messages: the last path segment of the package plus the rest of the key.
+func displayKey(key string) string {
+	dot := -1
+	for i := 0; i < len(key); i++ {
+		if key[i] == '/' {
+			dot = i
+		}
+	}
+	return key[dot+1:]
+}
+
+// constGroup is one enum-like top-level const block.
+type constGroup struct {
+	pkg     *Package
+	members []constMember
+}
+
+type constMember struct {
+	name string
+	obj  *types.Const
+}
+
+// addConstGroup indexes a top-level `const (...)` block with >= 2 named
+// members as an enum-like family. Blank and single-const declarations are
+// ignored; so are grouped consts of mixed unrelated use — the eventcase
+// check only engages when a switch references two or more members of the
+// same block, which keeps loose groupings from firing.
+func (mod *Module) addConstGroup(pkg *Package, d *ast.GenDecl) {
+	if d.Tok != token.CONST {
+		return
+	}
+	var g constGroup
+	g.pkg = pkg
+	for _, spec := range d.Specs {
+		vs, ok := spec.(*ast.ValueSpec)
+		if !ok {
+			continue
+		}
+		for _, name := range vs.Names {
+			if name.Name == "_" {
+				continue
+			}
+			if c, ok := pkg.Info.Defs[name].(*types.Const); ok {
+				g.members = append(g.members, constMember{name: name.Name, obj: c})
+			}
+		}
+	}
+	if len(g.members) < 2 {
+		return
+	}
+	gp := &g
+	for _, m := range g.members {
+		mod.constGroups[pkg.Path+"."+m.name] = gp
+	}
+}
+
+// suppressedLines indexes, per filename, the lines covered by a
+// //lint:allow comment for the given check (the comment's own line and
+// the line after it — the same window Filter applies to findings). The
+// hotalloc check uses this to let a reasoned suppression on a *call site*
+// cut the traversal edge, not just hide a finding.
+func (mod *Module) suppressedLines(check string) map[string]map[int]bool {
+	out := make(map[string]map[int]bool)
+	for _, pkg := range mod.Pkgs {
+		for _, file := range pkg.Files {
+			sups, _ := suppressionsOf(pkg.Fset, file)
+			name := pkg.Fset.Position(file.Pos()).Filename
+			for _, s := range sups {
+				if s.check != check {
+					continue
+				}
+				lines := out[name]
+				if lines == nil {
+					lines = make(map[int]bool)
+					out[name] = lines
+				}
+				lines[s.line] = true
+				lines[s.line+1] = true
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,333 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// checkHotAlloc enforces the //hot:path contract: an annotated function —
+// and every module-internal function it can reach through static,
+// same-goroutine calls — must not allocate. Allocation sites flagged:
+//
+//   - make, new, append (append can grow the backing array),
+//   - &T{...} composite literals, and slice/map literals (plain struct
+//     *value* literals stay on the stack and are exempt),
+//   - non-constant string concatenation,
+//   - calls into the fmt package,
+//   - function literals (closure capture) and `go` statements,
+//   - value-to-interface conversions at call arguments and returns
+//     (boxing a non-pointer concrete value heap-allocates).
+//
+// Two escape hatches keep the check honest rather than noisy. First,
+// error paths are cold by definition: an if-body (or any block) whose
+// last statement returns a non-nil error, or panics, is skipped — a hot
+// path that has already failed may allocate to say why. Second, a
+// reasoned `//lint:allow hotalloc <reason>` on a *call site* cuts that
+// call-graph edge, so an amortised boundary (a batch flush, a geometric
+// buffer grow) can be declared once instead of suppressing every
+// allocation behind it.
+//
+// The traversal leans on the call graph's under-approximation: calls
+// through interfaces and into non-module packages (other than fmt) are
+// not followed, so e.g. a Transport implementation is only checked if it
+// is itself annotated.
+func checkHotAlloc(cfg Config, mod *Module) []Finding {
+	cuts := mod.suppressedLines("hotalloc")
+	cut := func(pkg *Package, call *ast.CallExpr) bool {
+		pos := pkg.Fset.Position(call.Pos())
+		return cuts[pos.Filename][pos.Line]
+	}
+
+	// Breadth-first over sync, unsuppressed edges from each hot root, in
+	// key order so the first root to reach a shared helper is stable.
+	reachedVia := make(map[string]string) // func key -> hot root key
+	var roots []string
+	for _, fi := range mod.FuncsSorted() {
+		if fi.Hot {
+			roots = append(roots, fi.Key)
+		}
+	}
+	for _, root := range roots {
+		if _, seen := reachedVia[root]; seen {
+			continue
+		}
+		queue := []string{root}
+		reachedVia[root] = root
+		for len(queue) > 0 {
+			key := queue[0]
+			queue = queue[1:]
+			fi := mod.Funcs[key]
+			if fi == nil {
+				continue
+			}
+			for _, cs := range fi.Calls {
+				if cs.Async || cs.Callee == "" {
+					continue
+				}
+				callee := mod.Funcs[cs.Callee]
+				if callee == nil || cut(fi.Pkg, cs.Call) {
+					continue
+				}
+				if _, seen := reachedVia[cs.Callee]; seen {
+					continue
+				}
+				reachedVia[cs.Callee] = root
+				queue = append(queue, cs.Callee)
+			}
+		}
+	}
+
+	var keys []string
+	for k := range reachedVia {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+
+	var findings []Finding
+	for _, key := range keys {
+		fi := mod.Funcs[key]
+		if fi == nil {
+			continue
+		}
+		suffix := " in //hot:path function " + displayKey(key)
+		if root := reachedVia[key]; root != key {
+			suffix = " on the hot path from " + displayKey(root) +
+				" (via " + displayKey(key) + ")"
+		}
+		for _, site := range allocSites(fi.Pkg, fi.Decl) {
+			findings = append(findings, Finding{
+				Pos:   fi.Pkg.Fset.Position(site.pos),
+				Check: "hotalloc",
+				Msg:   site.what + suffix,
+			})
+		}
+	}
+	return findings
+}
+
+// allocSite is one allocation found in a function body.
+type allocSite struct {
+	pos  token.Pos
+	what string
+}
+
+// allocSites scans one declaration body for allocation sites, skipping
+// cold blocks and the interiors of function literals and go statements
+// (the literal/statement itself is the reported allocation).
+func allocSites(pkg *Package, fd *ast.FuncDecl) []allocSite {
+	var sites []allocSite
+	cold := coldBlocks(pkg, fd.Body)
+
+	var resultIfaces []bool // per declared result: is it an interface?
+	if fd.Type.Results != nil {
+		for _, field := range fd.Type.Results.List {
+			t := pkg.Info.Types[field.Type].Type
+			iface := t != nil && types.IsInterface(t) && !isErrorType(t)
+			n := len(field.Names)
+			if n == 0 {
+				n = 1
+			}
+			for i := 0; i < n; i++ {
+				resultIfaces = append(resultIfaces, iface)
+			}
+		}
+	}
+
+	handledLits := make(map[*ast.CompositeLit]bool)
+	var scan func(n ast.Node)
+	scan = func(n ast.Node) {
+		ast.Inspect(n, func(n ast.Node) bool {
+			if cold[n] {
+				return false
+			}
+			switch x := n.(type) {
+			case *ast.FuncLit:
+				sites = append(sites, allocSite{x.Pos(), "function literal allocates a closure"})
+				return false
+			case *ast.GoStmt:
+				sites = append(sites, allocSite{x.Pos(), "go statement allocates a goroutine"})
+				return false
+			case *ast.UnaryExpr:
+				if x.Op == token.AND {
+					if lit, ok := ast.Unparen(x.X).(*ast.CompositeLit); ok {
+						handledLits[lit] = true
+						sites = append(sites, allocSite{x.Pos(), "&-composite literal allocates"})
+					}
+				}
+			case *ast.CompositeLit:
+				if handledLits[x] {
+					return true
+				}
+				switch t := pkg.Info.Types[x].Type; {
+				case t == nil:
+				case isSliceType(t):
+					sites = append(sites, allocSite{x.Pos(), "slice literal allocates"})
+				case isMapType(t):
+					sites = append(sites, allocSite{x.Pos(), "map literal allocates"})
+				}
+			case *ast.BinaryExpr:
+				if x.Op == token.ADD {
+					tv := pkg.Info.Types[x]
+					if tv.Value == nil && tv.Type != nil && isStringType(tv.Type) {
+						sites = append(sites, allocSite{x.Pos(), "string concatenation allocates"})
+					}
+				}
+			case *ast.ReturnStmt:
+				for i, res := range x.Results {
+					if i < len(resultIfaces) && resultIfaces[i] && len(x.Results) == len(resultIfaces) {
+						if boxes(pkg, res) {
+							sites = append(sites, allocSite{res.Pos(),
+								"value-to-interface conversion allocates (returned as interface)"})
+						}
+					}
+				}
+			case *ast.CallExpr:
+				sites = append(sites, callAllocs(pkg, x)...)
+			}
+			return true
+		})
+	}
+	scan(fd.Body)
+
+	sort.Slice(sites, func(i, j int) bool { return sites[i].pos < sites[j].pos })
+	return sites
+}
+
+// callAllocs reports the allocations a single call expression implies:
+// allocating builtins, fmt calls, and value-to-interface boxing of
+// arguments passed to interface-typed parameters.
+func callAllocs(pkg *Package, call *ast.CallExpr) []allocSite {
+	var sites []allocSite
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := pkg.Info.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "make":
+				sites = append(sites, allocSite{call.Pos(), "make allocates"})
+			case "new":
+				sites = append(sites, allocSite{call.Pos(), "new allocates"})
+			case "append":
+				sites = append(sites, allocSite{call.Pos(), "append may grow the backing array"})
+			}
+			return sites
+		}
+	}
+	if fn := calleeOf(pkg, call); fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+		sites = append(sites, allocSite{call.Pos(), "call to fmt." + fn.Name() + " allocates"})
+		return sites // fmt boxes its own variadic args; one finding is enough
+	}
+	sig, _ := pkg.Info.Types[call.Fun].Type.(*types.Signature)
+	if sig == nil {
+		return sites
+	}
+	for i, arg := range call.Args {
+		var param types.Type
+		switch {
+		case sig.Variadic() && i >= sig.Params().Len()-1:
+			if call.Ellipsis != token.NoPos {
+				continue // a spread slice is passed as-is
+			}
+			if s, ok := sig.Params().At(sig.Params().Len() - 1).Type().(*types.Slice); ok {
+				param = s.Elem()
+			}
+		case i < sig.Params().Len():
+			param = sig.Params().At(i).Type()
+		}
+		if param == nil || !types.IsInterface(param) {
+			continue
+		}
+		if boxes(pkg, arg) {
+			sites = append(sites, allocSite{arg.Pos(), "value-to-interface conversion allocates (argument boxed)"})
+		}
+	}
+	return sites
+}
+
+// boxes reports whether passing expr to an interface slot heap-allocates:
+// a concrete non-pointer value does; pointers, interfaces, nils and
+// constants that fit a pointer word do not need flagging here.
+func boxes(pkg *Package, expr ast.Expr) bool {
+	tv := pkg.Info.Types[expr]
+	t := tv.Type
+	if t == nil || tv.IsNil() {
+		return false
+	}
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Interface, *types.Chan, *types.Map, *types.Signature:
+		// One-word (or already-boxed) representations: no new allocation
+		// for the data word. Func values and channels are pointers.
+		return false
+	}
+	return true
+}
+
+// coldBlocks marks block statements and switch case clauses that end by
+// returning a non-nil error or panicking: failure paths a hot function
+// may allocate on.
+func coldBlocks(pkg *Package, body *ast.BlockStmt) map[ast.Node]bool {
+	cold := make(map[ast.Node]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch b := n.(type) {
+		case *ast.BlockStmt:
+			// The function's own body is never cold: ending in
+			// `return f()` of error type is tail forwarding, not
+			// failing. Only nested branches are bail-out paths.
+			if b != body && isColdStmts(pkg, b.List) {
+				cold[b] = true
+			}
+		case *ast.CaseClause:
+			if isColdStmts(pkg, b.Body) {
+				cold[b] = true
+			}
+		case *ast.CommClause:
+			if isColdStmts(pkg, b.Body) {
+				cold[b] = true
+			}
+		}
+		return true
+	})
+	return cold
+}
+
+func isColdStmts(pkg *Package, list []ast.Stmt) bool {
+	if len(list) == 0 {
+		return false
+	}
+	switch last := list[len(list)-1].(type) {
+	case *ast.ReturnStmt:
+		if len(last.Results) == 0 {
+			return false
+		}
+		res := last.Results[len(last.Results)-1]
+		tv := pkg.Info.Types[res]
+		return tv.Type != nil && isErrorType(tv.Type) && !tv.IsNil()
+	case *ast.ExprStmt:
+		call, ok := last.X.(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+		if !ok {
+			return false
+		}
+		b, ok := pkg.Info.Uses[id].(*types.Builtin)
+		return ok && b.Name() == "panic"
+	}
+	return false
+}
+
+func isSliceType(t types.Type) bool {
+	_, ok := t.Underlying().(*types.Slice)
+	return ok
+}
+
+func isMapType(t types.Type) bool {
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+func isStringType(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}

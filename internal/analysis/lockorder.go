@@ -1,0 +1,551 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"sort"
+)
+
+// checkLockOrder lifts mutexheld's per-function held tracking into a
+// module-global lock-acquisition graph and reports cycles as potential
+// deadlocks. Mutexes are identified structurally, not per instance:
+//
+//   - a field mutex is "pkg.Type.field" (every *Registry shares one node),
+//   - a package-level mutex is "pkg.var",
+//   - a function-local mutex is scoped to its function (it can only form
+//     a cycle with edges inside that same function).
+//
+// An edge A -> B means some goroutine can acquire B while holding A:
+// either directly in one body, or because a call made under A reaches a
+// function whose transitive (same-goroutine) acquire set contains B. The
+// transitive sets are a fixpoint over the static call graph; calls under
+// `go` are excluded (the spawned goroutine holds nothing of the
+// caller's), and RLock counts as Lock (read-write cycles still deadlock
+// against writers).
+//
+// Because identity is per type.field rather than per instance, an edge
+// A -> A from a *callee* (parent/child registries locking the same field)
+// would be pure noise and is dropped; a direct A -> A in one body (two
+// instances of one type locked without an ordering rule) is kept — that
+// is the classic account-transfer deadlock.
+func checkLockOrder(cfg Config, mod *Module) []Finding {
+	g := &lockGraph{
+		edges:    make(map[string]map[string]token.Pos),
+		acquires: make(map[string]map[string]bool),
+		calls:    make(map[string]map[string]bool),
+	}
+	for _, fi := range mod.FuncsSorted() {
+		w := &lockOrderWalker{pkg: fi.Pkg, fnKey: fi.Key, graph: g}
+		w.walkBody(fi.Decl.Body, false)
+	}
+	g.propagate()
+	g.resolvePending()
+	return g.cycleFindings(mod)
+}
+
+// lockGraph accumulates the module-wide acquisition graph.
+type lockGraph struct {
+	edges map[string]map[string]token.Pos // lock -> lock -> earliest witness
+	// acquires and calls are the per-function summaries the fixpoint runs
+	// on: direct (same-goroutine) lock acquisitions, and sync callees.
+	acquires map[string]map[string]bool
+	calls    map[string]map[string]bool
+	trans    map[string]map[string]bool
+	pending  []pendingCall
+}
+
+// pendingCall is a module-internal call made while locks were held; its
+// edges are resolved once transitive acquire sets are known.
+type pendingCall struct {
+	held   []string
+	callee string
+	pos    token.Pos
+}
+
+func (g *lockGraph) addEdge(a, b string, pos token.Pos) {
+	if a == "" || b == "" {
+		return
+	}
+	m := g.edges[a]
+	if m == nil {
+		m = make(map[string]token.Pos)
+		g.edges[a] = m
+	}
+	if old, ok := m[b]; !ok || pos < old {
+		m[b] = pos
+	}
+}
+
+func (g *lockGraph) record(fn, lock string) {
+	m := g.acquires[fn]
+	if m == nil {
+		m = make(map[string]bool)
+		g.acquires[fn] = m
+	}
+	m[lock] = true
+}
+
+func (g *lockGraph) recordCall(fn, callee string) {
+	m := g.calls[fn]
+	if m == nil {
+		m = make(map[string]bool)
+		g.calls[fn] = m
+	}
+	m[callee] = true
+}
+
+// propagate computes the transitive acquire set of every function: its
+// own acquisitions plus everything its sync callees can acquire.
+func (g *lockGraph) propagate() {
+	g.trans = make(map[string]map[string]bool, len(g.acquires))
+	for fn, locks := range g.acquires {
+		m := make(map[string]bool, len(locks))
+		for l := range locks {
+			m[l] = true
+		}
+		g.trans[fn] = m
+	}
+	for changed := true; changed; {
+		changed = false
+		for fn, callees := range g.calls {
+			for callee := range callees {
+				for l := range g.trans[callee] {
+					if !g.trans[fn][l] {
+						if g.trans[fn] == nil {
+							g.trans[fn] = make(map[string]bool)
+						}
+						g.trans[fn][l] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+}
+
+// resolvePending turns held-across-call records into edges using the
+// callee's transitive acquire set. Same-key edges are dropped here: the
+// callee locking "the same" mutex is usually a different instance
+// (parent/child shards), which instance-blind keys cannot distinguish.
+func (g *lockGraph) resolvePending() {
+	for _, pc := range g.pending {
+		for l := range g.trans[pc.callee] {
+			for _, h := range pc.held {
+				if h != l {
+					g.addEdge(h, l, pc.pos)
+				}
+			}
+		}
+	}
+}
+
+// cycleFindings runs SCC detection over the edge graph and reports one
+// finding per cycle, anchored at the earliest witnessing edge.
+func (g *lockGraph) cycleFindings(mod *Module) []Finding {
+	nodes := make([]string, 0, len(g.edges))
+	seen := make(map[string]bool)
+	for a, m := range g.edges {
+		if !seen[a] {
+			seen[a] = true
+			nodes = append(nodes, a)
+		}
+		for b := range m {
+			if !seen[b] {
+				seen[b] = true
+				nodes = append(nodes, b)
+			}
+		}
+	}
+	sort.Strings(nodes)
+
+	var findings []Finding
+	fset := fsetOf(mod)
+	for _, scc := range stronglyConnected(nodes, g.edges) {
+		cycle := g.shortestCycle(scc)
+		if cycle == nil {
+			continue
+		}
+		var path string
+		var witnesses string
+		for i := 0; i < len(cycle)-1; i++ {
+			a, b := cycle[i], cycle[i+1]
+			if i > 0 {
+				witnesses += ", "
+			}
+			pos := fset.Position(g.edges[a][b])
+			witnesses += fmt.Sprintf("%s -> %s at %s:%d", displayKey(a), displayKey(b),
+				filepath.Base(pos.Filename), pos.Line)
+			path += displayKey(a) + " -> "
+		}
+		path += displayKey(cycle[len(cycle)-1])
+		findings = append(findings, Finding{
+			Pos:   fset.Position(g.edges[cycle[0]][cycle[1]]),
+			Check: "lockorder",
+			Msg:   "potential deadlock: lock-order cycle " + path + " (" + witnesses + ")",
+		})
+	}
+	return findings
+}
+
+// shortestCycle finds a minimal cycle through the SCC's smallest node
+// (nil when the SCC is a single node without a self-loop).
+func (g *lockGraph) shortestCycle(scc []string) []string {
+	sort.Strings(scc)
+	start := scc[0]
+	if len(scc) == 1 {
+		if _, self := g.edges[start][start]; self {
+			return []string{start, start}
+		}
+		return nil
+	}
+	in := make(map[string]bool, len(scc))
+	for _, n := range scc {
+		in[n] = true
+	}
+	// BFS from start back to start, neighbours in sorted order for
+	// determinism.
+	prev := map[string]string{}
+	queue := []string{start}
+	visited := map[string]bool{start: true}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		var nbrs []string
+		for b := range g.edges[cur] {
+			if in[b] {
+				nbrs = append(nbrs, b)
+			}
+		}
+		sort.Strings(nbrs)
+		for _, b := range nbrs {
+			if b == start {
+				path := []string{start}
+				for c := cur; c != start; c = prev[c] {
+					path = append(path, c)
+				}
+				if cur != start {
+					path = append(path, start)
+				}
+				// path is reversed tail-first; rebuild forward.
+				fwd := make([]string, 0, len(path)+1)
+				fwd = append(fwd, start)
+				for i := len(path) - 2; i >= 0; i-- {
+					fwd = append(fwd, path[i])
+				}
+				fwd = append(fwd, start)
+				return fwd
+			}
+			if !visited[b] {
+				visited[b] = true
+				prev[b] = cur
+				queue = append(queue, b)
+			}
+		}
+	}
+	return nil
+}
+
+// stronglyConnected is Tarjan's algorithm, iterative-free (the graphs
+// here are tiny), returning only components that can contain a cycle.
+func stronglyConnected(nodes []string, edges map[string]map[string]token.Pos) [][]string {
+	index := make(map[string]int)
+	low := make(map[string]int)
+	onStack := make(map[string]bool)
+	var stack []string
+	var next int
+	var out [][]string
+
+	var strong func(v string)
+	strong = func(v string) {
+		index[v] = next
+		low[v] = next
+		next++
+		stack = append(stack, v)
+		onStack[v] = true
+		var succs []string
+		for w := range edges[v] {
+			succs = append(succs, w)
+		}
+		sort.Strings(succs)
+		for _, w := range succs {
+			if _, seen := index[w]; !seen {
+				strong(w)
+				if low[w] < low[v] {
+					low[v] = low[w]
+				}
+			} else if onStack[w] && index[w] < low[v] {
+				low[v] = index[w]
+			}
+		}
+		if low[v] == index[v] {
+			var scc []string
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				scc = append(scc, w)
+				if w == v {
+					break
+				}
+			}
+			_, self := edges[v][v]
+			if len(scc) > 1 || self {
+				out = append(out, scc)
+			}
+		}
+	}
+	for _, v := range nodes {
+		if _, seen := index[v]; !seen {
+			strong(v)
+		}
+	}
+	return out
+}
+
+// fsetOf returns the module's shared FileSet (every loaded package comes
+// from one Loader, so any package's fset positions all tokens).
+func fsetOf(mod *Module) *token.FileSet {
+	if len(mod.Pkgs) > 0 {
+		return mod.Pkgs[0].Fset
+	}
+	return token.NewFileSet()
+}
+
+// lockOrderWalker tracks held locks through one function body, in the
+// same linear-heuristic style as mutexheld.
+type lockOrderWalker struct {
+	pkg   *Package
+	fnKey string
+	graph *lockGraph
+	queue []asyncBody
+}
+
+type asyncBody struct {
+	body  *ast.BlockStmt
+	async bool
+}
+
+func (w *lockOrderWalker) walkBody(body *ast.BlockStmt, async bool) {
+	w.walkStmts(body.List, map[string]bool{}, async)
+	for len(w.queue) > 0 {
+		next := w.queue[0]
+		w.queue = w.queue[1:]
+		w.walkStmts(next.body.List, map[string]bool{}, next.async)
+	}
+}
+
+func (w *lockOrderWalker) walkStmts(stmts []ast.Stmt, held map[string]bool, async bool) {
+	for _, stmt := range stmts {
+		w.walkStmt(stmt, held, async)
+	}
+}
+
+func (w *lockOrderWalker) walkStmt(stmt ast.Stmt, held map[string]bool, async bool) {
+	switch s := stmt.(type) {
+	case *ast.ExprStmt:
+		if w.handleOp(s.X, held, async) {
+			return
+		}
+	case *ast.DeferStmt:
+		// A deferred unlock keeps the section open, which matches the held
+		// tracking; deferred closures run during unwinding and are not
+		// ordered against the body.
+		return
+	case *ast.GoStmt:
+		if lit, ok := s.Call.Fun.(*ast.FuncLit); ok {
+			w.queue = append(w.queue, asyncBody{lit.Body, true})
+		}
+		// A direct `go f()` acquires nothing on this goroutine.
+		return
+	case *ast.BlockStmt:
+		w.walkStmts(s.List, held, async)
+		return
+	case *ast.IfStmt:
+		if s.Init != nil {
+			w.walkStmt(s.Init, held, async)
+		}
+		w.scan(s.Cond, held, async)
+		w.walkStmts(s.Body.List, held, async)
+		if s.Else != nil {
+			w.walkStmt(s.Else, held, async)
+		}
+		return
+	case *ast.ForStmt:
+		if s.Init != nil {
+			w.walkStmt(s.Init, held, async)
+		}
+		w.scan(s.Cond, held, async)
+		w.walkStmts(s.Body.List, held, async)
+		return
+	case *ast.RangeStmt:
+		w.scan(s.X, held, async)
+		w.walkStmts(s.Body.List, held, async)
+		return
+	}
+	w.scan(stmt, held, async)
+}
+
+// handleOp processes a single expression statement that is a mutex
+// lock/unlock, returning true if it was one.
+func (w *lockOrderWalker) handleOp(e ast.Expr, held map[string]bool, async bool) bool {
+	key, locks, ok := w.lockOp(e)
+	if !ok {
+		return false
+	}
+	if locks {
+		w.acquire(key, ast.Unparen(e).Pos(), held, async)
+	} else {
+		delete(held, key)
+	}
+	return true
+}
+
+func (w *lockOrderWalker) acquire(key string, pos token.Pos, held map[string]bool, async bool) {
+	for h := range held {
+		// Every held lock orders before the new one — including a held
+		// lock of the same key (two instances of one type, no ordering
+		// rule: the classic transfer deadlock).
+		w.graph.addEdge(h, key, pos)
+	}
+	held[key] = true
+	if !async {
+		w.graph.record(w.fnKey, key)
+	}
+}
+
+// scan inspects a subtree for lock operations, calls made under locks,
+// and function literals.
+func (w *lockOrderWalker) scan(n ast.Node, held map[string]bool, async bool) {
+	if n == nil {
+		return
+	}
+	ast.Inspect(n, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			// Not under go/defer here: a literal called inline (or stored
+			// and invoked later on this goroutine) — analysed fresh, its
+			// acquires attributed to the enclosing function.
+			w.queue = append(w.queue, asyncBody{x.Body, async})
+			return false
+		case *ast.GoStmt:
+			if lit, ok := x.Call.Fun.(*ast.FuncLit); ok {
+				w.queue = append(w.queue, asyncBody{lit.Body, true})
+			}
+			return false
+		case *ast.DeferStmt:
+			return false
+		case *ast.CallExpr:
+			if key, locks, ok := w.lockOp(x); ok {
+				if locks {
+					w.acquire(key, x.Pos(), held, async)
+				} else {
+					delete(held, key)
+				}
+				return false
+			}
+			callee := funcKey(calleeOf(w.pkg, x))
+			if callee == "" {
+				return true
+			}
+			if !async {
+				w.graph.recordCall(w.fnKey, callee)
+			}
+			if len(held) > 0 {
+				snap := make([]string, 0, len(held))
+				for h := range held {
+					snap = append(snap, h)
+				}
+				sort.Strings(snap)
+				w.graph.pending = append(w.graph.pending, pendingCall{
+					held:   snap,
+					callee: callee,
+					pos:    x.Pos(),
+				})
+			}
+		}
+		return true
+	})
+}
+
+// lockOp recognises Lock/RLock/Unlock/RUnlock on a sync mutex and
+// resolves the mutex's structural identity.
+func (w *lockOrderWalker) lockOp(e ast.Expr) (key string, locks, ok bool) {
+	call, isCall := ast.Unparen(e).(*ast.CallExpr)
+	if !isCall {
+		return "", false, false
+	}
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return "", false, false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock":
+		locks = true
+	case "Unlock", "RUnlock":
+	default:
+		return "", false, false
+	}
+	if !isSyncMutex(w.pkg, sel.X) {
+		return "", false, false
+	}
+	key, ok = w.lockKey(sel.X)
+	if !ok {
+		return "", false, false
+	}
+	return key, locks, true
+}
+
+func isSyncMutex(pkg *Package, recv ast.Expr) bool {
+	t := pkg.Info.Types[recv].Type
+	if t == nil {
+		return false
+	}
+	if ptr, isPtr := t.(*types.Pointer); isPtr {
+		t = ptr.Elem()
+	}
+	named, isNamed := t.(*types.Named)
+	if !isNamed || named.Obj().Pkg() == nil || named.Obj().Pkg().Path() != "sync" {
+		return false
+	}
+	name := named.Obj().Name()
+	return name == "Mutex" || name == "RWMutex"
+}
+
+// lockKey maps the mutex receiver expression to its structural identity.
+func (w *lockOrderWalker) lockKey(recv ast.Expr) (string, bool) {
+	switch x := ast.Unparen(recv).(type) {
+	case *ast.SelectorExpr:
+		if sel := w.pkg.Info.Selections[x]; sel != nil {
+			v, ok := sel.Obj().(*types.Var)
+			if !ok || !v.IsField() {
+				return "", false
+			}
+			t := sel.Recv()
+			if ptr, isPtr := t.(*types.Pointer); isPtr {
+				t = ptr.Elem()
+			}
+			if named, isNamed := t.(*types.Named); isNamed && named.Obj().Pkg() != nil {
+				return named.Obj().Pkg().Path() + "." + named.Obj().Name() + "." + v.Name(), true
+			}
+			return "", false
+		}
+		// Package-qualified: otherpkg.Mu.
+		if obj, ok := w.pkg.Info.Uses[x.Sel].(*types.Var); ok && obj.Pkg() != nil {
+			return obj.Pkg().Path() + "." + obj.Name(), true
+		}
+	case *ast.Ident:
+		obj, ok := w.pkg.Info.Uses[x].(*types.Var)
+		if !ok {
+			return "", false
+		}
+		if obj.Pkg() != nil && obj.Parent() == obj.Pkg().Scope() {
+			return obj.Pkg().Path() + "." + obj.Name(), true
+		}
+		// Function-local mutex: identity scoped to the declaring function.
+		return w.fnKey + "$" + x.Name, true
+	}
+	return "", false
+}

@@ -1,0 +1,94 @@
+// Fixture for the hotalloc call-graph check: a //hot:path function, and
+// every module-internal function it reaches through static same-goroutine
+// calls, must not allocate.
+package hotalloc
+
+import "fmt"
+
+type payload struct{ v int }
+
+var sink any
+
+// consume is hot-reachable from Root but allocation-free itself; the
+// boxing happens at Root's call site, not here.
+func consume(v any) { sink = v }
+
+// helper is reached from Root through a sync call edge, so its allocation
+// is reported against the root.
+func helper(n int) []byte {
+	return make([]byte, n) // want `\[hotalloc\] make allocates on the hot path from hotalloc\.Root \(via hotalloc\.helper\)`
+}
+
+// amortized is reached only through a suppressed (cut) edge in Flush, so
+// its allocation is not on any hot path.
+func amortized(n int) []byte {
+	return make([]byte, n)
+}
+
+// spawned runs on its own goroutine; hot propagation does not follow go
+// edges (the go statement itself is the reported cost).
+func spawned() {
+	_ = make([]byte, 1)
+}
+
+// colder is never called from a hot root and may allocate freely.
+func colder() []byte {
+	return make([]byte, 8)
+}
+
+//hot:path
+func Root(buf []byte, n int, s, t string) {
+	_ = make([]int, n)          // want `\[hotalloc\] make allocates in //hot:path function hotalloc\.Root`
+	_ = new(payload)            // want `\[hotalloc\] new allocates in //hot:path function hotalloc\.Root`
+	buf = append(buf, 1)        // want `\[hotalloc\] append may grow the backing array in //hot:path function hotalloc\.Root`
+	_ = &payload{v: n}          // want `\[hotalloc\] &-composite literal allocates in //hot:path function hotalloc\.Root`
+	_ = []int{n}                // want `\[hotalloc\] slice literal allocates in //hot:path function hotalloc\.Root`
+	_ = map[string]int{s: n}    // want `\[hotalloc\] map literal allocates in //hot:path function hotalloc\.Root`
+	_ = s + t                   // want `\[hotalloc\] string concatenation allocates in //hot:path function hotalloc\.Root`
+	_ = fmt.Sprintf("%d", n)    // want `\[hotalloc\] call to fmt\.Sprintf allocates in //hot:path function hotalloc\.Root`
+	_ = func() int { return n } // want `\[hotalloc\] function literal allocates a closure in //hot:path function hotalloc\.Root`
+	go spawned()                // want `\[hotalloc\] go statement allocates a goroutine in //hot:path function hotalloc\.Root`
+	consume(n)                  // want `\[hotalloc\] value-to-interface conversion allocates \(argument boxed\) in //hot:path function hotalloc\.Root`
+	_ = payload{v: n}           // compliant: a struct *value* literal stays on the stack
+	_ = helper(n)
+}
+
+//hot:path
+func Box(n int) any {
+	return n // want `\[hotalloc\] value-to-interface conversion allocates \(returned as interface\) in //hot:path function hotalloc\.Box`
+}
+
+// Cold paths are exempt: a block ending in a non-nil error return or a
+// panic may allocate to say why.
+//
+//hot:path
+func Cold(ok bool, n int) error {
+	if !ok {
+		return fmt.Errorf("hotalloc: bad input %d", n)
+	}
+	if n < 0 {
+		panic(fmt.Sprintf("hotalloc: negative %d", n))
+	}
+	return nil
+}
+
+// Classify's default clause is a cold case clause (it ends in a non-nil
+// error return), so its fmt.Errorf is exempt too.
+//
+//hot:path
+func Classify(kind string) error {
+	switch kind {
+	case "steady":
+		return nil
+	default:
+		return fmt.Errorf("hotalloc: unknown kind %q", kind)
+	}
+}
+
+// Flush cuts the edge to its amortised callee with a reasoned allowance:
+// the declared batch boundary pays for everything behind it.
+//
+//hot:path
+func Flush(n int) []byte {
+	return amortized(n) //lint:allow hotalloc the grow is amortised over the batch
+}

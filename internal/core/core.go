@@ -301,6 +301,9 @@ func New(opts Options) (*System, error) {
 			opts.Counters.Inc(metrics.CtrMigrCommitted)
 		case hpcm.PhaseAborted:
 			opts.Counters.Inc(metrics.CtrMigrAborted)
+		default:
+			// Intermediate phases (start/init/precopy/freeze/restore) and
+			// failures are span material, not commit/abort outcomes.
 		}
 		if opts.Observer != nil {
 			opts.Observer(ev)

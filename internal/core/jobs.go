@@ -150,6 +150,9 @@ func (s *System) CancelJob(name string) error {
 			}
 		}
 		run.mu.Unlock()
+	default:
+		// A pending or already-terminal job has no runtime to tear down;
+		// the queue's Cancel settled everything.
 	}
 	return nil
 }

@@ -188,6 +188,10 @@ func runJobsChaosScenario(cfg ChaosConfig, sc chaosScenario) (ChaosRow, error) {
 				mu.Unlock()
 			case faults.KindCrashHost:
 				_ = s.CrashHost(ev.Host)
+			default:
+				// The remaining fault kinds are host/link-level faults this
+				// driver does not model; note them in the digest untouched.
+				line += " (not interpreted by the jobs-chaos driver)"
 			}
 			mu.Lock()
 			applied = append(applied, line)

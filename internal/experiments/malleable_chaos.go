@@ -121,6 +121,10 @@ func runMalleableChaosScenario(cfg ChaosConfig, sc chaosScenario) (ChaosRow, err
 			case faults.KindCrashHost:
 				_ = cl.Net().SetDown(ev.Host, true)
 				j.CrashHost(ev.Host)
+			default:
+				// Other fault kinds have no malleable-path interpretation;
+				// the digest records them as seen-but-unapplied.
+				line += " (not interpreted by the malleable-chaos driver)"
 			}
 			mu.Lock()
 			applied = append(applied, line)

@@ -377,6 +377,8 @@ func (t *tap) ReportStatus(host string, status proto.Status) error {
 	case tapDelay:
 		t.in.cfg.Counters.Inc(metrics.CtrStatusDelayed)
 		t.in.cfg.Clock.Sleep(d)
+	case tapPass:
+		// No fault armed: the report falls through untouched.
 	}
 	return t.inner.ReportStatus(host, status)
 }

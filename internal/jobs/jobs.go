@@ -388,6 +388,9 @@ func (q *Queue) Transition(name string, to State, note string) error {
 			j.requeues++
 			j.placement = nil
 		}
+	default:
+		// Reserving/Preempting need no entry bookkeeping, and terminal
+		// states were rejected above (Settle owns those).
 	}
 	j.state = to
 	q.emitLocked(j, from, to, note)

@@ -97,6 +97,9 @@ func (s *Spans) Publish(e events.Event) {
 		s.mu.Unlock()
 	case events.SourceHPCM:
 		s.hpcmEvent(e)
+	default:
+		// Registry, faults, jobs and malleable events carry no migration
+		// span information.
 	}
 }
 
@@ -137,6 +140,9 @@ func (s *Spans) hpcmEvent(e events.Event) {
 		}
 	case kindAborted, kindFailed:
 		delete(s.active, e.Proc)
+	default:
+		// Order events route through Publish, and intermediate precopy
+		// kinds mark no span boundary.
 	}
 }
 

@@ -1,0 +1,40 @@
+package mpi
+
+import "testing"
+
+// TestZeroAllocHotPaths pins the //hot:path contract at runtime: a
+// steady-state SendParts/Recv pair — the paged-migration inner loop —
+// must not allocate. The message envelope comes from the pool, the
+// endpoint queue retains its capacity, and the fragments move by
+// reference end to end; the hotalloc check enforces the same property
+// statically, this test catches what escape analysis decides at build
+// time.
+func TestZeroAllocHotPaths(t *testing.T) {
+	u := NewUniverse(Options{})
+	ready := make(chan *Comm, 1)
+	u.Start(hosts(1), func(env *Env) error {
+		ready <- env.World
+		var blocked chan struct{}
+		<-blocked // the send/recv pairs run on the test goroutine
+		return nil
+	})
+	w := <-ready
+
+	parts := [][]byte{{1, 2, 3, 4}, {5, 6}}
+	var got [][]byte
+	step := func() {
+		if err := w.SendParts(parts, 0, 7); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := w.Recv(&got, 0, 7); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// One manual warm-up on top of AllocsPerRun's own: the first pair pays
+	// for the pooled envelope and the queue's backing array.
+	step()
+
+	if avg := testing.AllocsPerRun(200, step); avg != 0 {
+		t.Errorf("SendParts/Recv steady state allocates %.1f objects per op, want 0", avg)
+	}
+}

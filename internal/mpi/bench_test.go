@@ -149,3 +149,33 @@ func BenchmarkSpawnMerge(b *testing.B) {
 	}
 	u.Wait()
 }
+
+// BenchmarkSendParts measures the multi-part raw path — the paged
+// migration inner loop — per send/recv pair. Allocations matter as much
+// as nanoseconds here: the steady state pools its envelope and moves the
+// fragments by reference, so allocs/op must stay at zero (pinned by
+// TestZeroAllocHotPaths, trended by the benchmark report).
+func BenchmarkSendParts(b *testing.B) {
+	u := NewUniverse(Options{})
+	ready := make(chan *Comm, 1)
+	u.Start(hosts(1), func(env *Env) error {
+		ready <- env.World
+		var blocked chan struct{}
+		<-blocked // the send/recv pairs run on the bench goroutine
+		return nil
+	})
+	w := <-ready
+	parts := [][]byte{make([]byte, 2048), make([]byte, 2048)}
+	var got [][]byte
+	b.SetBytes(4096)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := w.SendParts(parts, 0, 3); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := w.Recv(&got, 0, 3); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -117,14 +117,23 @@ func (c *Comm) send(v any, dest, tag int) error {
 	if err := c.u.transport.Send(c.self.host, dst.host, int64(len(data))); err != nil {
 		return fmt.Errorf("mpi: transport %s->%s: %w", c.self.host, dst.host, err)
 	}
-	return dst.deliver(&message{ctx: c.context(), src: c.rank, tag: tag, data: data, raw: raw})
+	m := getMessage()
+	m.ctx, m.src, m.tag, m.data, m.raw = c.context(), c.rank, tag, data, raw
+	return dst.deliver(m)
 }
+
+// emptyParts marks the multi-part path for a nil fragment slice without
+// allocating per send. Receivers may only append to it through a fresh
+// backing array (len == cap == 0), so sharing one instance is safe.
+var emptyParts = [][]byte{}
 
 // SendParts sends a multi-part raw payload — a slice of byte fragments
 // that stay separate end to end, received only into a *[][]byte. Transport
 // time is charged once for the summed size, and no fragment is copied or
 // re-encoded (the zero-copy contract of Send's []byte fast path, extended
 // to page batches: the sender must not mutate any fragment after SendParts).
+//
+//hot:path
 func (c *Comm) SendParts(parts [][]byte, dest, tag int) error {
 	if tag < 0 {
 		return fmt.Errorf("%w: %d", ErrBadTag, tag)
@@ -142,9 +151,11 @@ func (c *Comm) SendParts(parts [][]byte, dest, tag int) error {
 		return fmt.Errorf("mpi: transport %s->%s: %w", c.self.host, dst.host, err)
 	}
 	if parts == nil {
-		parts = [][]byte{} // non-nil marks the multi-part path for decode
+		parts = emptyParts // non-nil marks the multi-part path for decode
 	}
-	return dst.deliver(&message{ctx: c.context(), src: c.rank, tag: tag, parts: parts, raw: true})
+	m := getMessage()
+	m.ctx, m.src, m.tag, m.parts, m.raw = c.context(), c.rank, tag, parts, true
+	return dst.deliver(m)
 }
 
 // Recv receives into ptr a message from src (or AnySource) with tag (or
@@ -154,10 +165,12 @@ func (c *Comm) Recv(ptr any, src, tag int) (Status, error) {
 	if err != nil {
 		return Status{}, err
 	}
+	st := Status{Source: m.src, Tag: m.tag, Bytes: m.size()}
 	if err := decodeMessage(m, ptr); err != nil {
 		return Status{}, err
 	}
-	return Status{Source: m.src, Tag: m.tag, Bytes: m.size()}, nil
+	putMessage(m) // decodeMessage handed the payload off; recycle the envelope
+	return st, nil
 }
 
 // decodeMessage lands a message in ptr, honouring the raw []byte and

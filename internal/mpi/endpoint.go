@@ -20,6 +20,28 @@ type message struct {
 	raw   bool
 }
 
+// msgPool recycles message envelopes between Send and Recv: on the paged
+// migration path every page batch costs one envelope, and at 10k-host
+// scale the envelopes dominated the send-side garbage. Payload slices are
+// never pooled — they belong to the application under the zero-copy
+// contract; only the struct is reused, with its fields zeroed on return.
+var msgPool = sync.Pool{New: func() any { return new(message) }}
+
+// getMessage returns a zeroed envelope from the pool.
+func getMessage() *message {
+	m, _ := msgPool.Get().(*message)
+	return m
+}
+
+// putMessage zeroes and recycles an envelope. Callers must have handed
+// the payload slices off first (decodeMessage aliases them to the
+// receiver); dropping the struct's references here is what keeps pooled
+// envelopes from pinning page batches.
+func putMessage(m *message) {
+	*m = message{}
+	msgPool.Put(m)
+}
+
 // size is the payload size a Status reports: the summed fragments of a
 // multi-part message, the data length otherwise.
 func (m *message) size() int {
@@ -57,7 +79,9 @@ func (ep *endpoint) deliver(m *message) error {
 	if ep.closed {
 		return ErrProcExited
 	}
-	ep.queue = append(ep.queue, m)
+	// In the send/recv steady state match removes in place, so the queue
+	// retains its capacity and this append stops growing.
+	ep.queue = append(ep.queue, m) //lint:allow hotalloc queue capacity is retained across the send/recv steady state
 	ep.cond.Broadcast()
 	return nil
 }

@@ -1,7 +1,9 @@
 package proto
 
 import (
+	"bytes"
 	"encoding/binary"
+	"encoding/xml"
 	"fmt"
 	"io"
 	"math/rand"
@@ -53,9 +55,16 @@ func ReadFrame(r io.Reader) ([]byte, error) {
 type Conn struct {
 	rw       io.ReadWriter
 	wr       sync.Mutex
+	whdr     [4]byte // write-side frame header, reused under wr
 	injector FaultInjector
 	counters *metrics.Counters
 	clock    vclock.Clock
+
+	// rhdr and readBuf are the read-side scratch: one header, one payload
+	// buffer grown geometrically, reused across frames by the single
+	// reading goroutine. Decode copies what it keeps, so reuse is safe.
+	rhdr    [4]byte
+	readBuf []byte
 }
 
 // NewConn wraps a stream.
@@ -103,23 +112,80 @@ func (c *Conn) Send(m *Message) error {
 	return c.sendRaw(m)
 }
 
+// encPool recycles the XML encode buffers of sendRaw: the server's
+// serve loop and the client's call path each encode one message per
+// round trip, and at fleet scale the encode buffers were most of the
+// send-side garbage.
+var encPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+// sendRaw encodes into a pooled buffer and writes one frame. This is the
+// proto send loop's floor: the xml encoder's internals still allocate,
+// but the payload-sized buffer is reused.
+//
+//hot:path
 func (c *Conn) sendRaw(m *Message) error {
-	data, err := m.Encode()
-	if err != nil {
+	if err := m.Validate(); err != nil {
 		return err
+	}
+	buf, _ := encPool.Get().(*bytes.Buffer)
+	buf.Reset()
+	defer encPool.Put(buf)
+	if err := xml.NewEncoder(buf).Encode(m); err != nil {
+		return fmt.Errorf("proto: encode %s: %w", m.Type, err)
 	}
 	c.wr.Lock()
 	defer c.wr.Unlock()
-	return WriteFrame(c.rw, data)
+	return c.writeFrame(buf.Bytes())
 }
 
-// Recv reads and decodes one message.
+// writeFrame is WriteFrame with the header staged in the connection
+// (stack headers escape through the io.Writer and allocate per frame).
+// Callers must hold c.wr.
+func (c *Conn) writeFrame(data []byte) error {
+	if len(data) > maxFrame {
+		return fmt.Errorf("proto: frame of %d bytes exceeds limit", len(data))
+	}
+	binary.BigEndian.PutUint32(c.whdr[:], uint32(len(data)))
+	if _, err := c.rw.Write(c.whdr[:]); err != nil {
+		return err
+	}
+	_, err := c.rw.Write(data)
+	return err
+}
+
+// Recv reads and decodes one message. The frame lands in a per-connection
+// buffer reused across messages; Decode copies what it keeps.
+//
+//hot:path
 func (c *Conn) Recv() (*Message, error) {
-	data, err := ReadFrame(c.rw)
+	data, err := c.readFrame()
 	if err != nil {
 		return nil, err
 	}
 	return Decode(data)
+}
+
+// readFrame reads one frame into the connection's reusable buffer.
+func (c *Conn) readFrame() ([]byte, error) {
+	if _, err := io.ReadFull(c.rw, c.rhdr[:]); err != nil {
+		return nil, err
+	}
+	n := int(binary.BigEndian.Uint32(c.rhdr[:]))
+	if n > maxFrame {
+		return nil, fmt.Errorf("proto: frame of %d bytes exceeds limit", n)
+	}
+	if cap(c.readBuf) < n {
+		grown := 2 * cap(c.readBuf)
+		if grown < n {
+			grown = n
+		}
+		c.readBuf = make([]byte, grown) //lint:allow hotalloc buffer growth is geometric, amortised over the connection's frames
+	}
+	data := c.readBuf[:n]
+	if _, err := io.ReadFull(c.rw, data); err != nil {
+		return nil, err
+	}
+	return data, nil
 }
 
 // Close closes the underlying stream if it is closable.

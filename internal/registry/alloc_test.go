@@ -1,0 +1,33 @@
+package registry
+
+import (
+	"testing"
+
+	"autoresched/internal/vclock"
+)
+
+// TestZeroAllocHotPaths pins the batcher's //hot:path contract at
+// runtime: refreshing an already-buffered host's status — the ingest
+// steady state between flushes, which at fleet scale is nearly every
+// report — must not allocate. The slot index and the pending slice are
+// preallocated to MaxPending, so the replace branch only copies a struct.
+func TestZeroAllocHotPaths(t *testing.T) {
+	clock := vclock.NewManual(vclock.Epoch)
+	r := newFromConfig(Config{Clock: clock})
+	b := NewBatcher(r, BatcherConfig{Clock: clock, MaxPending: 64})
+	if err := b.RegisterHost("ws1", staticFor("ws1")); err != nil {
+		t.Fatal(err)
+	}
+	st := status("busy", 1.0, 10)
+	if err := b.ReportStatus("ws1", st); err != nil { // occupy the slot
+		t.Fatal(err)
+	}
+	avg := testing.AllocsPerRun(200, func() {
+		if err := b.ReportStatus("ws1", st); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg != 0 {
+		t.Errorf("batched status ingest allocates %.1f objects per op, want 0", avg)
+	}
+}

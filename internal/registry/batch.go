@@ -89,7 +89,8 @@ func NewBatcher(reg *Registry, cfg BatcherConfig) *Batcher {
 	return &Batcher{
 		reg:       reg,
 		cfg:       cfg,
-		index:     make(map[string]int),
+		pending:   make([]proto.HostStatus, 0, cfg.MaxPending),
+		index:     make(map[string]int, cfg.MaxPending),
 		statics:   make(map[string]proto.StaticInfo),
 		lastFlush: cfg.Clock.Now(),
 	}
@@ -108,14 +109,19 @@ func (b *Batcher) RegisterHost(host string, static proto.StaticInfo) error {
 }
 
 // ReportStatus buffers a host's report, replacing any earlier buffered
-// report from the same host, and flushes when the batch is due.
+// report from the same host, and flushes when the batch is due. The
+// steady state — refreshing an already-buffered host, or filling a batch
+// whose capacity was preallocated to MaxPending — allocates nothing; the
+// flush boundary amortises its own costs over the whole batch.
+//
+//hot:path
 func (b *Batcher) ReportStatus(host string, status proto.Status) error {
 	b.mu.Lock()
 	if i, ok := b.index[host]; ok {
 		b.pending[i].Status = status
 	} else {
 		b.index[host] = len(b.pending)
-		b.pending = append(b.pending, proto.HostStatus{Host: host, Status: status})
+		b.pending = append(b.pending, proto.HostStatus{Host: host, Status: status}) //lint:allow hotalloc capacity preallocated to MaxPending; grows only past the flush threshold
 	}
 	due := len(b.pending) >= b.cfg.MaxPending ||
 		b.cfg.Clock.Now().Sub(b.lastFlush) >= b.cfg.FlushEvery
@@ -123,7 +129,7 @@ func (b *Batcher) ReportStatus(host string, status proto.Status) error {
 	if !due {
 		return nil
 	}
-	return b.Flush()
+	return b.Flush() //lint:allow hotalloc the flush is the amortised batch boundary, one per MaxPending reports
 }
 
 // UnregisterHost flushes buffered reports, drops the retained static info,
@@ -145,8 +151,12 @@ func (b *Batcher) UnregisterHost(host string) error {
 func (b *Batcher) Flush() error {
 	b.mu.Lock()
 	batch := b.pending
-	b.pending = nil
-	b.index = make(map[string]int)
+	// The batch slice is handed to the registry (and kept by recover on
+	// failure), so the buffer cannot be reused in place: start a fresh one
+	// at full capacity — one allocation per flush, amortised over up to
+	// MaxPending buffered reports.
+	b.pending = make([]proto.HostStatus, 0, b.cfg.MaxPending)
+	b.index = make(map[string]int, b.cfg.MaxPending)
 	b.lastFlush = b.cfg.Clock.Now()
 	b.mu.Unlock()
 	if len(batch) == 0 {

@@ -20,18 +20,26 @@ import (
 )
 
 // Workload kinds, memory modes, migration modes and fault kinds a Scenario
-// can carry. Policies come from jobs.Policies().
+// can carry, one const family per axis (the eventcase check holds
+// switches over a family to exhaustive-or-default). Policies come from
+// jobs.Policies().
 const (
 	WorkloadJacobi = "jacobi"
 	WorkloadTree   = "tree"
+)
 
+const (
 	MemFlat    = "flat"
 	MemPaged   = "paged"
 	MemElastic = "elastic"
+)
 
+const (
 	MigrateLive     = "live"
 	MigrateStopCopy = "stop-and-copy"
+)
 
+const (
 	FaultCrashHost   = "crash-host"
 	FaultLinkDegrade = "link-degrade"
 	FaultMigrate     = "migrate"

@@ -64,6 +64,10 @@ type Network struct {
 	factors map[linkKey]float64 // degraded host pairs: rate multiplier < 1
 	parts   map[linkKey]bool    // partitioned host pairs
 	lastAdv time.Time
+	// scratch is the reusable finished-flow buffer of advanceLocked: the
+	// rate-advance loop runs on every transfer start/finish and every
+	// fault-plan link change, and must not allocate per segment.
+	scratch []*flow
 	gen     int // invalidates outstanding wake-up timers
 	timer   *vclock.Timer
 	cancel  chan struct{} // closed to release the stale wake-up goroutine
@@ -405,6 +409,8 @@ func (n *Network) finishLocked(f *flow, err error) {
 }
 
 // recomputeFlowLocked refreshes one flow's rate from its two NIC directions.
+//
+//hot:path
 func (n *Network) recomputeFlowLocked(f *flow) {
 	sendShare := f.from.capacity / float64(len(f.from.sendFlows))
 	recvShare := f.to.capacity / float64(len(f.to.recvFlows))
@@ -417,6 +423,8 @@ func (n *Network) recomputeFlowLocked(f *flow) {
 // recomputeSideLocked refreshes every flow sharing one direction of one NIC
 // — the whole blast radius of an arrival or departure there. Must be called
 // with progress already advanced to now.
+//
+//hot:path
 func (n *Network) recomputeSideLocked(side map[*flow]struct{}) {
 	for f := range side {
 		n.recomputeFlowLocked(f)
@@ -426,6 +434,8 @@ func (n *Network) recomputeSideLocked(side map[*flow]struct{}) {
 // advanceLocked integrates flow progress from lastAdv to now, completing
 // flows exactly at their finish instants (the freed capacity is handed to
 // the finished flows' NIC neighbours before later segments are integrated).
+//
+//hot:path
 func (n *Network) advanceLocked(now time.Time) {
 	for {
 		dt := now.Sub(n.lastAdv).Seconds()
@@ -443,12 +453,12 @@ func (n *Network) advanceLocked(now time.Time) {
 				step = left
 			}
 		}
-		var finished []*flow
+		finished := n.scratch[:0]
 		for f := range n.flows {
 			adv := f.rate * step
 			if f.done+adv >= f.total {
 				adv = f.total - f.done
-				finished = append(finished, f)
+				finished = append(finished, f) //lint:allow hotalloc scratch buffer retains capacity across segments
 			}
 			f.done += adv
 			f.from.sentBytes += adv
@@ -466,6 +476,7 @@ func (n *Network) advanceLocked(now time.Time) {
 			n.recomputeSideLocked(f.from.sendFlows)
 			n.recomputeSideLocked(f.to.recvFlows)
 		}
+		n.scratch = finished[:0]
 	}
 }
 
