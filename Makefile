@@ -4,8 +4,8 @@
 # `make ci` is the full gate (lint + build + test + race, a repeated race
 # run of the simulation/experiment packages, 64-host scale, malleability
 # and multi-job smokes, and the benchmark drift guard); `make bench`
-# regenerates BENCH_scale.json, BENCH_livemig.json, BENCH_malleable.json
-# and BENCH_multijob.json.
+# regenerates BENCH_scale.json, BENCH_livemig.json, BENCH_malleable.json,
+# BENCH_multijob.json and BENCH_persist.json.
 
 GO ?= go
 
@@ -16,7 +16,7 @@ RACE_PKGS = ./internal/proto ./internal/monitor ./internal/registry \
             ./internal/commander ./internal/hpcm ./internal/core \
             ./internal/faults ./internal/metrics ./internal/simnet \
             ./internal/events ./internal/livemig ./internal/malleable \
-            ./internal/jobs ./internal/scenario
+            ./internal/jobs ./internal/scenario ./internal/persist
 
 .PHONY: all build vet fmtcheck lint test race check ci chaos scale malleable multijob fleet bench benchguard
 
@@ -110,6 +110,10 @@ bench: build
 	| $(GO) run ./cmd/benchjson -o BENCH_malleable.json
 	$(GO) test -run '^$$' -bench BenchmarkAdmission -benchtime 1000x -benchmem ./internal/jobs \
 	| $(GO) run ./cmd/benchjson -o BENCH_multijob.json
+	{ $(GO) test -run '^$$' -bench 'BenchmarkAppend|BenchmarkSnapshotRoundtrip' \
+	      -benchtime 1000x -benchmem ./internal/persist ; \
+	  $(GO) test -run '^$$' -bench BenchmarkReplayBootstrap -benchtime 10x -benchmem ./internal/registry ; } \
+	| $(GO) run ./cmd/benchjson -o BENCH_persist.json
 
 # Drift guard: regenerate the benchmark reports and fail if any benchmark
 # regressed more than 3x against the committed ones — a coarse fence
@@ -129,3 +133,7 @@ benchguard: build
 	| $(GO) run ./cmd/benchjson -o BENCH_malleable.json -baseline BENCH_malleable.json -max-ratio 3
 	$(GO) test -run '^$$' -bench BenchmarkAdmission -benchtime 1000x -benchmem ./internal/jobs \
 	| $(GO) run ./cmd/benchjson -o BENCH_multijob.json -baseline BENCH_multijob.json -max-ratio 3
+	{ $(GO) test -run '^$$' -bench 'BenchmarkAppend|BenchmarkSnapshotRoundtrip' \
+	      -benchtime 1000x -benchmem ./internal/persist ; \
+	  $(GO) test -run '^$$' -bench BenchmarkReplayBootstrap -benchtime 10x -benchmem ./internal/registry ; } \
+	| $(GO) run ./cmd/benchjson -o BENCH_persist.json -baseline BENCH_persist.json -max-ratio 3

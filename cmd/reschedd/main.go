@@ -8,6 +8,11 @@
 //
 //	reschedd -role registry -listen :7070
 //
+// Durable registry (survives crashes without re-registration; pass the same
+// directory on restart and the soft state replays from the change-log):
+//
+//	reschedd -role registry -listen :7070 -store /var/lib/reschedd -snapshot-every 256
+//
 // Monitor (every monitored host):
 //
 //	reschedd -role monitor -registry central:7070 -rules my.rules -interval 10s
@@ -38,6 +43,7 @@ import (
 
 	"autoresched/internal/metrics"
 	"autoresched/internal/monitor"
+	"autoresched/internal/persist"
 	"autoresched/internal/proto"
 	"autoresched/internal/registry"
 	"autoresched/internal/rules"
@@ -48,6 +54,8 @@ func main() {
 	role := flag.String("role", "", "registry | monitor")
 	listen := flag.String("listen", ":7070", "registry: listen address")
 	policyPath := flag.String("policy", "", "registry: migration policy file (pl_* format); empty uses the state-based default")
+	storeDir := flag.String("store", "", "registry: change-log directory for crash-consistent restarts; empty runs soft-state only")
+	snapshotEvery := flag.Int("snapshot-every", 256, "registry: compact the change-log into a snapshot every N records (with -store)")
 	regAddr := flag.String("registry", "", "monitor: registry address host:port")
 	rulesPath := flag.String("rules", "", "monitor: rule file (rl_* format); empty uses built-in load/proc rules")
 	interval := flag.Duration("interval", 10*time.Second, "monitor: monitoring frequency")
@@ -60,7 +68,7 @@ func main() {
 
 	switch *role {
 	case "registry":
-		runRegistry(*listen, *policyPath, mreg)
+		runRegistry(*listen, *policyPath, *storeDir, *snapshotEvery, mreg)
 	case "monitor":
 		runMonitor(*regAddr, *rulesPath, *interval, *procRoot, mreg)
 	default:
@@ -97,7 +105,7 @@ func serveMetrics(addr string, mreg *metrics.Registry) {
 	log.Printf("serving /metrics and /debug/pprof on %s", addr)
 }
 
-func runRegistry(listen, policyPath string, mreg *metrics.Registry) {
+func runRegistry(listen, policyPath, storeDir string, snapshotEvery int, mreg *metrics.Registry) {
 	var policy *rules.MigrationPolicy
 	if policyPath != "" {
 		parsed, err := rules.ParsePolicyFile(policyPath)
@@ -110,17 +118,30 @@ func runRegistry(listen, policyPath string, mreg *metrics.Registry) {
 		policy = parsed[len(parsed)-1] // the last policy in the file rules
 		log.Printf("using migration policy %q", policy.Name)
 	}
-	// Pre-create the decision-latency histogram so /metrics serves it
-	// (empty) before the first placement.
-	mreg.Histogram(registry.MetricDecideSeconds)
-	reg := registry.NewRegistry(
+	regOpts := []registry.Option{
 		registry.WithName("registry"),
 		registry.WithPolicy(policy),
 		registry.WithMetrics(mreg),
 		registry.WithOnEvent(func(e registry.Event) {
 			log.Printf("decision: %s", e)
 		}),
-	)
+	}
+	if storeDir != "" {
+		store, err := persist.OpenFileStore(storeDir, persist.FileConfig{})
+		if err != nil {
+			log.Fatalf("reschedd: store: %v", err)
+		}
+		defer store.Close()
+		regOpts = append(regOpts,
+			registry.WithStore(store),
+			registry.WithSnapshotEvery(snapshotEvery))
+		log.Printf("durable registry: change-log in %s (snapshot every %d records, epoch %d)",
+			storeDir, snapshotEvery, store.Epoch())
+	}
+	// Pre-create the decision-latency histogram so /metrics serves it
+	// (empty) before the first placement.
+	mreg.Histogram(registry.MetricDecideSeconds)
+	reg := registry.NewRegistry(regOpts...)
 	srv, err := proto.NewServer("registry", listen, loggingHandler(reg.Handler()))
 	if err != nil {
 		log.Fatalf("reschedd: listen: %v", err)

@@ -100,6 +100,7 @@ func DefaultConfig() Config {
 			"internal/hpcm.CheckpointEvent",
 			"internal/malleable.Event",
 			"internal/jobs.Event",
+			"internal/registry.RestartEvent",
 		},
 	}
 }

@@ -76,6 +76,7 @@ var fixtures = []struct {
 	{"malleable", "autoresched/internal/malleable"},
 	{"jobs", "autoresched/internal/jobs"},
 	{"scenario", "autoresched/internal/scenario"},
+	{"persist", "autoresched/internal/persist"},
 	{"allowed", "autoresched/cmd/demo"},
 	{"nilrecv", "autoresched/internal/metrics"},
 	{"discard", "example/discard"},

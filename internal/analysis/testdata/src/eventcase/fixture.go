@@ -8,6 +8,7 @@ import (
 	"autoresched/internal/hpcm"
 	"autoresched/internal/jobs"
 	"autoresched/internal/malleable"
+	"autoresched/internal/registry"
 )
 
 // State is a fixture-local named enum (the declaring package is under
@@ -50,7 +51,8 @@ func kindTier(k faults.Kind) int {
 	case faults.KindLinkFactor, faults.KindDropStatus, faults.KindDupStatus, faults.KindDelayStatus:
 		return 1
 	case faults.KindMigrate, faults.KindCrashOnPhase, faults.KindResize,
-		faults.KindCrashOnResizePhase, faults.KindSubmitJob, faults.KindKillOnCkpt:
+		faults.KindCrashOnResizePhase, faults.KindSubmitJob, faults.KindKillOnCkpt,
+		faults.KindCrashLoopRegistry, faults.KindTornWrite:
 		return 0
 	}
 	return -1
@@ -104,7 +106,7 @@ func isPrepare(phase string) bool {
 // payloadProc fans out over an event payload and forgets three of the
 // four configured payload types.
 func payloadProc(p any) string {
-	switch e := p.(type) { // want `\[eventcase\] type switch over an event payload misses internal/hpcm\.CheckpointEvent, internal/malleable\.Event, internal/jobs\.Event; add the cases or an explicit default`
+	switch e := p.(type) { // want `\[eventcase\] type switch over an event payload misses internal/hpcm\.CheckpointEvent, internal/malleable\.Event, internal/jobs\.Event, internal/registry\.RestartEvent; add the cases or an explicit default`
 	case hpcm.MigrationEvent:
 		return e.Proc
 	}
@@ -123,6 +125,11 @@ func payloadJob(p any) string {
 		return e.Job
 	case jobs.Event:
 		return e.Job
+	case registry.RestartEvent:
+		if e.Recovered {
+			return "recovered"
+		}
+		return "cold"
 	}
 	return ""
 }

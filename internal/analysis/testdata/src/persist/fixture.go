@@ -1,0 +1,42 @@
+// Fixture loaded as autoresched/internal/persist: the acceptance case for
+// the durable control plane. The change-log's value is that replaying it is
+// a pure function of its bytes — record timestamps come from the caller's
+// vclock.Clock and sequence numbers from the store's own counter — so a
+// wall-clock stamp or a global-rand draw inside the persistence layer would
+// make recovered state differ from the state that was logged, and must be
+// reported.
+package persist
+
+import (
+	"math/rand"
+	"time"
+)
+
+// StampRecord timestamps a change-log record off the wall clock instead of
+// the registry's injected clock: replaying the log under virtual time would
+// resurrect leases with wall-time LastSeen values and the recovered digest
+// would never match the primary's.
+func StampRecord() time.Time {
+	return time.Now() // want `\[determinism\] time\.Now reads the wall clock`
+}
+
+// JitterSnapshot draws a snapshot-cadence jitter from the process-global,
+// wall-seeded source: two same-seed runs would compact at different
+// sequences and the chaos schedules would stop being byte-identical.
+func JitterSnapshot(every int) int {
+	return every + rand.Intn(8) // want `\[determinism\] rand\.Intn draws from the global wall-seeded source`
+}
+
+// NextSeq is the package's actual idiom: ordering comes from a monotonic
+// sequence counter owned by the store, never from clocks, so replay order
+// is the append order by construction.
+func NextSeq(last uint64) uint64 {
+	return last + 1
+}
+
+// StampFromClock is the compliant way to put time into a record: the caller
+// supplies the instant (read off its vclock.Clock), and the store treats it
+// as opaque payload.
+func StampFromClock(at time.Time) int64 {
+	return at.UnixNano()
+}

@@ -24,6 +24,7 @@ import (
 	"autoresched/internal/metrics"
 	"autoresched/internal/monitor"
 	"autoresched/internal/mpi"
+	"autoresched/internal/persist"
 	"autoresched/internal/proto"
 	"autoresched/internal/registry"
 	"autoresched/internal/rules"
@@ -99,6 +100,17 @@ type Options struct {
 	// OrderDedupWindow suppresses migrate orders redelivered to a commander
 	// within the window (see commander.Config); zero disables.
 	OrderDedupWindow time.Duration
+	// Store, when set, makes the registry's protocol state durable: every
+	// mutation appends to this write-ahead store and a registry restart
+	// becomes crash-consistent bootstrap — hosts and processes are
+	// recovered from snapshot+log instead of re-registering (see
+	// internal/persist). Simulations pass a persist.MemStore; reschedd
+	// wires a file-backed store behind its -store flag.
+	Store persist.Store
+	// SnapshotEvery folds the registry state into a compacting store
+	// snapshot every N appended records (requires Store); zero disables
+	// periodic compaction.
+	SnapshotEvery int
 	// Counters, when set, receives control-plane counters from every layer
 	// of the runtime.
 	Counters *metrics.Counters
@@ -338,6 +350,8 @@ func New(opts Options) (*System, error) {
 		registry.WithOnEvent(s.onRegistryEvent),
 		registry.WithEvents(sink),
 		registry.WithMetrics(opts.Metrics),
+		registry.WithStore(opts.Store),
+		registry.WithSnapshotEvery(opts.SnapshotEvery),
 	)
 	if opts.BatchStatusEvery > 0 {
 		s.batcher = registry.NewBatcher(s.reg, registry.BatcherConfig{
@@ -352,8 +366,11 @@ func New(opts Options) (*System, error) {
 // onRegistryEvent reacts to registry trace events: a restart means the
 // registry lost its soft state, so the runtime resyncs its live process
 // registrations once the monitors' heartbeats have re-registered the hosts.
+// With a durable store the restart is a crash-consistent recovery — process
+// registrations come back from the change log — so no resync is needed (the
+// zero-re-registration property the chaos suite counter-asserts).
 func (s *System) onRegistryEvent(e registry.Event) {
-	if e.Kind == registry.EventRestart {
+	if e.Kind == registry.EventRestart && s.opts.Store == nil {
 		go s.resyncProcs()
 	}
 }

@@ -6,6 +6,7 @@ import (
 
 	"autoresched/internal/hpcm"
 	"autoresched/internal/metrics"
+	"autoresched/internal/persist"
 	"autoresched/internal/registry"
 )
 
@@ -41,10 +42,17 @@ func (s *System) CrashHost(host string) error {
 	return nil
 }
 
-// RestartRegistry simulates a registry crash and restart. Soft state is
-// dropped; monitors re-register through their heartbeats, and the runtime
-// resyncs process registrations (triggered by the restart trace event).
+// RestartRegistry simulates a registry crash and restart. Without a
+// configured Store the soft state is dropped: monitors re-register through
+// their heartbeats and the runtime resyncs process registrations (triggered
+// by the restart trace event). With a Store the restart is a crash-consistent
+// bootstrap from snapshot + log suffix and no re-registration happens.
 func (s *System) RestartRegistry() { s.reg.Restart() }
+
+// Store returns the persistence store the system was configured with (nil
+// for a purely soft-state control plane). Fault injectors use it to tear
+// the log tail mid-run.
+func (s *System) Store() persist.Store { return s.opts.Store }
 
 // failover recovers an app after a recoverable failure: restore the last
 // checkpoint onto a fresh first-fit candidate (cold-restart from the

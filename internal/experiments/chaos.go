@@ -76,6 +76,8 @@ var chaosCounterNames = []string{
 	metrics.CtrReregisters,
 	metrics.CtrOrdersDeduped,
 	metrics.CtrRegistryRestarts,
+	metrics.CtrRegistryRecoveries,
+	metrics.CtrStandbyPromotions,
 	metrics.CtrProcResyncs,
 	metrics.CtrMigrAborted,
 	metrics.CtrMigrCommitted,
@@ -181,6 +183,20 @@ func chaosScenarios(live bool) []chaosScenario {
 			{After: at(45), Kind: faults.KindSubmitJob, Proc: "express"},
 		}}},
 	)
+	// The registry-crashloop-* / registry-standby-* scenarios run the durable
+	// control plane (persist_chaos.go): the registry journals every mutation
+	// to a persist store, so a crash-looping parent bootstraps from snapshot
+	// + log suffix with zero monitor re-registrations — even after a torn
+	// tail write — and a warm standby promotes over the fenced primary
+	// without double-admitting its pending gang reservation.
+	scenarios = append(scenarios,
+		chaosScenario{"registry-crashloop-under-load", faults.Plan{Name: "registry-crashloop-under-load", Events: []faults.Event{
+			{After: at(60), Kind: faults.KindCrashLoopRegistry, Count: 3},
+			{After: at(90), Kind: faults.KindTornWrite, Count: 5},
+			{After: at(95), Kind: faults.KindRestartRegistry},
+		}}},
+		chaosScenario{"registry-standby-promote", faults.Plan{Name: "registry-standby-promote"}},
+	)
 	return scenarios
 }
 
@@ -237,6 +253,10 @@ func RunChaos(cfg ChaosConfig) ([]ChaosRow, error) {
 			row, err = runMalleableChaosScenario(cfg, sc)
 		case strings.HasPrefix(sc.name, "jobs-"):
 			row, err = runJobsChaosScenario(cfg, sc)
+		case strings.HasPrefix(sc.name, "registry-crashloop-"):
+			row, err = runPersistCrashloopScenario(cfg, sc)
+		case strings.HasPrefix(sc.name, "registry-standby-"):
+			row, err = runPersistStandbyScenario(cfg, sc)
 		default:
 			row, err = runChaosScenario(cfg, sc)
 		}

@@ -65,8 +65,8 @@ func TestChaosAllScenariosSurvive(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(rows) != 12 {
-		t.Fatalf("scenarios = %d, want 12 (8 classic + 2 resize + 2 jobs)", len(rows))
+	if len(rows) != 14 {
+		t.Fatalf("scenarios = %d, want 14 (8 classic + 2 resize + 2 jobs + 2 persist)", len(rows))
 	}
 	for _, r := range rows {
 		if !r.Survived {
@@ -121,6 +121,20 @@ func TestChaosAllScenariosSurvive(t *testing.T) {
 		r.Counters[metrics.CtrJobsRequeued] != 1 || r.Counters[metrics.CtrJobsAdmitted] != 3 {
 		t.Errorf("jobs-crash-host-mid-reserve counters: %v", r.Counters)
 	}
+	// The persist scenarios must take the durable paths: every crash-loop
+	// restart (three back to back, one more after the torn tail write) is a
+	// crash-consistent recovery with zero monitor re-registrations and zero
+	// process resyncs, and the standby promotion fences the primary exactly
+	// once.
+	if r := byName["registry-crashloop-under-load"]; r.Counters[metrics.CtrRegistryRestarts] != 4 ||
+		r.Counters[metrics.CtrRegistryRecoveries] != 4 ||
+		r.Counters[metrics.CtrReregisters] != 0 || r.Counters[metrics.CtrProcResyncs] != 0 {
+		t.Errorf("registry-crashloop-under-load counters: %v", r.Counters)
+	}
+	if r := byName["registry-standby-promote"]; r.Counters[metrics.CtrStandbyPromotions] != 1 ||
+		r.Counters[metrics.CtrReregisters] != 0 || r.Counters[metrics.CtrProcResyncs] != 0 {
+		t.Errorf("registry-standby-promote counters: %v", r.Counters)
+	}
 }
 
 // TestChaosJobsScenariosDeterministic runs both multi-job preemption-crash
@@ -163,5 +177,61 @@ func TestChaosJobsScenariosDeterministic(t *testing.T) {
 	}
 	if got := rows1[1].Counters[metrics.CtrJobsReservations]; got != 1 {
 		t.Fatalf("reservations lost = %d, want 1 (Commit must fail on the crashed host)", got)
+	}
+}
+
+// TestChaosPersistScenariosDeterministic runs both durable-control-plane
+// scenarios twice with the same seed and requires the deterministic report
+// section to be byte-identical. It also pins the end-to-end behavior: every
+// crash-loop restart recovered from the store (no re-registration storm),
+// the quiesced change log replays to the primary's exact final state, the
+// deposed primary's gang commit was fenced, and the promoted standby
+// re-admitted the gang exactly once.
+func TestChaosPersistScenariosDeterministic(t *testing.T) {
+	cfg := ChaosConfig{
+		Params:    Params{Scale: 1000, Seed: 5},
+		Scenarios: []string{"registry-crashloop-under-load", "registry-standby-promote"},
+	}
+	run := func() ([]ChaosRow, string) {
+		rows, err := RunChaos(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rows, RenderChaosDeterministic(rows)
+	}
+	rows1, out1 := run()
+	_, out2 := run()
+	if out1 != out2 {
+		t.Fatalf("deterministic sections differ:\n--- first\n%s\n--- second\n%s", out1, out2)
+	}
+	if len(rows1) != 2 {
+		t.Fatalf("rows = %d, want 2", len(rows1))
+	}
+	for _, r := range rows1 {
+		if !r.Survived {
+			t.Errorf("%s: survived=%v completed=%v correct=%v err=%q",
+				r.Scenario, r.Survived, r.Completed, r.Correct, r.FinalErr)
+		}
+	}
+	if n := strings.Count(out1, "recovered=true hosts=4 procs=1"); n != 4 {
+		t.Fatalf("crash-consistent restarts in schedule = %d, want 4:\n%s", n, out1)
+	}
+	if !strings.Contains(out1, "check reregisters=0 proc-resyncs=0") {
+		t.Fatalf("zero-re-registration check missing:\n%s", out1)
+	}
+	if !strings.Contains(out1, "check replay-digest-match=true") {
+		t.Fatalf("replay digest check missing:\n%s", out1)
+	}
+	if !strings.Contains(out1, "check deposed-commit-fenced=true") ||
+		!strings.Contains(out1, "check promoted-readmit ok=true") ||
+		!strings.Contains(out1, "check promoted-reservations-outstanding=0") ||
+		!strings.Contains(out1, "check promoted-digest-match=true") {
+		t.Fatalf("standby promotion checks missing:\n%s", out1)
+	}
+	if got := rows1[0].Counters[metrics.CtrRegistryRecoveries]; got != 4 {
+		t.Fatalf("recoveries = %d, want 4", got)
+	}
+	if got := rows1[1].Counters[metrics.CtrStandbyPromotions]; got != 1 {
+		t.Fatalf("standby promotions = %d, want 1", got)
 	}
 }

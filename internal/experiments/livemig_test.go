@@ -83,8 +83,8 @@ func TestChaosAllScenariosSurviveWithLiveMigration(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(rows) != 13 {
-		t.Fatalf("scenarios = %d, want 13 (8 classic + crash-dest-mid-precopy + 2 resize + 2 jobs)", len(rows))
+	if len(rows) != 15 {
+		t.Fatalf("scenarios = %d, want 15 (8 classic + crash-dest-mid-precopy + 2 resize + 2 jobs + 2 persist)", len(rows))
 	}
 	byName := map[string]ChaosRow{}
 	for _, r := range rows {

@@ -62,6 +62,17 @@ const (
 	// crash Target — "new" crashes the first freshly spawned host of the
 	// resize, "victim" the first retiring one.
 	KindCrashOnResizePhase Kind = "crash-on-resize-phase"
+	// KindCrashLoopRegistry restarts the registry Count times back to back,
+	// modelling a crash-looping parent. With a durable store each restart is
+	// a crash-consistent bootstrap (snapshot + log-suffix replay) and no
+	// monitor re-registration or process resync fires; without one it
+	// degenerates to Count soft-state drops.
+	KindCrashLoopRegistry Kind = "crash-loop-registry"
+	// KindTornWrite chops Count bytes (default 1) off the tail of the
+	// system's persist store, modelling a write torn by power loss. The
+	// store must implement persist.TailTruncator; the registry's next
+	// bootstrap recovers the longest intact record prefix.
+	KindTornWrite Kind = "torn-write"
 	// KindSubmitJob submits the pre-registered job spec named Proc to the
 	// multi-job queue. Interpreted by the jobs chaos runner, which holds the
 	// scenario's spec set.

@@ -10,6 +10,7 @@ import (
 	"autoresched/internal/hpcm"
 	"autoresched/internal/metrics"
 	"autoresched/internal/monitor"
+	"autoresched/internal/persist"
 	"autoresched/internal/proto"
 	"autoresched/internal/vclock"
 )
@@ -177,6 +178,12 @@ func (in *Injector) apply(ev Event) {
 		err = sys.CrashHost(ev.Host)
 	case KindRestartRegistry:
 		sys.RestartRegistry()
+	case KindCrashLoopRegistry:
+		for i := 0; i < countOf(ev); i++ {
+			sys.RestartRegistry()
+		}
+	case KindTornWrite:
+		err = in.tornWrite(ev, sys)
 	case KindPartition:
 		err = sys.Cluster().Net().SetPartitioned(ev.Host, ev.Peer, true)
 	case KindHeal:
@@ -221,6 +228,20 @@ func (in *Injector) apply(ev Event) {
 			Err:    err,
 		})
 	}
+}
+
+// tornWrite chops Count bytes off the tail of the system's persist store,
+// simulating a write torn by power loss just before a crash.
+func (in *Injector) tornWrite(ev Event, sys *core.System) error {
+	store := sys.Store()
+	if store == nil {
+		return fmt.Errorf("faults: torn-write needs a system with a persist store")
+	}
+	tt, ok := store.(persist.TailTruncator)
+	if !ok {
+		return fmt.Errorf("faults: store %T cannot tear its tail", store)
+	}
+	return tt.TruncateTail(countOf(ev))
 }
 
 func countOf(ev Event) int {

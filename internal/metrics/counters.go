@@ -12,35 +12,39 @@ import (
 // aborted migrations, checkpoint restores — is observable in one place
 // (the chaos experiment's summary, cmd/repro output).
 const (
-	CtrProtoDropped     = "proto/msgs_dropped"
-	CtrProtoDuplicated  = "proto/msgs_duplicated"
-	CtrProtoDelayed     = "proto/msgs_delayed"
-	CtrProtoRetries     = "proto/call_retries"
-	CtrProtoReconnects  = "proto/reconnects"
-	CtrProtoDeduped     = "proto/msgs_deduped"
-	CtrStatusDropped    = "monitor/status_dropped"
-	CtrStatusDuplicated = "monitor/status_duplicated"
-	CtrStatusDelayed    = "monitor/status_delayed"
-	CtrReregisters      = "monitor/reregisters"
-	CtrOrdersDeduped    = "commander/orders_deduped"
-	CtrRegistryRestarts = "registry/restarts"
-	CtrProcResyncs      = "registry/proc_resyncs"
-	CtrBatchFlushes     = "registry/batch_flushes"
-	CtrBatchedReports   = "registry/batched_reports"
-	CtrHealthReports    = "registry/health_reports"
-	CtrMigrAborted      = "core/migrations_aborted"
-	CtrMigrCommitted    = "core/migrations_committed"
-	CtrCkptRestores     = "core/checkpoint_restores"
-	CtrColdRestarts     = "core/cold_restarts"
-	CtrResizeCommitted  = "malleable/resizes_committed"
-	CtrResizeAborted    = "malleable/resizes_aborted"
-	CtrRanksSpawned     = "malleable/ranks_spawned"
-	CtrRanksRetired     = "malleable/ranks_retired"
-	CtrJobsAdmitted     = "jobs/admitted"
-	CtrJobsRequeued     = "jobs/requeued"
-	CtrJobsShrunk       = "jobs/shrunk"
-	CtrJobsMigrated     = "jobs/migrated"
-	CtrJobsReservations = "jobs/reservations_lost"
+	CtrProtoDropped       = "proto/msgs_dropped"
+	CtrProtoDuplicated    = "proto/msgs_duplicated"
+	CtrProtoDelayed       = "proto/msgs_delayed"
+	CtrProtoRetries       = "proto/call_retries"
+	CtrProtoReconnects    = "proto/reconnects"
+	CtrProtoDeduped       = "proto/msgs_deduped"
+	CtrStatusDropped      = "monitor/status_dropped"
+	CtrStatusDuplicated   = "monitor/status_duplicated"
+	CtrStatusDelayed      = "monitor/status_delayed"
+	CtrReregisters        = "monitor/reregisters"
+	CtrOrdersDeduped      = "commander/orders_deduped"
+	CtrRegistryRestarts   = "registry/restarts"
+	CtrRegistryRecoveries = "registry/recoveries"
+	CtrStandbyPromotions  = "registry/standby_promotions"
+	CtrPersistAppends     = "persist/appends"
+	CtrPersistSnapshots   = "persist/snapshots"
+	CtrProcResyncs        = "registry/proc_resyncs"
+	CtrBatchFlushes       = "registry/batch_flushes"
+	CtrBatchedReports     = "registry/batched_reports"
+	CtrHealthReports      = "registry/health_reports"
+	CtrMigrAborted        = "core/migrations_aborted"
+	CtrMigrCommitted      = "core/migrations_committed"
+	CtrCkptRestores       = "core/checkpoint_restores"
+	CtrColdRestarts       = "core/cold_restarts"
+	CtrResizeCommitted    = "malleable/resizes_committed"
+	CtrResizeAborted      = "malleable/resizes_aborted"
+	CtrRanksSpawned       = "malleable/ranks_spawned"
+	CtrRanksRetired       = "malleable/ranks_retired"
+	CtrJobsAdmitted       = "jobs/admitted"
+	CtrJobsRequeued       = "jobs/requeued"
+	CtrJobsShrunk         = "jobs/shrunk"
+	CtrJobsMigrated       = "jobs/migrated"
+	CtrJobsReservations   = "jobs/reservations_lost"
 )
 
 // Counters is a set of named monotonic counters, safe for concurrent use.

@@ -1,0 +1,126 @@
+package persist
+
+import "sync"
+
+// MemStore is the in-memory Store backend: deterministic, no I/O, the
+// backend every simulation and chaos scenario plugs into core.Options.
+// It honours the whole contract — epoch fencing, snapshot compaction,
+// catch-up reads — and additionally implements TailTruncator by dropping
+// the newest record, modelling the torn tail write the file backend's
+// recovery would discard.
+type MemStore struct {
+	mu    sync.Mutex
+	recs  []Record
+	snap  Snapshot
+	has   bool
+	seq   uint64
+	epoch uint64
+}
+
+// NewMemStore creates an empty in-memory store at epoch 0.
+func NewMemStore() *MemStore { return &MemStore{} }
+
+// Append implements Store.
+func (s *MemStore) Append(epoch uint64, kind string, data []byte) (uint64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if epoch != s.epoch {
+		return 0, ErrFenced
+	}
+	s.seq++
+	s.recs = append(s.recs, Record{Seq: s.seq, Kind: kind, Data: append([]byte(nil), data...)})
+	return s.seq, nil
+}
+
+// ReadSince implements Store.
+func (s *MemStore) ReadSince(since uint64) ([]Record, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []Record
+	for _, r := range s.recs {
+		if r.Seq > since {
+			out = append(out, r)
+		}
+	}
+	return out, nil
+}
+
+// Seq implements Store.
+func (s *MemStore) Seq() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.seq
+}
+
+// WriteSnapshot implements Store.
+func (s *MemStore) WriteSnapshot(epoch uint64, snap Snapshot) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if epoch != s.epoch {
+		return ErrFenced
+	}
+	s.snap = Snapshot{Seq: snap.Seq, Data: append([]byte(nil), snap.Data...)}
+	s.has = true
+	// Compact: drop the covered prefix.
+	keep := s.recs[:0]
+	for _, r := range s.recs {
+		if r.Seq > snap.Seq {
+			keep = append(keep, r)
+		}
+	}
+	s.recs = keep
+	if snap.Seq > s.seq {
+		s.seq = snap.Seq
+	}
+	return nil
+}
+
+// LoadSnapshot implements Store.
+func (s *MemStore) LoadSnapshot() (Snapshot, bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.has {
+		return Snapshot{}, false, nil
+	}
+	return Snapshot{Seq: s.snap.Seq, Data: append([]byte(nil), s.snap.Data...)}, true, nil
+}
+
+// Epoch implements Store.
+func (s *MemStore) Epoch() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.epoch
+}
+
+// Fence implements Store.
+func (s *MemStore) Fence() (uint64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.epoch++
+	return s.epoch, nil
+}
+
+// Close implements Store.
+func (s *MemStore) Close() error { return nil }
+
+// TruncateTail implements TailTruncator: a positive n drops the newest
+// record — the in-memory analogue of tearing the tail frame, which the
+// file backend's recovery would likewise discard — and rewinds the
+// sequence so the next append reuses the torn number, exactly as a
+// restarted file store would.
+func (s *MemStore) TruncateTail(n int) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if n <= 0 || len(s.recs) == 0 {
+		return nil
+	}
+	s.recs = s.recs[:len(s.recs)-1]
+	if len(s.recs) > 0 {
+		s.seq = s.recs[len(s.recs)-1].Seq
+	} else if s.has {
+		s.seq = s.snap.Seq
+	} else {
+		s.seq = 0
+	}
+	return nil
+}

@@ -1,0 +1,236 @@
+package persist
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// openers builds one fresh store per backend so every contract test runs
+// against both.
+func openers(t *testing.T) map[string]func() Store {
+	t.Helper()
+	return map[string]func() Store{
+		"mem": func() Store { return NewMemStore() },
+		"file": func() Store {
+			s, err := OpenFileStore(t.TempDir(), FileConfig{SegmentRecords: 4})
+			if err != nil {
+				t.Fatalf("open file store: %v", err)
+			}
+			return s
+		},
+	}
+}
+
+func TestAppendReadSince(t *testing.T) {
+	for name, open := range openers(t) {
+		t.Run(name, func(t *testing.T) {
+			s := open()
+			defer s.Close()
+			for i := 1; i <= 10; i++ {
+				seq, err := s.Append(0, "k", []byte(fmt.Sprintf("v%d", i)))
+				if err != nil {
+					t.Fatalf("append %d: %v", i, err)
+				}
+				if seq != uint64(i) {
+					t.Fatalf("seq = %d, want %d", seq, i)
+				}
+			}
+			if s.Seq() != 10 {
+				t.Fatalf("Seq = %d, want 10", s.Seq())
+			}
+			recs, err := s.ReadSince(7)
+			if err != nil {
+				t.Fatalf("ReadSince: %v", err)
+			}
+			if len(recs) != 3 || recs[0].Seq != 8 || string(recs[2].Data) != "v10" {
+				t.Fatalf("ReadSince(7) = %+v", recs)
+			}
+		})
+	}
+}
+
+func TestSnapshotCompaction(t *testing.T) {
+	for name, open := range openers(t) {
+		t.Run(name, func(t *testing.T) {
+			s := open()
+			defer s.Close()
+			for i := 1; i <= 9; i++ {
+				if _, err := s.Append(0, "k", []byte{byte(i)}); err != nil {
+					t.Fatalf("append: %v", err)
+				}
+			}
+			if err := s.WriteSnapshot(0, Snapshot{Seq: 6, Data: []byte("state@6")}); err != nil {
+				t.Fatalf("WriteSnapshot: %v", err)
+			}
+			snap, ok, err := s.LoadSnapshot()
+			if err != nil || !ok || snap.Seq != 6 || string(snap.Data) != "state@6" {
+				t.Fatalf("LoadSnapshot = %+v ok=%v err=%v", snap, ok, err)
+			}
+			recs, err := s.ReadSince(0)
+			if err != nil {
+				t.Fatalf("ReadSince: %v", err)
+			}
+			if len(recs) != 3 || recs[0].Seq != 7 {
+				t.Fatalf("post-compaction ReadSince(0) = %+v", recs)
+			}
+			// Appends continue from the pre-snapshot sequence.
+			if seq, err := s.Append(0, "k", nil); err != nil || seq != 10 {
+				t.Fatalf("append after snapshot: seq=%d err=%v", seq, err)
+			}
+		})
+	}
+}
+
+func TestFenceRejectsStaleEpoch(t *testing.T) {
+	for name, open := range openers(t) {
+		t.Run(name, func(t *testing.T) {
+			s := open()
+			defer s.Close()
+			if _, err := s.Append(0, "k", nil); err != nil {
+				t.Fatalf("append: %v", err)
+			}
+			e, err := s.Fence()
+			if err != nil || e != 1 {
+				t.Fatalf("Fence = %d, %v", e, err)
+			}
+			if _, err := s.Append(0, "k", nil); !errors.Is(err, ErrFenced) {
+				t.Fatalf("stale append err = %v, want ErrFenced", err)
+			}
+			if err := s.WriteSnapshot(0, Snapshot{Seq: 1}); !errors.Is(err, ErrFenced) {
+				t.Fatalf("stale snapshot err = %v, want ErrFenced", err)
+			}
+			if _, err := s.Append(1, "k", nil); err != nil {
+				t.Fatalf("new-epoch append: %v", err)
+			}
+		})
+	}
+}
+
+func TestFileStoreReopenRecovers(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenFileStore(dir, FileConfig{SegmentRecords: 3})
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	for i := 1; i <= 8; i++ {
+		if _, err := s.Append(0, "k", []byte(fmt.Sprintf("v%d", i))); err != nil {
+			t.Fatalf("append: %v", err)
+		}
+	}
+	if err := s.WriteSnapshot(0, Snapshot{Seq: 5, Data: []byte("snap")}); err != nil {
+		t.Fatalf("snapshot: %v", err)
+	}
+	if _, err := s.Fence(); err != nil {
+		t.Fatalf("fence: %v", err)
+	}
+	if _, err := s.Append(1, "k", []byte("v9")); err != nil {
+		t.Fatalf("append post-fence: %v", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+
+	r, err := OpenFileStore(dir, FileConfig{SegmentRecords: 3})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer r.Close()
+	if r.Epoch() != 1 {
+		t.Fatalf("recovered epoch = %d, want 1", r.Epoch())
+	}
+	snap, ok, err := r.LoadSnapshot()
+	if err != nil || !ok || snap.Seq != 5 || string(snap.Data) != "snap" {
+		t.Fatalf("recovered snapshot = %+v ok=%v err=%v", snap, ok, err)
+	}
+	recs, err := r.ReadSince(snap.Seq)
+	if err != nil {
+		t.Fatalf("ReadSince: %v", err)
+	}
+	if len(recs) != 4 || recs[0].Seq != 6 || string(recs[3].Data) != "v9" {
+		t.Fatalf("recovered suffix = %+v", recs)
+	}
+	if seq, err := r.Append(1, "k", nil); err != nil || seq != 10 {
+		t.Fatalf("append after reopen: seq=%d err=%v", seq, err)
+	}
+}
+
+func TestFileStoreCompactionUnlinksSegments(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenFileStore(dir, FileConfig{SegmentRecords: 2})
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	defer s.Close()
+	for i := 1; i <= 7; i++ {
+		if _, err := s.Append(0, "k", []byte{byte(i)}); err != nil {
+			t.Fatalf("append: %v", err)
+		}
+	}
+	if err := s.WriteSnapshot(0, Snapshot{Seq: 6, Data: []byte("x")}); err != nil {
+		t.Fatalf("snapshot: %v", err)
+	}
+	segs, err := filepath.Glob(filepath.Join(dir, segPrefix+"*"+segSuffix))
+	if err != nil {
+		t.Fatalf("glob: %v", err)
+	}
+	if len(segs) != 1 {
+		t.Fatalf("segments after compaction = %v, want just the tail", segs)
+	}
+}
+
+func TestFileStoreCorruptMidFileFailsLoudly(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenFileStore(dir, FileConfig{SegmentRecords: 1024})
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	for i := 1; i <= 5; i++ {
+		if _, err := s.Append(0, "k", []byte("payload")); err != nil {
+			t.Fatalf("append: %v", err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	segs, err := filepath.Glob(filepath.Join(dir, segPrefix+"*"+segSuffix))
+	if err != nil || len(segs) != 1 {
+		t.Fatalf("glob = %v, %v", segs, err)
+	}
+	b, err := os.ReadFile(segs[0])
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	// Flip a payload byte in the middle of the file: CRC must catch it.
+	b[len(b)/2] ^= 0xff
+	if err := os.WriteFile(segs[0], b, 0o644); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	if _, err := OpenFileStore(dir, FileConfig{}); err == nil {
+		t.Fatal("open of corrupt store succeeded, want loud error")
+	}
+}
+
+func TestMemTruncateTailDropsNewestRecord(t *testing.T) {
+	s := NewMemStore()
+	for i := 1; i <= 3; i++ {
+		if _, err := s.Append(0, "k", []byte{byte(i)}); err != nil {
+			t.Fatalf("append: %v", err)
+		}
+	}
+	if err := s.TruncateTail(1); err != nil {
+		t.Fatalf("TruncateTail: %v", err)
+	}
+	if s.Seq() != 2 {
+		t.Fatalf("Seq after tear = %d, want 2", s.Seq())
+	}
+	if seq, err := s.Append(0, "k", []byte{9}); err != nil || seq != 3 {
+		t.Fatalf("append after tear: seq=%d err=%v", seq, err)
+	}
+	recs, err := s.ReadSince(0)
+	if err != nil || len(recs) != 3 || recs[2].Data[0] != 9 {
+		t.Fatalf("ReadSince after tear = %+v, %v", recs, err)
+	}
+}

@@ -4,6 +4,8 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+
+	"autoresched/internal/persist"
 )
 
 // Gang placement: all-or-nothing reservation of n hosts for a multi-process
@@ -33,6 +35,10 @@ type GangScheduler interface {
 type GangReservation struct {
 	r     *Registry
 	hosts []string
+	// id names the reservation in the durable change log (0 without a
+	// store); presumed abort resolves ids left open by a crashed
+	// incarnation.
+	id uint64
 
 	// Guarded by r.mu.
 	resolved bool
@@ -72,9 +78,36 @@ func (g *GangReservation) Commit() error {
 	}
 	r.releaseLocked(g)
 	if len(lost) > 0 {
+		// Resolve the reservation as aborted in the durable log (unless a
+		// bootstrap's presumed abort already did).
+		_ = r.resolveGangLocked(g.id, false)
 		sort.Strings(lost)
 		return fmt.Errorf("%w: %v", ErrReservationLost, lost)
 	}
+	// The durable commit record is the admission's point of no return: a
+	// deposed primary's append fails with persist.ErrFenced here, which is
+	// what keeps a promoted standby (that presumed this reservation
+	// aborted) from ever seeing the same gang admitted twice.
+	if err := r.resolveGangLocked(g.id, true); err != nil {
+		return fmt.Errorf("registry: gang commit rejected: %w", err)
+	}
+	return nil
+}
+
+// resolveGangLocked durably resolves reservation id (commit or abort) and
+// drops it from the unresolved set. A reservation the durable state no
+// longer tracks — already resolved by presumed abort — is a no-op.
+func (r *Registry) resolveGangLocked(id uint64, commit bool) error {
+	if id == 0 {
+		return nil
+	}
+	if _, ok := r.gangs[id]; !ok {
+		return nil
+	}
+	if err := r.appendLocked(recKindGangResolve, recGangResolve{ID: id, Commit: commit}); err != nil {
+		return err
+	}
+	delete(r.gangs, id)
 	return nil
 }
 
@@ -88,6 +121,9 @@ func (g *GangReservation) Abort() {
 	}
 	g.resolved = true
 	g.r.releaseLocked(g)
+	// A fenced abort still aborts: the promoted standby's presumed abort
+	// already resolved the reservation durably.
+	_ = g.r.resolveGangLocked(g.id, false)
 }
 
 // releaseLocked drops every reservation mark still pointing at g.
@@ -160,9 +196,30 @@ func (r *Registry) PlaceGang(proc ProcInfo, n int, exclude func(host string) boo
 	g := &GangReservation{r: r}
 	for _, h := range picked {
 		g.hosts = append(g.hosts, h.Name)
-		r.reserved[h.Name] = g
+	}
+	if !r.reserveGangLocked(g) {
+		return nil, false
 	}
 	return g, true
+}
+
+// reserveGangLocked durably records the reservation and sets the host
+// marks. With a fenced store the reservation is refused and nothing is
+// marked.
+func (r *Registry) reserveGangLocked(g *GangReservation) bool {
+	if r.store != nil {
+		id := r.gangSeq + 1
+		if err := r.appendLocked(recKindGangReserve, recGangReserve{ID: id, Hosts: g.hosts}); err != nil {
+			return false
+		}
+		r.gangSeq = id
+		g.id = id
+		r.gangs[id] = append([]string(nil), g.hosts...)
+	}
+	for _, h := range g.hosts {
+		r.reserved[h] = g
+	}
+	return true
 }
 
 // EligibleHosts snapshots the hosts a gang of proc's ranks may be placed
@@ -253,8 +310,8 @@ func (r *Registry) ReserveHosts(hosts []string) (*GangReservation, error) {
 		}
 	}
 	g := &GangReservation{r: r, hosts: append([]string(nil), hosts...)}
-	for _, h := range g.hosts {
-		r.reserved[h] = g
+	if !r.reserveGangLocked(g) {
+		return nil, fmt.Errorf("registry: reservation rejected: %w", persist.ErrFenced)
 	}
 	return g, nil
 }

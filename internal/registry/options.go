@@ -5,6 +5,7 @@ import (
 
 	"autoresched/internal/events"
 	"autoresched/internal/metrics"
+	"autoresched/internal/persist"
 	"autoresched/internal/rules"
 	"autoresched/internal/sysinfo"
 	"autoresched/internal/vclock"
@@ -80,3 +81,12 @@ func WithCounters(m *metrics.Counters) Option { return func(c *Config) { c.Count
 // WithMetrics sets the metrics registry receiving the registry's gauges
 // and latency histograms.
 func WithMetrics(m *metrics.Registry) Option { return func(c *Config) { c.Metrics = m } }
+
+// WithStore makes the protocol state durable through a write-ahead store:
+// mutations append typed change records, and Restart becomes
+// crash-consistent bootstrap instead of a soft-state drop.
+func WithStore(s persist.Store) Option { return func(c *Config) { c.Store = s } }
+
+// WithSnapshotEvery folds the state into a compacting store snapshot every
+// n appended records (requires WithStore).
+func WithSnapshotEvery(n int) Option { return func(c *Config) { c.SnapshotEvery = n } }

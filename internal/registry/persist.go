@@ -1,0 +1,503 @@
+package registry
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"sort"
+	"time"
+
+	"autoresched/internal/metrics"
+	"autoresched/internal/persist"
+	"autoresched/internal/proto"
+	"autoresched/internal/rules"
+	"autoresched/internal/schema"
+)
+
+// Durable control plane: when Config.Store is set, every protocol-state
+// mutation — host register/unregister, status refresh, process lifecycle,
+// domain attach, gang reservation and resolution — appends one typed change
+// record to the write-ahead store before the in-memory state moves, and
+// Restart becomes crash-consistent bootstrap: load the latest snapshot,
+// replay the log suffix, resume with zero monitor re-registrations. The
+// scheduler's damping (warmup counts, cooldown stamps) is deliberately NOT
+// durable: a restarted registry re-warms, exactly the conservatism the
+// paper's damping exists to provide.
+//
+// Pending gang reservations recover by presumed abort: a reservation with
+// no resolution record at bootstrap (or standby promotion) was owned by the
+// crashed incarnation, so it is durably aborted and its admission replans.
+// The live *GangReservation handles from before the crash stay poisoned, so
+// their Commit fails rather than double-admitting.
+
+// Change-record kinds. The payloads are the rec* structs below, JSON
+// encoded; timestamps ride inside the payloads (taken from the registry's
+// clock, never the wall), so replay restores leases bit-identically.
+const (
+	recKindHostRegister   = "host-register"
+	recKindHostStatus     = "host-status"
+	recKindHostUnregister = "host-unregister"
+	recKindProcRegister   = "proc-register"
+	recKindProcExit       = "proc-exit"
+	recKindDomainHealth   = "domain-health"
+	recKindGangReserve    = "gang-reserve"
+	recKindGangResolve    = "gang-resolve"
+)
+
+type recHostRegister struct {
+	Host   string           `json:"host"`
+	Static proto.StaticInfo `json:"static"`
+	At     time.Time        `json:"at"`
+}
+
+type recHostStatus struct {
+	Host   string       `json:"host"`
+	Status proto.Status `json:"status"`
+	At     time.Time    `json:"at"`
+}
+
+type recHostUnregister struct {
+	Host string `json:"host"`
+}
+
+type recProcRegister struct {
+	Host string            `json:"host"`
+	Info proto.ProcessInfo `json:"info"`
+}
+
+type recProcExit struct {
+	Host string `json:"host"`
+	PID  int    `json:"pid"`
+}
+
+type recDomainHealth struct {
+	Name   string    `json:"name"`
+	Health Health    `json:"health"`
+	At     time.Time `json:"at"`
+}
+
+type recGangReserve struct {
+	ID    uint64   `json:"id"`
+	Hosts []string `json:"hosts"`
+}
+
+type recGangResolve struct {
+	ID     uint64 `json:"id"`
+	Commit bool   `json:"commit"`
+}
+
+// persistedState is the snapshot document: the registry's whole protocol
+// state, encoded deterministically (hosts in registration order, processes
+// sorted by host then pid, domains in attach order, pending gangs by id).
+type persistedState struct {
+	RegSeq  int               `json:"regSeq"`
+	DomSeq  int               `json:"domSeq"`
+	GangSeq uint64            `json:"gangSeq"`
+	Hosts   []persistedHost   `json:"hosts,omitempty"`
+	Procs   []persistedProc   `json:"procs,omitempty"`
+	Domains []persistedDomain `json:"domains,omitempty"`
+	Gangs   []persistedGang   `json:"gangs,omitempty"`
+}
+
+type persistedHost struct {
+	Name     string           `json:"name"`
+	Static   proto.StaticInfo `json:"static"`
+	Status   proto.Status     `json:"status"`
+	State    rules.State      `json:"state"`
+	LastSeen time.Time        `json:"lastSeen"`
+	RegOrder int              `json:"regOrder"`
+}
+
+type persistedProc struct {
+	Host      string    `json:"host"`
+	PID       int       `json:"pid"`
+	Name      string    `json:"procName"`
+	Start     time.Time `json:"start"`
+	SchemaXML string    `json:"schemaXML,omitempty"`
+}
+
+type persistedDomain struct {
+	Name     string    `json:"name"`
+	Health   Health    `json:"health"`
+	LastSeen time.Time `json:"lastSeen"`
+	RegOrder int       `json:"regOrder"`
+}
+
+type persistedGang struct {
+	ID    uint64   `json:"id"`
+	Hosts []string `json:"hosts"`
+}
+
+// appendLocked durably appends one change record; the caller holds r.mu.
+// No store and replay are both no-ops. An ErrFenced return means this
+// registry was deposed by a standby promotion: the caller must not apply
+// the mutation.
+func (r *Registry) appendLocked(kind string, v any) error {
+	if r.store == nil || r.replaying {
+		return nil
+	}
+	// Snapshot cadence check runs before the append: the in-memory state
+	// right now reflects exactly the records up to lastApplied, so that is
+	// the position the snapshot may safely cover (the record being
+	// appended has not been applied yet).
+	if r.cfg.SnapshotEvery > 0 && r.lastApplied-r.lastSnap >= uint64(r.cfg.SnapshotEvery) {
+		r.snapshotLocked(r.lastApplied)
+	}
+	data, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("registry: encode %s record: %w", kind, err)
+	}
+	seq, err := r.store.Append(r.storeEpoch, kind, data)
+	if err != nil {
+		return fmt.Errorf("registry: append %s record: %w", kind, err)
+	}
+	r.lastApplied = seq
+	r.cfg.Counters.Inc(metrics.CtrPersistAppends)
+	return nil
+}
+
+// snapshotLocked folds the current state into a store snapshot at seq,
+// compacting the log behind it. Best-effort: a failed snapshot write leaves
+// the log authoritative.
+func (r *Registry) snapshotLocked(seq uint64) {
+	data, err := r.encodeStateLocked()
+	if err != nil {
+		return
+	}
+	if err := r.store.WriteSnapshot(r.storeEpoch, persist.Snapshot{Seq: seq, Data: data}); err != nil {
+		return
+	}
+	r.lastSnap = seq
+	r.cfg.Counters.Inc(metrics.CtrPersistSnapshots)
+}
+
+// encodeStateLocked renders the protocol state as the canonical snapshot
+// document. The encoding is deterministic — two registries holding the same
+// protocol state encode byte-identical documents — which is what makes
+// StateDigest a meaningful recovery check.
+func (r *Registry) encodeStateLocked() ([]byte, error) {
+	st := persistedState{RegSeq: r.regSeq, DomSeq: r.domSeq, GangSeq: r.gangSeq}
+	for _, e := range r.order {
+		st.Hosts = append(st.Hosts, persistedHost{
+			Name:     e.info.Name,
+			Static:   e.info.Static,
+			Status:   e.info.Status,
+			State:    e.info.State,
+			LastSeen: e.info.LastSeen,
+			RegOrder: e.regOrder,
+		})
+	}
+	keys := make([]procKey, 0, len(r.procs))
+	for k := range r.procs {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].host != keys[j].host {
+			return keys[i].host < keys[j].host
+		}
+		return keys[i].pid < keys[j].pid
+	})
+	for _, k := range keys {
+		p := r.procs[k]
+		st.Procs = append(st.Procs, persistedProc{
+			Host:      p.Host,
+			PID:       p.PID,
+			Name:      p.Name,
+			Start:     p.Start,
+			SchemaXML: p.schemaXML,
+		})
+	}
+	for _, d := range r.domainOrder {
+		st.Domains = append(st.Domains, persistedDomain{
+			Name:     d.name,
+			Health:   d.health,
+			LastSeen: d.lastSeen,
+			RegOrder: d.regOrder,
+		})
+	}
+	ids := make([]uint64, 0, len(r.gangs))
+	for id := range r.gangs {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		st.Gangs = append(st.Gangs, persistedGang{ID: id, Hosts: r.gangs[id]})
+	}
+	return json.Marshal(st)
+}
+
+// StateDigest returns a hex digest of the canonical protocol-state
+// encoding. Two registries (or one registry before a crash and after its
+// recovery) holding bit-identical protocol state report equal digests.
+func (r *Registry) StateDigest() string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	data, err := r.encodeStateLocked()
+	if err != nil {
+		return "encode-error"
+	}
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:8])
+}
+
+// Seq returns the sequence number of the last change this registry has
+// applied (and, as primary, durably written). Zero without a store.
+func (r *Registry) Seq() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.lastApplied
+}
+
+// ChangesSince is the catch-up sync feed: every durable change record
+// after seq, in order. Domain shards and the warm standby poll it (via
+// Standby.Sync) to stay in lockstep with the primary. Without a store it
+// returns nothing.
+func (r *Registry) ChangesSince(seq uint64) ([]persist.Record, error) {
+	if r.store == nil {
+		return nil, nil
+	}
+	return r.store.ReadSince(seq)
+}
+
+// resetStateLocked drops every piece of protocol state, the shared first
+// half of both the storeless Restart and the crash-consistent bootstrap.
+func (r *Registry) resetStateLocked() {
+	r.hosts = make(map[string]*hostEntry)
+	r.order = nil
+	r.sets = newStateSets()
+	r.procs = make(map[procKey]*ProcInfo)
+	r.hostProcs = make(map[string]map[int]*ProcInfo)
+	r.reserved = make(map[string]*GangReservation)
+	r.gangs = make(map[uint64][]string)
+	r.domains = make(map[string]*domainEntry)
+	r.domainOrder = nil
+	r.domSeq = 0
+	r.regSeq = 0
+	r.gangSeq = 0
+	r.healthPushed = false
+}
+
+// bootstrapLocked rebuilds the protocol state from the store: snapshot,
+// then log suffix, then presumed abort of any reservation left unresolved
+// by the previous incarnation. The caller holds r.mu (or owns the registry
+// exclusively during construction).
+func (r *Registry) bootstrapLocked() error {
+	r.resetStateLocked()
+	r.lastApplied = 0
+	r.replaying = true
+	snap, ok, err := r.store.LoadSnapshot()
+	if err != nil {
+		r.replaying = false
+		return fmt.Errorf("registry: load snapshot: %w", err)
+	}
+	if ok {
+		if err := r.restoreStateLocked(snap.Data); err != nil {
+			r.replaying = false
+			return err
+		}
+		r.lastApplied = snap.Seq
+		r.lastSnap = snap.Seq
+	}
+	recs, err := r.store.ReadSince(r.lastApplied)
+	if err != nil {
+		r.replaying = false
+		return fmt.Errorf("registry: read log suffix: %w", err)
+	}
+	for _, rec := range recs {
+		if err := r.applyRecordLocked(rec); err != nil {
+			r.replaying = false
+			return err
+		}
+		r.lastApplied = rec.Seq
+	}
+	r.replaying = false
+	// Presumed abort: reservations with no resolution were held by the
+	// crashed incarnation. Resolve them durably so a standby replaying the
+	// same log reaches the same conclusion.
+	if len(r.gangs) > 0 {
+		ids := make([]uint64, 0, len(r.gangs))
+		for id := range r.gangs {
+			ids = append(ids, id)
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		for _, id := range ids {
+			if err := r.appendLocked(recKindGangResolve, recGangResolve{ID: id}); err != nil {
+				return err
+			}
+			delete(r.gangs, id)
+		}
+	}
+	return nil
+}
+
+// restoreStateLocked loads a snapshot document.
+func (r *Registry) restoreStateLocked(data []byte) error {
+	var st persistedState
+	if err := json.Unmarshal(data, &st); err != nil {
+		return fmt.Errorf("registry: decode snapshot: %w", err)
+	}
+	r.regSeq = st.RegSeq
+	r.domSeq = st.DomSeq
+	r.gangSeq = st.GangSeq
+	for _, h := range st.Hosts {
+		e := &hostEntry{regOrder: h.RegOrder}
+		e.info = HostInfo{Name: h.Name, Static: h.Static, Status: h.Status, State: h.State, LastSeen: h.LastSeen}
+		r.hosts[h.Name] = e
+		r.order = insertOrdered(r.order, e)
+		r.sets[h.State] = insertOrdered(r.sets[h.State], e)
+	}
+	for _, sp := range st.Procs {
+		var sch *schema.Schema
+		if sp.SchemaXML != "" {
+			parsed, err := schema.Unmarshal([]byte(sp.SchemaXML))
+			if err != nil {
+				return fmt.Errorf("registry: snapshot process schema: %w", err)
+			}
+			sch = parsed
+		}
+		p := &ProcInfo{Host: sp.Host, PID: sp.PID, Name: sp.Name, Start: sp.Start, Schema: sch, schemaXML: sp.SchemaXML}
+		r.procs[procKey{sp.Host, sp.PID}] = p
+		if r.hostProcs[sp.Host] == nil {
+			r.hostProcs[sp.Host] = make(map[int]*ProcInfo)
+		}
+		r.hostProcs[sp.Host][sp.PID] = p
+	}
+	for _, pd := range st.Domains {
+		// The child pointer is runtime state, not protocol state: it is
+		// restored nil and rebound by the child's next health report
+		// (placeDomains skips nil children until then).
+		d := &domainEntry{name: pd.Name, health: pd.Health, lastSeen: pd.LastSeen, regOrder: pd.RegOrder}
+		r.domains[pd.Name] = d
+		r.domainOrder = append(r.domainOrder, d)
+	}
+	for _, g := range st.Gangs {
+		r.gangs[g.ID] = append([]string(nil), g.Hosts...)
+	}
+	return nil
+}
+
+// applyRecordLocked replays one change record against the in-memory state,
+// mirroring exactly what the mutation method did when it appended it.
+func (r *Registry) applyRecordLocked(rec persist.Record) error {
+	switch rec.Kind {
+	case recKindHostRegister:
+		var p recHostRegister
+		if err := json.Unmarshal(rec.Data, &p); err != nil {
+			return replayErr(rec, err)
+		}
+		e, ok := r.hosts[p.Host]
+		if !ok {
+			r.regSeq++
+			e = &hostEntry{regOrder: r.regSeq}
+			e.info.State = rules.Free
+			r.hosts[p.Host] = e
+			r.order = append(r.order, e)
+			r.sets[rules.Free] = insertOrdered(r.sets[rules.Free], e)
+		} else {
+			r.setStateLocked(e, rules.Free)
+		}
+		e.info.Name = p.Host
+		e.info.Static = p.Static
+		e.info.LastSeen = p.At
+	case recKindHostStatus:
+		var p recHostStatus
+		if err := json.Unmarshal(rec.Data, &p); err != nil {
+			return replayErr(rec, err)
+		}
+		e, ok := r.hosts[p.Host]
+		if !ok {
+			return replayErr(rec, fmt.Errorf("status for unknown host %q", p.Host))
+		}
+		state, err := rules.ParseState(p.Status.State)
+		if err != nil {
+			return replayErr(rec, err)
+		}
+		e.info.Status = p.Status
+		r.setStateLocked(e, state)
+		e.info.LastSeen = p.At
+	case recKindHostUnregister:
+		var p recHostUnregister
+		if err := json.Unmarshal(rec.Data, &p); err != nil {
+			return replayErr(rec, err)
+		}
+		e, ok := r.hosts[p.Host]
+		if !ok {
+			return nil
+		}
+		delete(r.hosts, p.Host)
+		r.order = removeOrdered(r.order, e)
+		r.sets[e.info.State] = removeOrdered(r.sets[e.info.State], e)
+		for pid := range r.hostProcs[p.Host] {
+			delete(r.procs, procKey{p.Host, pid})
+		}
+		delete(r.hostProcs, p.Host)
+	case recKindProcRegister:
+		var p recProcRegister
+		if err := json.Unmarshal(rec.Data, &p); err != nil {
+			return replayErr(rec, err)
+		}
+		var sch *schema.Schema
+		if p.Info.SchemaXML != "" {
+			parsed, err := schema.Unmarshal([]byte(p.Info.SchemaXML))
+			if err != nil {
+				return replayErr(rec, err)
+			}
+			sch = parsed
+		}
+		pi := &ProcInfo{
+			Host:      p.Host,
+			PID:       p.Info.PID,
+			Name:      p.Info.Name,
+			Start:     time.Unix(0, p.Info.Start),
+			Schema:    sch,
+			schemaXML: p.Info.SchemaXML,
+		}
+		r.procs[procKey{p.Host, p.Info.PID}] = pi
+		if r.hostProcs[p.Host] == nil {
+			r.hostProcs[p.Host] = make(map[int]*ProcInfo)
+		}
+		r.hostProcs[p.Host][p.Info.PID] = pi
+	case recKindProcExit:
+		var p recProcExit
+		if err := json.Unmarshal(rec.Data, &p); err != nil {
+			return replayErr(rec, err)
+		}
+		delete(r.procs, procKey{p.Host, p.PID})
+		delete(r.hostProcs[p.Host], p.PID)
+	case recKindDomainHealth:
+		var p recDomainHealth
+		if err := json.Unmarshal(rec.Data, &p); err != nil {
+			return replayErr(rec, err)
+		}
+		d, ok := r.domains[p.Name]
+		if !ok {
+			r.domSeq++
+			d = &domainEntry{name: p.Name, regOrder: r.domSeq}
+			r.domains[p.Name] = d
+			r.domainOrder = append(r.domainOrder, d)
+		}
+		d.health = p.Health
+		d.lastSeen = p.At
+	case recKindGangReserve:
+		var p recGangReserve
+		if err := json.Unmarshal(rec.Data, &p); err != nil {
+			return replayErr(rec, err)
+		}
+		r.gangSeq = p.ID
+		r.gangs[p.ID] = append([]string(nil), p.Hosts...)
+	case recKindGangResolve:
+		var p recGangResolve
+		if err := json.Unmarshal(rec.Data, &p); err != nil {
+			return replayErr(rec, err)
+		}
+		delete(r.gangs, p.ID)
+	default:
+		return fmt.Errorf("registry: replay: unknown record kind %q (seq %d)", rec.Kind, rec.Seq)
+	}
+	return nil
+}
+
+func replayErr(rec persist.Record, err error) error {
+	return fmt.Errorf("registry: replay %s (seq %d): %w", rec.Kind, rec.Seq, err)
+}

@@ -26,6 +26,7 @@ import (
 
 	"autoresched/internal/events"
 	"autoresched/internal/metrics"
+	"autoresched/internal/persist"
 	"autoresched/internal/proto"
 	"autoresched/internal/rules"
 	"autoresched/internal/schema"
@@ -91,6 +92,16 @@ type Config struct {
 	Events events.Sink
 	// Counters, when set, receives the registry/* control-plane counters.
 	Counters *metrics.Counters
+	// Store, when set, makes the protocol state durable: every mutation
+	// appends a typed change record to this write-ahead store, and Restart
+	// becomes crash-consistent bootstrap (snapshot + log suffix replay,
+	// zero monitor re-registrations) instead of a soft-state drop. See
+	// internal/persist for the backends and the epoch-fencing contract.
+	Store persist.Store
+	// SnapshotEvery, with Store set, folds the state into a compacting
+	// store snapshot every N appended records; zero disables periodic
+	// snapshots (the log then grows until someone snapshots explicitly).
+	SnapshotEvery int
 	// Metrics, when set, receives the registry's gauges and latency
 	// histograms (registry/hosts, registry/decide_seconds). Nil disables.
 	Metrics *metrics.Registry
@@ -121,6 +132,9 @@ type ProcInfo struct {
 	Name   string
 	Start  time.Time
 	Schema *schema.Schema
+	// schemaXML retains the wire document Schema was parsed from, so the
+	// durable change log and snapshots can round-trip it.
+	schemaXML string
 }
 
 type hostEntry struct {
@@ -172,6 +186,19 @@ type Registry struct {
 	// Child-side bookkeeping for the upward health push.
 	lastHealthPush time.Time
 	healthPushed   bool
+
+	// Durable control plane (nil store = classic soft state). gangs is the
+	// durable view of unresolved reservations by id — what presumed abort
+	// resolves at bootstrap; storeEpoch is the fencing token every append
+	// carries; lastApplied/lastSnap drive the catch-up feed and snapshot
+	// cadence; replaying suppresses appends during bootstrap.
+	store       persist.Store
+	storeEpoch  uint64
+	replaying   bool
+	lastApplied uint64
+	lastSnap    uint64
+	gangSeq     uint64
+	gangs       map[uint64][]string
 }
 
 // newFromConfig creates a registry/scheduler from an assembled Config,
@@ -221,7 +248,20 @@ func newFromConfig(cfg Config) *Registry {
 		procs:     make(map[procKey]*ProcInfo),
 		hostProcs: make(map[string]map[int]*ProcInfo),
 		reserved:  make(map[string]*GangReservation),
+		gangs:     make(map[uint64][]string),
 		domains:   make(map[string]*domainEntry),
+	}
+	if cfg.Store != nil {
+		// Warm start: rebuild the protocol state left by the previous
+		// incarnation before announcing anything to a parent. A corrupt
+		// store falls back to an empty registry — the classic soft-state
+		// recovery — rather than refusing to start.
+		r.store = cfg.Store
+		r.storeEpoch = cfg.Store.Epoch()
+		if err := r.bootstrapLocked(); err != nil {
+			r.resetStateLocked()
+			r.trace(EventRestart, "", 0, "", "bootstrap failed, starting empty: "+err.Error())
+		}
 	}
 	if cfg.Parent != nil && cfg.Domain != "" {
 		// Announce the domain immediately so the parent can delegate to
@@ -276,6 +316,10 @@ func (r *Registry) RegisterHost(host string, static proto.StaticInfo) error {
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	now := r.clock.Now()
+	if err := r.appendLocked(recKindHostRegister, recHostRegister{Host: host, Static: static, At: now}); err != nil {
+		return err
+	}
 	e, ok := r.hosts[host]
 	if !ok {
 		r.regSeq++
@@ -289,7 +333,7 @@ func (r *Registry) RegisterHost(host string, static proto.StaticInfo) error {
 	}
 	e.info.Name = host
 	e.info.Static = static
-	e.info.LastSeen = r.clock.Now()
+	e.info.LastSeen = now
 	r.cfg.Metrics.Gauge(MetricHosts).Set(float64(len(r.hosts)))
 	return nil
 }
@@ -325,42 +369,69 @@ func (r *Registry) applyStatusLocked(host string, status proto.Status) error {
 	if err != nil {
 		return err
 	}
+	now := r.clock.Now()
+	if err := r.appendLocked(recKindHostStatus, recHostStatus{Host: host, Status: status, At: now}); err != nil {
+		return err
+	}
 	e.info.Status = status
 	r.setStateLocked(e, state)
-	e.info.LastSeen = r.clock.Now()
+	e.info.LastSeen = now
 	return nil
 }
 
-// Restart simulates a registry crash and restart: all soft state — host
-// registrations, process registrations, warmup and cooldown bookkeeping,
-// child-domain leases — is dropped, exactly as a freshly started registry
-// would have none of it. The protocol's soft-state design makes this
-// survivable: monitors re-register when their next refresh is rejected, the
-// runtime resyncs its processes, and child registries re-announce their
-// domain on the next health push. The decision trace is diagnostic state,
-// not protocol state, so it survives.
+// Restart simulates a registry crash and restart. Without a Store, all
+// soft state — host registrations, process registrations, warmup and
+// cooldown bookkeeping, child-domain leases — is dropped, exactly as a
+// freshly started registry would have none of it. The protocol's
+// soft-state design makes this survivable: monitors re-register when their
+// next refresh is rejected, the runtime resyncs its processes, and child
+// registries re-announce their domain on the next health push.
+//
+// With a Store, Restart is instead the crash-consistent bootstrap: the
+// protocol state is rebuilt from the latest snapshot plus the log suffix —
+// no re-registration storm, zero monitor re-registrations — and pending
+// gang reservations are presumed aborted (their pre-crash handles stay
+// poisoned, so a Commit from before the crash still fails). Scheduler
+// damping re-warms either way. The decision trace is diagnostic state, not
+// protocol state, so it survives in both modes.
 func (r *Registry) Restart() {
 	r.mu.Lock()
-	r.hosts = make(map[string]*hostEntry)
-	r.order = nil
-	r.sets = newStateSets()
-	r.procs = make(map[procKey]*ProcInfo)
-	r.hostProcs = make(map[string]map[int]*ProcInfo)
-	// Pending gang reservations are soft state too: poison them so their
-	// Commit fails and the admission retries against the rebuilt registry.
+	// Pending gang reservations do not survive the incarnation in either
+	// mode: poison the live handles so their Commit fails and the
+	// admission retries against the rebuilt registry.
 	for host, g := range r.reserved {
 		g.lost = append(g.lost, host)
 	}
-	r.reserved = make(map[string]*GangReservation)
-	r.domains = make(map[string]*domainEntry)
-	r.domainOrder = nil
-	r.domSeq = 0
-	r.regSeq = 0
-	r.healthPushed = false
+	recovered := false
+	if r.store != nil {
+		if err := r.bootstrapLocked(); err != nil {
+			// A store that cannot be replayed yields the classic
+			// soft-state restart rather than a wedged registry.
+			r.resetStateLocked()
+		} else {
+			recovered = true
+		}
+	} else {
+		r.resetStateLocked()
+	}
+	hosts := len(r.hosts)
+	ev := RestartEvent{
+		At:        r.clock.Now(),
+		Recovered: recovered,
+		Seq:       r.lastApplied,
+		Hosts:     hosts,
+		Procs:     len(r.procs),
+		Domains:   len(r.domains),
+	}
 	r.mu.Unlock()
 	r.cfg.Counters.Inc(metrics.CtrRegistryRestarts)
-	r.cfg.Metrics.Gauge(MetricHosts).Set(0)
-	r.trace(EventRestart, "", 0, "", "soft state dropped")
+	note := "soft state dropped"
+	if recovered {
+		r.cfg.Counters.Inc(metrics.CtrRegistryRecoveries)
+		note = fmt.Sprintf("recovered from store: %d hosts, %d procs at seq %d", ev.Hosts, ev.Procs, ev.Seq)
+	}
+	r.cfg.Metrics.Gauge(MetricHosts).Set(float64(hosts))
+	r.traceWith(ev, EventRestart, "", 0, "", note)
 }
 
 // UnregisterHost withdraws a host and its processes.
@@ -370,6 +441,9 @@ func (r *Registry) UnregisterHost(host string) error {
 	e, ok := r.hosts[host]
 	if !ok {
 		return nil
+	}
+	if err := r.appendLocked(recKindHostUnregister, recHostUnregister{Host: host}); err != nil {
+		return err
 	}
 	delete(r.hosts, host)
 	r.order = removeOrdered(r.order, e)
@@ -427,12 +501,16 @@ func (r *Registry) RegisterProcess(host string, info proto.ProcessInfo) error {
 	if _, ok := r.hosts[host]; !ok {
 		return fmt.Errorf("registry: process from unregistered host %q", host)
 	}
+	if err := r.appendLocked(recKindProcRegister, recProcRegister{Host: host, Info: info}); err != nil {
+		return err
+	}
 	p := &ProcInfo{
-		Host:   host,
-		PID:    info.PID,
-		Name:   info.Name,
-		Start:  time.Unix(0, info.Start),
-		Schema: sch,
+		Host:      host,
+		PID:       info.PID,
+		Name:      info.Name,
+		Start:     time.Unix(0, info.Start),
+		Schema:    sch,
+		schemaXML: info.SchemaXML,
 	}
 	r.procs[procKey{host, info.PID}] = p
 	if r.hostProcs[host] == nil {
@@ -446,6 +524,12 @@ func (r *Registry) RegisterProcess(host string, info proto.ProcessInfo) error {
 func (r *Registry) ProcessExit(host string, pid int) error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	if _, ok := r.procs[procKey{host, pid}]; !ok {
+		return nil
+	}
+	if err := r.appendLocked(recKindProcExit, recProcExit{Host: host, PID: pid}); err != nil {
+		return err
+	}
 	delete(r.procs, procKey{host, pid})
 	delete(r.hostProcs[host], pid)
 	return nil

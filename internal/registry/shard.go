@@ -41,6 +41,13 @@ func (r *Registry) ReportDomainHealth(name string, child *Registry, h Health) {
 		return
 	}
 	r.mu.Lock()
+	now := r.clock.Now()
+	if err := r.appendLocked(recKindDomainHealth, recDomainHealth{Name: name, Health: h, At: now}); err != nil {
+		// A fenced parent is logically dead; dropping the attach is the
+		// correct refusal (the child will report to the promoted parent).
+		r.mu.Unlock()
+		return
+	}
 	d, ok := r.domains[name]
 	if !ok {
 		r.domSeq++
@@ -50,7 +57,7 @@ func (r *Registry) ReportDomainHealth(name string, child *Registry, h Health) {
 	}
 	d.child = child
 	d.health = h
-	d.lastSeen = r.clock.Now()
+	d.lastSeen = now
 	r.mu.Unlock()
 	r.cfg.Counters.Inc(metrics.CtrHealthReports)
 }
@@ -88,6 +95,11 @@ func (r *Registry) placeDomains(skip, exclude string, proc ProcInfo) (proto.Cand
 	children := make([]*Registry, 0, len(r.domainOrder))
 	for _, d := range r.domainOrder {
 		if d.name == skip || !r.domainAliveLocked(d, now) || !d.health.AcceptsMigrations() {
+			continue
+		}
+		// A domain restored from the change log has no live child pointer
+		// until its next health report rebinds it; skip it meanwhile.
+		if d.child == nil {
 			continue
 		}
 		children = append(children, d.child)

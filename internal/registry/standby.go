@@ -1,0 +1,147 @@
+package registry
+
+import (
+	"fmt"
+	"sort"
+
+	"autoresched/internal/metrics"
+	"autoresched/internal/persist"
+)
+
+// Standby is the warm half of a registry HA pair: a shadow registry that
+// follows the primary's change log through the shared store — snapshot
+// bootstrap, then incremental sequence-numbered catch-up — and can be
+// promoted when the primary dies. Promotion fences the store's epoch first,
+// so any append the deposed primary still attempts (including the durable
+// commit of a gang reservation) fails with persist.ErrFenced; reservations
+// the primary left unresolved are presumed aborted by the promoted
+// registry, and the pair can therefore never admit the same gang twice.
+//
+// The shadow registry is passive while standing by: it is built without
+// Parent, Commands or Events side effects firing from replay (records are
+// applied structurally, not through the public mutation methods), and the
+// store is attached — making it the writing primary — only at Promote.
+type Standby struct {
+	store persist.Store
+	r     *Registry
+}
+
+// NewStandby builds a warm standby following store. opts configure the
+// registry that Promote will return; a WithStore among them is ignored
+// (the standby attaches the store itself, at promotion). The initial
+// snapshot+suffix catch-up runs before NewStandby returns.
+func NewStandby(store persist.Store, opts ...Option) (*Standby, error) {
+	var cfg Config
+	for _, o := range opts {
+		o(&cfg)
+	}
+	cfg.Store = nil // follower: no appends until promotion
+	s := &Standby{store: store, r: newFromConfig(cfg)}
+	if _, err := s.Sync(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Sync pulls every change the primary persisted since the last Sync and
+// applies it to the shadow state, reloading from the snapshot when the
+// primary compacted past the standby's position. Returns the sequence the
+// standby is now caught up to.
+func (s *Standby) Sync() (uint64, error) {
+	r := s.r
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	snap, ok, err := s.store.LoadSnapshot()
+	if err != nil {
+		return r.lastApplied, fmt.Errorf("registry: standby snapshot: %w", err)
+	}
+	if ok && snap.Seq > r.lastApplied {
+		// The primary compacted records we have not applied: restart from
+		// the snapshot rather than silently skipping the gap.
+		r.resetStateLocked()
+		if err := r.restoreStateLocked(snap.Data); err != nil {
+			return r.lastApplied, err
+		}
+		r.lastApplied = snap.Seq
+		r.lastSnap = snap.Seq
+	}
+	recs, err := s.store.ReadSince(r.lastApplied)
+	if err != nil {
+		return r.lastApplied, fmt.Errorf("registry: standby catch-up: %w", err)
+	}
+	r.replaying = true
+	for _, rec := range recs {
+		if err := r.applyRecordLocked(rec); err != nil {
+			r.replaying = false
+			return r.lastApplied, err
+		}
+		r.lastApplied = rec.Seq
+	}
+	r.replaying = false
+	return r.lastApplied, nil
+}
+
+// Lag reports how many records the standby is behind the store's tail.
+func (s *Standby) Lag() uint64 {
+	tail := s.store.Seq()
+	s.r.mu.Lock()
+	applied := s.r.lastApplied
+	s.r.mu.Unlock()
+	if tail <= applied {
+		return 0
+	}
+	return tail - applied
+}
+
+// Registry returns the shadow registry for inspection (Health, Hosts,
+// StateDigest). Mutating it before Promote is a caller error.
+func (s *Standby) Registry() *Registry { return s.r }
+
+// Promote turns the standby into the primary: the store's epoch is fenced
+// (deposing the old primary — its in-flight appends and gang commits now
+// fail), a final catch-up applies everything the old primary managed to
+// persist, reservations it left unresolved are presumed aborted, and the
+// now-writing registry is returned.
+func (s *Standby) Promote() (*Registry, error) {
+	epoch, err := s.store.Fence()
+	if err != nil {
+		return nil, fmt.Errorf("registry: promote: fence: %w", err)
+	}
+	if _, err := s.Sync(); err != nil {
+		return nil, fmt.Errorf("registry: promote: final sync: %w", err)
+	}
+	r := s.r
+	r.mu.Lock()
+	r.store = s.store
+	r.storeEpoch = epoch
+	var ev RestartEvent
+	if len(r.gangs) > 0 {
+		ids := make([]uint64, 0, len(r.gangs))
+		for id := range r.gangs {
+			ids = append(ids, id)
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		for _, id := range ids {
+			if err := r.appendLocked(recKindGangResolve, recGangResolve{ID: id}); err != nil {
+				r.mu.Unlock()
+				return nil, fmt.Errorf("registry: promote: presumed abort: %w", err)
+			}
+			delete(r.gangs, id)
+		}
+	}
+	ev = RestartEvent{
+		At:        r.clock.Now(),
+		Recovered: true,
+		Seq:       r.lastApplied,
+		Hosts:     len(r.hosts),
+		Procs:     len(r.procs),
+		Domains:   len(r.domains),
+	}
+	hosts := ev.Hosts
+	r.mu.Unlock()
+	r.cfg.Counters.Inc(metrics.CtrStandbyPromotions)
+	r.cfg.Metrics.Gauge(MetricHosts).Set(float64(hosts))
+	r.traceWith(ev, EventPromoted, "", 0, "",
+		fmt.Sprintf("standby promoted at epoch %d, seq %d: %d hosts, %d procs", epoch, ev.Seq, ev.Hosts, ev.Procs))
+	return r, nil
+}

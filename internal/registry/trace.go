@@ -27,8 +27,12 @@ const (
 	// EventOrderFailed: the commander rejected the order.
 	EventOrderFailed EventKind = "order-failed"
 	// EventRestart: the registry dropped its soft state (simulated crash +
-	// restart); hosts and processes must re-register.
+	// restart) — or, with a durable store configured, recovered it by
+	// crash-consistent bootstrap (the RestartEvent payload tells which).
 	EventRestart EventKind = "restart"
+	// EventPromoted: a warm standby fenced the old primary's epoch and
+	// took over as the writing registry.
+	EventPromoted EventKind = "promoted"
 )
 
 // Event is one entry of the scheduler's decision trace.
@@ -57,11 +61,38 @@ func (e Event) String() string {
 	return s
 }
 
+// RestartEvent is the typed payload published on the unified sink for a
+// registry restart, so events.On[RestartEvent] subscribers — the runtime's
+// process resync, the standby promoter, test harnesses — can distinguish a
+// crash-consistent recovery (Recovered, with the restored state's shape)
+// from a soft-state drop without parsing trace notes.
+type RestartEvent struct {
+	At time.Time
+	// Recovered reports a store-backed bootstrap; false is the classic
+	// soft-state drop where everything must re-register.
+	Recovered bool
+	// Seq is the change-log sequence the recovered state corresponds to
+	// (zero without a store).
+	Seq uint64
+	// Hosts, Procs and Domains count the restored protocol state.
+	Hosts   int
+	Procs   int
+	Domains int
+}
+
 // traceCap bounds the in-memory decision trace.
 const traceCap = 512
 
 // trace appends an event (callers must not hold r.mu).
 func (r *Registry) trace(kind EventKind, host string, pid int, dest, note string) {
+	r.traceWith(nil, kind, host, pid, dest, note)
+}
+
+// traceWith appends an event carrying a typed payload on the unified sink
+// (callers must not hold r.mu). The trace ring and the OnEvent observer see
+// the plain Event; the payload rides only on events.Sink, where On[T]
+// subscribers pick it up.
+func (r *Registry) traceWith(payload any, kind EventKind, host string, pid int, dest, note string) {
 	e := Event{At: r.clock.Now(), Kind: kind, Host: host, PID: pid, Dest: dest, Note: note}
 	r.mu.Lock()
 	r.events = append(r.events, e)
@@ -73,7 +104,9 @@ func (r *Registry) trace(kind EventKind, host string, pid int, dest, note string
 		r.cfg.OnEvent(e)
 	}
 	if r.cfg.Events != nil {
-		r.cfg.Events.Publish(e.Unified())
+		u := e.Unified()
+		u.Payload = payload
+		r.cfg.Events.Publish(u)
 	}
 }
 

@@ -53,6 +53,7 @@ func (g *Generator) Next() Scenario {
 		MemMode:       pick(g, sp.MemModes),
 		Migration:     pick(g, sp.Migrations),
 		Policy:        pick(g, sp.Policies),
+		Persistence:   pick(g, sp.Persistence),
 		LinkMbps:      pick(g, sp.LinkMbps),
 		Hosts:         g.between(sp.Hosts),
 		StateMB:       g.between(sp.StateMB),
@@ -110,6 +111,11 @@ func (g *Generator) Next() Scenario {
 		if len(elastic) > 0 {
 			kinds = append(kinds, FaultResize)
 		}
+		// Crash-loops are a durable-recovery drill: only coherent when the
+		// registry has a store to bootstrap from.
+		if s.Persistence == PersistFile && sp.MaxCrashLoops > 0 {
+			kinds = append(kinds, FaultRegistryCrash)
+		}
 		switch pick(g, kinds) {
 		case FaultCrashHost:
 			s.Faults = append(s.Faults, FaultSpec{
@@ -138,6 +144,12 @@ func (g *Generator) Next() Scenario {
 				Kind:  FaultResize,
 				Job:   j.Name,
 				World: j.MinWorld + g.rng.Intn(j.Gang-j.MinWorld+1),
+			})
+		case FaultRegistryCrash:
+			s.Faults = append(s.Faults, FaultSpec{
+				AtSec: at,
+				Kind:  FaultRegistryCrash,
+				Loops: 1 + g.rng.Intn(sp.MaxCrashLoops),
 			})
 		}
 	}

@@ -9,9 +9,11 @@ import "fmt"
 
 // GoldenSeeds are the pinned generator seeds the regression covers. Chosen
 // for variety, not tuned for outcomes: across the four fleets every policy,
-// both migration modes, all three eviction modes, elastic resizes and both
-// crash-churn responses (requeue and shrink) appear.
-var GoldenSeeds = []int64{1, 7, 35, 58}
+// both migration modes, all three eviction modes, elastic resizes, both
+// crash-churn responses (requeue and shrink) and registry crash-loop
+// recoveries appear. Re-pinned when the persistence axis joined the draw
+// (any new draw shifts the whole rng stream).
+var GoldenSeeds = []int64{1, 37, 62, 71}
 
 // GoldenRuns is the fleet size per pinned seed. Small enough that a golden
 // diff stays readable; large enough that each fleet crosses several

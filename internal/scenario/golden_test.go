@@ -54,9 +54,17 @@ func TestGoldenUpToDate(t *testing.T) {
 func TestGoldenFleetCoverage(t *testing.T) {
 	policies := map[string]int{}
 	migrations := map[string]int{}
-	preempt, resizes, shrinks, requeues := 0, 0, 0, 0
+	preempt, resizes, shrinks, requeues, regCrashes := 0, 0, 0, 0, 0
 	for _, seed := range GoldenSeeds {
-		sum := Summarize(seed, RunFleet(DefaultSpace(), seed, GoldenRuns))
+		results := RunFleet(DefaultSpace(), seed, GoldenRuns)
+		for _, r := range results {
+			for _, f := range r.Scenario.Faults {
+				if f.Kind == FaultRegistryCrash {
+					regCrashes++
+				}
+			}
+		}
+		sum := Summarize(seed, results)
 		if sum.Drained != sum.Runs {
 			t.Errorf("seed %d: %d/%d runs drained; goldens must complete", seed, sum.Drained, sum.Runs)
 		}
@@ -87,6 +95,9 @@ func TestGoldenFleetCoverage(t *testing.T) {
 	}
 	if shrinks == 0 || requeues == 0 {
 		t.Errorf("golden fleets miss a crash-churn response: shrinks=%d requeues=%d", shrinks, requeues)
+	}
+	if regCrashes == 0 {
+		t.Error("golden fleets schedule no registry crash-loop faults")
 	}
 }
 

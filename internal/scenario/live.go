@@ -8,6 +8,7 @@ import (
 	"autoresched/internal/core"
 	"autoresched/internal/hpcm"
 	"autoresched/internal/jobs"
+	"autoresched/internal/persist"
 	"autoresched/internal/simnode"
 	"autoresched/internal/vclock"
 	"autoresched/internal/workload"
@@ -65,11 +66,19 @@ func RunLive(s Scenario, scale float64, timeout time.Duration) (LiveOutcome, err
 		}
 		names = append(names, name)
 	}
-	sys, err := core.New(core.Options{
+	opts := core.Options{
 		Cluster:       cl,
 		JobPolicy:     policy,
 		SchedInterval: time.Duration(s.SchedEverySec) * time.Second,
-	})
+	}
+	if s.Persistence == PersistFile {
+		// The live bridge runs in-memory; a MemStore stands in for the
+		// file-backed store (same Store contract, same registry WAL path)
+		// so durable scenarios exercise the journaling code live.
+		opts.Store = persist.NewMemStore()
+		opts.SnapshotEvery = 64
+	}
+	sys, err := core.New(opts)
 	if err != nil {
 		return out, fmt.Errorf("live: %w", err)
 	}

@@ -180,6 +180,9 @@ func (Runner) Run(s Scenario) Result {
 	downUntil := map[string]int{}
 	linkFactor := 1.0
 	linkRestore := -1 // tick the current degrade window ends (-1: none)
+	// schedBlackout is the tick the registry's crash-loop recovery ends:
+	// admission cycles stall until then (the parent is mid-bootstrap).
+	schedBlackout := 0
 
 	// Jobs, in submission order: arrival second, then spec order.
 	jobSet := make([]*runJob, len(s.Jobs))
@@ -428,10 +431,21 @@ func (Runner) Run(s Scenario) Result {
 				migrate(byName[f.Job], tick, "forced")
 			case FaultResize:
 				resize(byName[f.Job], tick, f.World)
+			case FaultRegistryCrash:
+				// A crash-looping parent is a control-plane blackout, not a
+				// fleet outage: each bootstrap replays the change log (one
+				// tick per loop) and admissions stall meanwhile. Running jobs
+				// keep computing — the durable registry recovers their
+				// registrations instead of forcing a re-registration storm.
+				if until := tick + f.Loops; until > schedBlackout {
+					schedBlackout = until
+				}
+				digest("registry-crash loops=%d sched-blackout=%ds", f.Loops, f.Loops)
 			}
 		}
-		// 3. Plan one admission cycle over the live fleet.
-		if tick%s.SchedEverySec == 0 {
+		// 3. Plan one admission cycle over the live fleet (skipped while the
+		// registry is mid-recovery from a crash-loop fault).
+		if tick%s.SchedEverySec == 0 && tick >= schedBlackout {
 			occ := map[string]string{}
 			var running []jobs.JobView
 			for _, j := range jobSet {

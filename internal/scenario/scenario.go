@@ -40,10 +40,20 @@ const (
 )
 
 const (
-	FaultCrashHost   = "crash-host"
-	FaultLinkDegrade = "link-degrade"
-	FaultMigrate     = "migrate"
-	FaultResize      = "resize"
+	FaultCrashHost     = "crash-host"
+	FaultLinkDegrade   = "link-degrade"
+	FaultMigrate       = "migrate"
+	FaultResize        = "resize"
+	FaultRegistryCrash = "registry-crash"
+)
+
+// Persistence modes: whether the scenario's registry journals its protocol
+// state to a durable store. Registry crash-loop faults are only coherent
+// under PersistFile — a storeless registry would re-register the fleet, not
+// recover it.
+const (
+	PersistNone = "none"
+	PersistFile = "file"
 )
 
 // JobSpec is one generated job of a scenario: the model-level analogue of
@@ -82,6 +92,9 @@ type FaultSpec struct {
 	Job string `json:"job,omitempty"`
 	// World is the resize target world size (FaultResize).
 	World int `json:"world,omitempty"`
+	// Loops is the number of back-to-back registry restarts
+	// (FaultRegistryCrash); each one is a crash-consistent bootstrap.
+	Loops int `json:"loops,omitempty"`
 }
 
 // Scenario is one generated situation: a fleet, a job queue, a fault plan
@@ -99,6 +112,9 @@ type Scenario struct {
 	MemMode   string `json:"mem_mode"`
 	Migration string `json:"migration"`
 	Policy    string `json:"policy"`
+	// Persistence selects the registry's durability mode (Persist*
+	// constants); empty means PersistNone for pre-axis scenarios.
+	Persistence string `json:"persistence,omitempty"`
 
 	// LinkMbps is the migration-link speed in megabits per second.
 	LinkMbps int `json:"link_mbps"`
@@ -157,6 +173,9 @@ func (s Scenario) FaultPlan() faults.Plan {
 		case FaultResize:
 			plan.Events = append(plan.Events,
 				faults.Event{After: at(f.AtSec), Kind: faults.KindResize, Proc: f.Job, Count: f.World})
+		case FaultRegistryCrash:
+			plan.Events = append(plan.Events,
+				faults.Event{After: at(f.AtSec), Kind: faults.KindCrashLoopRegistry, Count: f.Loops})
 		}
 	}
 	return plan

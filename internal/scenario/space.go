@@ -24,7 +24,9 @@ type Space struct {
 	MemModes   []string `json:"mem_modes"`
 	Migrations []string `json:"migrations"`
 	Policies   []string `json:"policies"`
-	LinkMbps   []int    `json:"link_mbps"`
+	// Persistence lists the registry durability modes (Persist* constants).
+	Persistence []string `json:"persistence"`
+	LinkMbps    []int    `json:"link_mbps"`
 	// DirtyRates are the candidate page-dirtying rates for live scenarios,
 	// in pages/s.
 	DirtyRates []int `json:"dirty_rates"`
@@ -37,6 +39,9 @@ type Space struct {
 	Duration Range `json:"duration_sec"`
 	// MaxFaults bounds the fault-plan length (zero: fault-free scenarios).
 	MaxFaults int `json:"max_faults"`
+	// MaxCrashLoops bounds a registry-crash fault's back-to-back restart
+	// count (zero: no registry-crash faults even under PersistFile).
+	MaxCrashLoops int `json:"max_crash_loops"`
 }
 
 // DefaultSpace is the cross-product the fleet experiment sweeps: every
@@ -49,18 +54,20 @@ func DefaultSpace() Space {
 		policies = append(policies, p.Name())
 	}
 	return Space{
-		Workloads:  []string{WorkloadJacobi, WorkloadTree},
-		MemModes:   []string{MemFlat, MemPaged, MemElastic},
-		Migrations: []string{MigrateLive, MigrateStopCopy},
-		Policies:   policies,
-		LinkMbps:   []int{10, 100, 1000},
-		DirtyRates: []int{0, 50, 200, 800, 3200},
-		Hosts:      Range{Min: 4, Max: 12},
-		JobCount:   Range{Min: 3, Max: 10},
-		MaxGang:    8,
-		StateMB:    Range{Min: 1, Max: 64},
-		Duration:   Range{Min: 240, Max: 600},
-		MaxFaults:  6,
+		Workloads:     []string{WorkloadJacobi, WorkloadTree},
+		MemModes:      []string{MemFlat, MemPaged, MemElastic},
+		Migrations:    []string{MigrateLive, MigrateStopCopy},
+		Policies:      policies,
+		Persistence:   []string{PersistNone, PersistFile},
+		LinkMbps:      []int{10, 100, 1000},
+		DirtyRates:    []int{0, 50, 200, 800, 3200},
+		Hosts:         Range{Min: 4, Max: 12},
+		JobCount:      Range{Min: 3, Max: 10},
+		MaxGang:       8,
+		StateMB:       Range{Min: 1, Max: 64},
+		Duration:      Range{Min: 240, Max: 600},
+		MaxFaults:     6,
+		MaxCrashLoops: 3,
 	}
 }
 
@@ -96,6 +103,14 @@ func (sp Space) Check(s Scenario) error {
 	}
 	if _, err := jobs.PolicyByName(s.Policy); err != nil {
 		return fail("policy %q unknown to the planner", s.Policy)
+	}
+	// An empty persistence mode is a pre-axis scenario: storeless.
+	persistence := s.Persistence
+	if persistence == "" {
+		persistence = PersistNone
+	}
+	if !contains(sp.Persistence, persistence) {
+		return fail("persistence %q outside space", s.Persistence)
 	}
 	if !contains(sp.LinkMbps, s.LinkMbps) {
 		return fail("link speed %d Mbps outside space", s.LinkMbps)
@@ -201,6 +216,15 @@ func (sp Space) Check(s Scenario) error {
 			}
 			if f.World < j.MinWorld || f.World > j.Gang {
 				return fail("fault %d resize world %d outside [%d,%d]", i, f.World, j.MinWorld, j.Gang)
+			}
+		case FaultRegistryCrash:
+			// A crash-loop is a recovery drill: it only makes sense when the
+			// registry has a durable store to recover from.
+			if persistence != PersistFile {
+				return fail("fault %d crash-loops a storeless registry", i)
+			}
+			if f.Loops < 1 || f.Loops > sp.MaxCrashLoops {
+				return fail("fault %d loops %d outside [1,%d]", i, f.Loops, sp.MaxCrashLoops)
 			}
 		default:
 			return fail("fault %d has unknown kind %q", i, f.Kind)
